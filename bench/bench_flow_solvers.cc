@@ -1,0 +1,63 @@
+// Ablation A1: which min-cost-flow solver should back the D-phase?
+// Benchmarks network simplex vs successive shortest paths vs cycle
+// canceling on real D-phase instances (the LP of eq. (10) built from
+// TILOS-sized ISCAS analogs). google-benchmark micro-harness.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "sizing/dphase.h"
+
+using namespace mft;
+using namespace mft::bench;
+
+namespace {
+
+struct Prepared {
+  LoweredCircuit lc;
+  std::vector<double> sizes;
+};
+
+const Prepared& prepared(const std::string& name) {
+  static std::map<std::string, Prepared> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    Netlist nl = load_circuit(name);
+    Prepared p{lower_gate_level(nl, Tech{}), {}};
+    const CalibratedTarget cal = calibrate_target(p.lc.net);
+    p.sizes = run_tilos(p.lc.net, cal.target).sizes;
+    it = cache.emplace(name, std::move(p)).first;
+  }
+  return it->second;
+}
+
+void BM_DPhaseSolver(benchmark::State& state, const std::string& circuit,
+                     FlowSolver solver) {
+  const Prepared& p = prepared(circuit);
+  DPhaseOptions opt;
+  opt.solver = solver;
+  for (auto _ : state) {
+    DPhaseResult r = run_dphase(p.lc.net, p.sizes, opt);
+    benchmark::DoNotOptimize(r);
+  }
+  const DPhaseResult r = run_dphase(p.lc.net, p.sizes, opt);
+  state.counters["constraints"] = static_cast<double>(r.num_constraints);
+  state.counters["objective"] = r.objective;
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_DPhaseSolver, c432_network_simplex, "c432",
+                  FlowSolver::kNetworkSimplex);
+BENCHMARK_CAPTURE(BM_DPhaseSolver, c432_ssp, "c432", FlowSolver::kSsp);
+BENCHMARK_CAPTURE(BM_DPhaseSolver, c432_cycle_canceling, "c432",
+                  FlowSolver::kCycleCanceling);
+BENCHMARK_CAPTURE(BM_DPhaseSolver, c880_network_simplex, "c880",
+                  FlowSolver::kNetworkSimplex);
+BENCHMARK_CAPTURE(BM_DPhaseSolver, c880_ssp, "c880", FlowSolver::kSsp);
+BENCHMARK_CAPTURE(BM_DPhaseSolver, c1355_network_simplex, "c1355",
+                  FlowSolver::kNetworkSimplex);
+BENCHMARK_CAPTURE(BM_DPhaseSolver, c1355_ssp, "c1355", FlowSolver::kSsp);
+BENCHMARK_CAPTURE(BM_DPhaseSolver, c2670_network_simplex, "c2670",
+                  FlowSolver::kNetworkSimplex);
+
+BENCHMARK_MAIN();

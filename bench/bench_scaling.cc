@@ -1,0 +1,48 @@
+// Run-time scaling (paper §1/§3 claim: both phases behave near-linearly in
+// circuit size, comparable to TILOS). Sweeps ripple-carry adders 32..256
+// bits and layered random logic 250..4000 gates, timing TILOS alone and the
+// full MINFLOTRANSIT loop at a fixed relative delay target.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/str.h"
+#include "util/table.h"
+
+using namespace mft;
+using namespace mft::bench;
+
+namespace {
+
+void row(Table& t, const std::string& label, const Netlist& nl) {
+  const LoweredCircuit lc = lower_gate_level(nl, Tech{});
+  const double dmin = min_sized_delay(lc.net);
+  const double floor_d = run_tilos(lc.net, 0.05 * dmin).achieved_delay;
+  const double target = floor_d + 0.3 * (dmin - floor_d);
+  const MinflotransitResult r = run_minflotransit(lc.net, target);
+  t.add_row({label, std::to_string(nl.num_logic_gates()),
+             strf("%.3fs", r.tilos_seconds), strf("%.3fs", r.total_seconds),
+             strf("%.2fx", r.total_seconds / std::max(1e-9, r.tilos_seconds)),
+             strf("%.1f%%", r.initial.met_target && r.met_target
+                                ? 100.0 * (1.0 - r.area / r.initial.area)
+                                : 0.0)});
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Run-time scaling: TILOS vs full MINFLOTRANSIT\n\n");
+  Table t({"circuit", "# gates", "CPU TILOS", "CPU MFT total", "ratio",
+           "savings"});
+  for (int bits : {32, 64, 128, 256})
+    row(t, "adder" + std::to_string(bits), make_ripple_adder(bits));
+  for (int gates : {250, 500, 1000, 2000, 4000}) {
+    RandomLogicParams p;
+    p.num_inputs = 32;
+    p.num_gates = gates;
+    p.seed = 7;
+    row(t, "rnd" + std::to_string(gates), make_random_logic(p));
+  }
+  std::printf("%s\nCSV:\n%s", t.to_text().c_str(), t.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Table 1: area savings of MINFLOTRANSIT over TILOS and the CPU
+// time of both, for ripple-carry adders and the ten ISCAS85 analogs, at
+// delay specs calibrated so the TILOS area penalty sits in the paper's
+// 1.5–1.75× band (§3). Expected shape (not absolute numbers): savings ≈1%
+// on adders, 2–17% elsewhere, largest on c6288; MINFLOTRANSIT total time
+// within ~2–4× of TILOS.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/str.h"
+#include "util/table.h"
+
+using namespace mft;
+using namespace mft::bench;
+
+int main() {
+  const std::vector<std::string> circuits = {
+      "adder32", "adder256", "c432",  "c499",  "c880",  "c1355",
+      "c1908",   "c2670",    "c3540", "c5315", "c6288", "c7552"};
+
+  Table table({"Circuit", "# Gates", "Area savings over TILOS", "Delay spec",
+               "CPU (TILOS)", "CPU (OURS)", "TILOS area/min", "MFT area/min"});
+
+  std::printf("Table 1: MINFLOTRANSIT vs TILOS at calibrated delay specs\n");
+  std::printf("(paper: UltraSPARC-10 seconds; here: this machine)\n\n");
+  for (const std::string& name : circuits) {
+    const Netlist nl = load_circuit(name);
+    const LoweredCircuit lc = lower_gate_level(nl, Tech{});
+    const double min_area = lc.net.area(lc.net.min_sizes());
+    const CalibratedTarget cal = calibrate_target(lc.net);
+
+    const MinflotransitResult r = run_minflotransit(lc.net, cal.target);
+    const double savings =
+        r.initial.met_target && r.met_target
+            ? 100.0 * (1.0 - r.area / r.initial.area)
+            : 0.0;
+    table.add_row({name, std::to_string(nl.num_logic_gates()),
+                   strf("%.1f%%", savings),
+                   strf("%.2f Dmin", cal.target / cal.dmin),
+                   strf("%.2fs", r.tilos_seconds),
+                   strf("%.2fs", r.total_seconds),
+                   strf("%.2f", r.initial.area / min_area),
+                   strf("%.2f", r.area / min_area)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("CSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,142 @@
+// mft_cli — the full command-line face of the sizer, the entry point a
+// downstream user would script against.
+//
+// Usage:
+//   mft_cli --circuit c6288 --target-ratio 0.7 [options]
+//   mft_cli --bench path/to/file.bench --target-ratio 0.6 --granularity transistor
+//
+// Options:
+//   --circuit NAME        built-in circuit: c17, adderN, c432..c7552 analogs
+//   --bench PATH          read an ISCAS85 .bench file instead
+//   --target-ratio R      delay target as a fraction of Dmin (default 0.6)
+//   --granularity G       gate | transistor (default gate)
+//   --wires               co-size wires (gate granularity only)
+//   --tilos-only          stop after the TILOS baseline
+//   --beta B              D-phase trust bound (default 0.25)
+//   --bumpsize B          TILOS bump factor (default 1.1)
+//   --csv PATH            write the per-element sizing CSV
+//   --histogram           print the size histogram
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "gen/blocks.h"
+#include "gen/iscas_analog.h"
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+#include "netlist/stats.h"
+#include "sizing/report.h"
+#include "timing/lowering.h"
+
+using namespace mft;
+
+namespace {
+
+struct Args {
+  std::string circuit = "c17";
+  std::string bench_path;
+  std::string csv_path;
+  std::string granularity = "gate";
+  double target_ratio = 0.6;
+  double beta = 0.25;
+  double bumpsize = 1.1;
+  bool wires = false;
+  bool tilos_only = false;
+  bool histogram = false;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "error: %s\nsee the header of examples/mft_cli.cpp\n",
+               msg);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string f = argv[i];
+    if (f == "--circuit") a.circuit = value(i);
+    else if (f == "--bench") a.bench_path = value(i);
+    else if (f == "--target-ratio") a.target_ratio = std::atof(value(i));
+    else if (f == "--granularity") a.granularity = value(i);
+    else if (f == "--wires") a.wires = true;
+    else if (f == "--tilos-only") a.tilos_only = true;
+    else if (f == "--beta") a.beta = std::atof(value(i));
+    else if (f == "--bumpsize") a.bumpsize = std::atof(value(i));
+    else if (f == "--csv") a.csv_path = value(i);
+    else if (f == "--histogram") a.histogram = true;
+    else usage(("unknown flag " + f).c_str());
+  }
+  if (a.target_ratio <= 0.0 || a.target_ratio > 2.0)
+    usage("--target-ratio out of (0, 2]");
+  if (a.granularity != "gate" && a.granularity != "transistor")
+    usage("--granularity must be gate or transistor");
+  if (a.wires && a.granularity != "gate")
+    usage("--wires needs --granularity gate");
+  return a;
+}
+
+Netlist build_circuit(const Args& a) {
+  if (!a.bench_path.empty()) return read_bench_file(a.bench_path);
+  if (a.circuit == "c17") return make_c17();
+  if (a.circuit.rfind("adder", 0) == 0)
+    return make_ripple_adder(std::atoi(a.circuit.c_str() + 5));
+  return make_iscas_analog(a.circuit);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  Netlist nl = build_circuit(args);
+  std::printf("circuit %s: %s\n", nl.name().c_str(),
+              to_string(compute_stats(nl)).c_str());
+
+  if (args.granularity == "transistor" && !nl.is_primitive_only()) {
+    std::printf("tech-mapping composites to NAND/NOR/NOT for transistor "
+                "sizing...\n");
+    nl = tech_map_to_primitives(nl);
+  }
+  GateLoweringOptions gopt;
+  gopt.size_wires = args.wires;
+  LoweredCircuit lc = args.granularity == "transistor"
+                          ? lower_transistor_level(nl, Tech{})
+                          : lower_gate_level(nl, Tech{}, gopt);
+  const double dmin = min_sized_delay(lc.net);
+  const double target = args.target_ratio * dmin;
+  std::printf("%d sizeable elements, Dmin = %.3f, target = %.3f (%.2f Dmin)\n\n",
+              lc.net.num_sizeable(), dmin, target, args.target_ratio);
+
+  MinflotransitOptions opt;
+  opt.dphase.beta = args.beta;
+  opt.tilos.bumpsize = args.bumpsize;
+  if (args.tilos_only) opt.max_iterations = 0;
+
+  const MinflotransitResult r = run_minflotransit(lc.net, target, opt);
+  if (!r.initial.met_target) {
+    std::printf("TARGET UNREACHABLE: best achievable delay %.4f (%.2f Dmin)\n",
+                r.initial.achieved_delay, r.initial.achieved_delay / dmin);
+    return 1;
+  }
+  std::printf("%s\n%s", compare_report(lc.net, r).c_str(),
+              timing_summary(lc.net, r.sizes).c_str());
+  if (args.histogram)
+    std::printf("\nsize histogram (xminimum size):\n%s",
+                size_histogram(lc.net, r.sizes).c_str());
+  if (!args.csv_path.empty()) {
+    std::ofstream f(args.csv_path);
+    if (!f.good()) {
+      std::fprintf(stderr, "cannot write %s\n", args.csv_path.c_str());
+      return 1;
+    }
+    f << sizing_csv(lc.net, r.sizes);
+    std::printf("\nwrote %s\n", args.csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Domain scenario 1: the paper's headline case. Array multipliers (c6288's
+// function class) have thousands of competing reconvergent near-critical
+// paths, which defeats TILOS's greedy one-transistor-at-a-time strategy —
+// exactly where the D-phase's global slack redistribution pays off.
+//
+// Sizes an 8x8 Braun multiplier across three delay targets and shows the
+// widening MINFLOTRANSIT-vs-TILOS gap.
+#include <cstdio>
+
+#include "gen/blocks.h"
+#include "netlist/stats.h"
+#include "sizing/minflotransit.h"
+#include "timing/lowering.h"
+
+using namespace mft;
+
+int main() {
+  Netlist nl = make_array_multiplier(8);
+  std::printf("%s: %s\n", nl.name().c_str(),
+              to_string(compute_stats(nl)).c_str());
+
+  LoweredCircuit lc = lower_gate_level(nl, Tech{});
+  const double dmin = min_sized_delay(lc.net);
+  const double floor_d = run_tilos(lc.net, 0.05 * dmin).achieved_delay;
+  std::printf("Dmin = %.1f, sizing floor = %.2f Dmin\n\n", dmin,
+              floor_d / dmin);
+
+  std::printf("%-12s %-14s %-14s %-9s %s\n", "target", "TILOS area",
+              "MFT area", "savings", "iterations");
+  for (double lambda : {0.6, 0.3, 0.1}) {
+    const double target = floor_d + lambda * (dmin - floor_d);
+    const MinflotransitResult r = run_minflotransit(lc.net, target);
+    if (!r.initial.met_target) continue;
+    std::printf("%5.2f Dmin   %-14.1f %-14.1f %6.2f%%   %zu\n", target / dmin,
+                r.initial.area, r.area,
+                100.0 * (1.0 - r.area / r.initial.area), r.iterations.size());
+  }
+  std::printf("\nThe gap widens as the target tightens: with many "
+              "simultaneously-critical paths,\ngreedy bumping oversizes "
+              "whole cones that the min-cost-flow budget shift avoids.\n");
+  return 0;
+}

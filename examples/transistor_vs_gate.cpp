@@ -1,0 +1,58 @@
+// Domain scenario 3: true transistor sizing vs the relaxed gate-sizing
+// problem (paper feature 2). The same netlist is lowered at both
+// granularities and sized to equivalent relative targets; transistor
+// sizing can size the two planes and the positions within a stack
+// independently, which gate sizing cannot express.
+#include <cstdio>
+
+#include "gen/blocks.h"
+#include "sizing/minflotransit.h"
+#include "timing/lowering.h"
+
+using namespace mft;
+
+namespace {
+
+void report(const char* label, const LoweredCircuit& lc) {
+  const double dmin = min_sized_delay(lc.net);
+  const double floor_d = run_tilos(lc.net, 0.05 * dmin).achieved_delay;
+  const double target = floor_d + 0.3 * (dmin - floor_d);
+  const MinflotransitResult r = run_minflotransit(lc.net, target);
+  std::printf("%-18s %5d sizeable vertices | target %.2f Dmin | TILOS %8.1f "
+              "| MFT %8.1f | %5.2f%% saved | %zu iters\n",
+              label, lc.net.num_sizeable(), target / dmin, r.initial.area,
+              r.area, 100.0 * (1.0 - r.area / r.initial.area),
+              r.iterations.size());
+}
+
+}  // namespace
+
+int main() {
+  Netlist nl = make_ripple_adder(8);
+  std::printf("circuit: %s (%d NAND gates)\n\n", nl.name().c_str(),
+              nl.num_logic_gates());
+
+  report("gate sizing", lower_gate_level(nl, Tech{}));
+  report("transistor sizing", lower_transistor_level(nl, Tech{}));
+
+  // Show the intra-gate freedom transistor sizing exploits: in a sized
+  // NAND2 stack, the output-side and rail-side NMOS need not match.
+  LoweredCircuit lc = lower_transistor_level(nl, Tech{});
+  const double dmin = min_sized_delay(lc.net);
+  const MinflotransitResult r = run_minflotransit(lc.net, 0.6 * dmin);
+  int shown = 0;
+  std::printf("\nsample per-transistor sizes (output-side n0 vs rail-side n1):\n");
+  for (NodeId v = 0; v + 1 < lc.net.num_vertices() && shown < 5; ++v) {
+    const auto& name = lc.net.vertex(v).name;
+    if (name.size() > 3 && name.substr(name.size() - 3) == "_n0") {
+      const auto& next = lc.net.vertex(v + 1).name;
+      if (next.substr(next.size() - 3) == "_n1") {
+        std::printf("  %-14s %5.2f   %-14s %5.2f\n", name.c_str(),
+                    r.sizes[static_cast<std::size_t>(v)], next.c_str(),
+                    r.sizes[static_cast<std::size_t>(v) + 1]);
+        ++shown;
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,376 @@
+#include "gen/blocks.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace mft {
+
+Netlist make_c17() {
+  // The canonical ISCAS85 c17: 5 inputs, 2 outputs, 6 NAND2 gates.
+  Netlist nl("c17");
+  const GateId g1 = nl.add_input("G1");
+  const GateId g2 = nl.add_input("G2");
+  const GateId g3 = nl.add_input("G3");
+  const GateId g6 = nl.add_input("G6");
+  const GateId g7 = nl.add_input("G7");
+  const GateId g10 = nl.add_gate(GateKind::kNand, "G10", {g1, g3});
+  const GateId g11 = nl.add_gate(GateKind::kNand, "G11", {g3, g6});
+  const GateId g16 = nl.add_gate(GateKind::kNand, "G16", {g2, g11});
+  const GateId g19 = nl.add_gate(GateKind::kNand, "G19", {g11, g7});
+  const GateId g22 = nl.add_gate(GateKind::kNand, "G22", {g10, g16});
+  const GateId g23 = nl.add_gate(GateKind::kNand, "G23", {g16, g19});
+  nl.mark_output(g22);
+  nl.mark_output(g23);
+  return nl;
+}
+
+GateId add_xor2_nand(Netlist& nl, GateId a, GateId b,
+                     const std::string& prefix) {
+  const GateId t1 = nl.add_gate(GateKind::kNand, prefix + "_t1", {a, b});
+  const GateId t2 = nl.add_gate(GateKind::kNand, prefix + "_t2", {a, t1});
+  const GateId t3 = nl.add_gate(GateKind::kNand, prefix + "_t3", {b, t1});
+  return nl.add_gate(GateKind::kNand, prefix + "_x", {t2, t3});
+}
+
+AdderBits add_full_adder_nand(Netlist& nl, GateId a, GateId b, GateId cin,
+                              const std::string& prefix) {
+  // Classic 9-NAND full adder; t1 = !(a·b) is shared by both halves.
+  const GateId t1 = nl.add_gate(GateKind::kNand, prefix + "_t1", {a, b});
+  const GateId t2 = nl.add_gate(GateKind::kNand, prefix + "_t2", {a, t1});
+  const GateId t3 = nl.add_gate(GateKind::kNand, prefix + "_t3", {b, t1});
+  const GateId x = nl.add_gate(GateKind::kNand, prefix + "_x", {t2, t3});
+  const GateId t5 = nl.add_gate(GateKind::kNand, prefix + "_t5", {x, cin});
+  const GateId t6 = nl.add_gate(GateKind::kNand, prefix + "_t6", {x, t5});
+  const GateId t7 = nl.add_gate(GateKind::kNand, prefix + "_t7", {cin, t5});
+  const GateId sum = nl.add_gate(GateKind::kNand, prefix + "_s", {t6, t7});
+  const GateId cout = nl.add_gate(GateKind::kNand, prefix + "_c", {t5, t1});
+  return {sum, cout};
+}
+
+AdderBits add_half_adder_nand(Netlist& nl, GateId a, GateId b,
+                              const std::string& prefix) {
+  const GateId t1 = nl.add_gate(GateKind::kNand, prefix + "_t1", {a, b});
+  const GateId t2 = nl.add_gate(GateKind::kNand, prefix + "_t2", {a, t1});
+  const GateId t3 = nl.add_gate(GateKind::kNand, prefix + "_t3", {b, t1});
+  const GateId sum = nl.add_gate(GateKind::kNand, prefix + "_s", {t2, t3});
+  const GateId cout = nl.add_gate(GateKind::kNot, prefix + "_c", {t1});
+  return {sum, cout};
+}
+
+GateId add_mux2_nand(Netlist& nl, GateId a, GateId b, GateId sel,
+                     const std::string& prefix) {
+  const GateId ns = nl.add_gate(GateKind::kNot, prefix + "_ns", {sel});
+  const GateId ta = nl.add_gate(GateKind::kNand, prefix + "_ta", {a, ns});
+  const GateId tb = nl.add_gate(GateKind::kNand, prefix + "_tb", {b, sel});
+  return nl.add_gate(GateKind::kNand, prefix + "_m", {ta, tb});
+}
+
+Netlist make_ripple_adder(int bits) {
+  MFT_CHECK(bits >= 1);
+  Netlist nl("adder" + std::to_string(bits));
+  std::vector<GateId> a(static_cast<std::size_t>(bits));
+  std::vector<GateId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i)
+    a[static_cast<std::size_t>(i)] = nl.add_input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i)
+    b[static_cast<std::size_t>(i)] = nl.add_input("b" + std::to_string(i));
+  GateId carry = nl.add_input("cin");
+  for (int i = 0; i < bits; ++i) {
+    const AdderBits fa =
+        add_full_adder_nand(nl, a[static_cast<std::size_t>(i)],
+                            b[static_cast<std::size_t>(i)], carry,
+                            "fa" + std::to_string(i));
+    nl.mark_output(fa.sum);
+    carry = fa.cout;
+  }
+  nl.mark_output(carry);
+  return nl;
+}
+
+Netlist make_array_multiplier(int bits) {
+  MFT_CHECK(bits >= 2);
+  const int n = bits;
+  Netlist nl("mult" + std::to_string(n) + "x" + std::to_string(n));
+  std::vector<GateId> a(static_cast<std::size_t>(n));
+  std::vector<GateId> b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    a[static_cast<std::size_t>(i)] = nl.add_input("a" + std::to_string(i));
+  for (int i = 0; i < n; ++i)
+    b[static_cast<std::size_t>(i)] = nl.add_input("b" + std::to_string(i));
+
+  // Partial products pp[j][i] = a_i AND b_j (NAND + NOT).
+  auto pp = [&](int j, int i) -> GateId {
+    const std::string base = strf("pp_%d_%d", j, i);
+    const GateId nandg = nl.add_gate(
+        GateKind::kNand, base + "_n",
+        {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(j)]});
+    return nl.add_gate(GateKind::kNot, base, {nandg});
+  };
+
+  std::vector<GateId> result;
+  // Row 0 seeds the accumulator (positions 0..n-1).
+  std::vector<GateId> acc(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) acc[static_cast<std::size_t>(i)] = pp(0, i);
+  result.push_back(acc.front());
+  acc.erase(acc.begin());  // remaining positions 1..n-1
+
+  for (int j = 1; j < n; ++j) {
+    // acc covers positions j..j+acc.size()-1; add row j (positions j..j+n-1).
+    std::vector<GateId> sums;
+    sums.reserve(static_cast<std::size_t>(n) + 1);
+    GateId carry = kInvalidGate;
+    for (int i = 0; i < n; ++i) {
+      const GateId p = pp(j, i);
+      const GateId addend =
+          i < static_cast<int>(acc.size()) ? acc[static_cast<std::size_t>(i)]
+                                           : kInvalidGate;
+      const std::string prefix = strf("add_%d_%d", j, i);
+      AdderBits out{};
+      if (i == 0) {
+        MFT_CHECK(addend != kInvalidGate);
+        out = add_half_adder_nand(nl, p, addend, prefix);
+      } else if (addend != kInvalidGate) {
+        out = add_full_adder_nand(nl, p, addend, carry, prefix);
+      } else {
+        out = add_half_adder_nand(nl, p, carry, prefix);
+      }
+      sums.push_back(out.sum);
+      carry = out.cout;
+    }
+    sums.push_back(carry);  // position j+n
+    result.push_back(sums.front());
+    acc.assign(sums.begin() + 1, sums.end());
+  }
+  for (GateId g : acc) result.push_back(g);
+  MFT_CHECK(static_cast<int>(result.size()) == 2 * n);
+  for (GateId g : result) nl.mark_output(g);
+  return nl;
+}
+
+Netlist make_parity_sec(int data_bits) {
+  MFT_CHECK(data_bits >= 4);
+  const int n = data_bits;
+  // Number of check bits: smallest k with 2^k >= n + k + 1 (Hamming-ish).
+  int k = 1;
+  while ((1 << k) < n + k + 1) ++k;
+
+  Netlist nl("sec" + std::to_string(n));
+  std::vector<GateId> data(static_cast<std::size_t>(n));
+  std::vector<GateId> check(static_cast<std::size_t>(k));
+  for (int i = 0; i < n; ++i)
+    data[static_cast<std::size_t>(i)] = nl.add_input("d" + std::to_string(i));
+  for (int i = 0; i < k; ++i)
+    check[static_cast<std::size_t>(i)] = nl.add_input("c" + std::to_string(i));
+
+  // Balanced XOR2 reduction tree (the real c499 is multi-level XOR too;
+  // a single wide variadic XOR cell would have unrealistic drive effort).
+  auto xor_tree = [&](std::vector<GateId> layer, const std::string& base) {
+    int lvl = 0;
+    while (layer.size() > 1) {
+      std::vector<GateId> next;
+      for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+        next.push_back(nl.add_gate(GateKind::kXor,
+                                   strf("%s_%d_%zu", base.c_str(), lvl, i),
+                                   {layer[i], layer[i + 1]}));
+      if (layer.size() % 2) next.push_back(layer.back());
+      layer = std::move(next);
+      ++lvl;
+    }
+    return layer.front();
+  };
+
+  // Syndrome bit s_j = parity of data bits whose (1-based Hamming position)
+  // has bit j set, XORed with the received check bit.
+  std::vector<GateId> syndrome(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    std::vector<GateId> members{check[static_cast<std::size_t>(j)]};
+    for (int i = 0; i < n; ++i)
+      if (((i + 1) >> j) & 1) members.push_back(data[static_cast<std::size_t>(i)]);
+    syndrome[static_cast<std::size_t>(j)] =
+        xor_tree(std::move(members), "syn" + std::to_string(j));
+  }
+  // Decode: flip_i = AND over syndrome bits matching position i+1, with
+  // complemented syndrome bits where the position bit is 0.
+  std::vector<GateId> nsyn(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j)
+    nsyn[static_cast<std::size_t>(j)] = nl.add_gate(
+        GateKind::kNot, "nsyn" + std::to_string(j),
+        {syndrome[static_cast<std::size_t>(j)]});
+  for (int i = 0; i < n; ++i) {
+    std::vector<GateId> terms;
+    for (int j = 0; j < k; ++j)
+      terms.push_back((((i + 1) >> j) & 1)
+                          ? syndrome[static_cast<std::size_t>(j)]
+                          : nsyn[static_cast<std::size_t>(j)]);
+    const GateId flip =
+        nl.add_gate(GateKind::kAnd, "flip" + std::to_string(i), std::move(terms));
+    const GateId corrected = nl.add_gate(
+        GateKind::kXor, "o" + std::to_string(i),
+        {data[static_cast<std::size_t>(i)], flip});
+    nl.mark_output(corrected);
+  }
+  return nl;
+}
+
+Netlist make_mux_tree(int sel_bits) {
+  MFT_CHECK(sel_bits >= 1 && sel_bits <= 10);
+  Netlist nl("mux" + std::to_string(1 << sel_bits));
+  std::vector<GateId> sel(static_cast<std::size_t>(sel_bits));
+  for (int i = 0; i < sel_bits; ++i)
+    sel[static_cast<std::size_t>(i)] = nl.add_input("s" + std::to_string(i));
+  std::vector<GateId> layer(static_cast<std::size_t>(1 << sel_bits));
+  for (int i = 0; i < (1 << sel_bits); ++i)
+    layer[static_cast<std::size_t>(i)] = nl.add_input("d" + std::to_string(i));
+  for (int level = 0; level < sel_bits; ++level) {
+    std::vector<GateId> next(layer.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i)
+      next[i] = add_mux2_nand(nl, layer[2 * i], layer[2 * i + 1],
+                              sel[static_cast<std::size_t>(level)],
+                              strf("m_%d_%zu", level, i));
+    layer = std::move(next);
+  }
+  nl.mark_output(layer.front());
+  return nl;
+}
+
+Netlist make_comparator(int bits) {
+  MFT_CHECK(bits >= 1);
+  Netlist nl("cmp" + std::to_string(bits));
+  std::vector<GateId> a(static_cast<std::size_t>(bits));
+  std::vector<GateId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i)
+    a[static_cast<std::size_t>(i)] = nl.add_input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i)
+    b[static_cast<std::size_t>(i)] = nl.add_input("b" + std::to_string(i));
+
+  // eq_i = !(a_i ^ b_i), gt chain: gt_i = a_i·!b_i + eq_i·gt_{i-1}.
+  GateId gt = kInvalidGate;
+  std::vector<GateId> eqs;
+  for (int i = 0; i < bits; ++i) {
+    const std::string p = "bit" + std::to_string(i);
+    const GateId x = add_xor2_nand(nl, a[static_cast<std::size_t>(i)],
+                                   b[static_cast<std::size_t>(i)], p + "_x");
+    const GateId eq = nl.add_gate(GateKind::kNot, p + "_eq", {x});
+    eqs.push_back(eq);
+    const GateId nb =
+        nl.add_gate(GateKind::kNot, p + "_nb", {b[static_cast<std::size_t>(i)]});
+    const GateId anb = nl.add_gate(GateKind::kNand, p + "_anb",
+                                   {a[static_cast<std::size_t>(i)], nb});
+    if (gt == kInvalidGate) {
+      gt = nl.add_gate(GateKind::kNot, p + "_gt", {anb});
+    } else {
+      const GateId keep = nl.add_gate(GateKind::kNand, p + "_keep", {eq, gt});
+      gt = nl.add_gate(GateKind::kNand, p + "_gt", {anb, keep});
+    }
+  }
+  // Equality AND tree built from NAND/NOT pairs.
+  std::vector<GateId> layer = std::move(eqs);
+  int lvl = 0;
+  while (layer.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const std::string p = strf("eqt_%d_%zu", lvl, i);
+      const GateId nd =
+          nl.add_gate(GateKind::kNand, p + "_n", {layer[i], layer[i + 1]});
+      next.push_back(nl.add_gate(GateKind::kNot, p, {nd}));
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+    ++lvl;
+  }
+  nl.mark_output(layer.front());  // a == b
+  nl.mark_output(gt);             // a > b
+  return nl;
+}
+
+Netlist make_alu(int bits) {
+  MFT_CHECK(bits >= 1);
+  Netlist nl("alu" + std::to_string(bits));
+  std::vector<GateId> a(static_cast<std::size_t>(bits));
+  std::vector<GateId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i)
+    a[static_cast<std::size_t>(i)] = nl.add_input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i)
+    b[static_cast<std::size_t>(i)] = nl.add_input("b" + std::to_string(i));
+  const GateId op0 = nl.add_input("op0");
+  const GateId op1 = nl.add_input("op1");
+  GateId carry = nl.add_input("cin");
+
+  for (int i = 0; i < bits; ++i) {
+    const std::string p = "s" + std::to_string(i);
+    const GateId ai = a[static_cast<std::size_t>(i)];
+    const GateId bi = b[static_cast<std::size_t>(i)];
+    const AdderBits fa = add_full_adder_nand(nl, ai, bi, carry, p + "_fa");
+    carry = fa.cout;
+    const GateId andn = nl.add_gate(GateKind::kNand, p + "_andn", {ai, bi});
+    const GateId andg = nl.add_gate(GateKind::kNot, p + "_and", {andn});
+    const GateId orn = nl.add_gate(GateKind::kNor, p + "_orn", {ai, bi});
+    const GateId org = nl.add_gate(GateKind::kNot, p + "_or", {orn});
+    const GateId xorg = add_xor2_nand(nl, ai, bi, p + "_xor");
+    // Result mux: op1 chooses between {add,and} and {or,xor}; op0 within.
+    const GateId m0 = add_mux2_nand(nl, fa.sum, andg, op0, p + "_m0");
+    const GateId m1 = add_mux2_nand(nl, org, xorg, op0, p + "_m1");
+    const GateId out = add_mux2_nand(nl, m0, m1, op1, p + "_out");
+    nl.mark_output(out);
+  }
+  nl.mark_output(carry);
+  return nl;
+}
+
+namespace {
+
+GateKind random_kind(Rng& rng) {
+  // Weighted toward NAND/NOR as in the ISCAS85 suite.
+  const int roll = rng.uniform_int(0, 9);
+  if (roll < 4) return GateKind::kNand;
+  if (roll < 7) return GateKind::kNor;
+  if (roll < 8) return GateKind::kNot;
+  if (roll < 9) return GateKind::kAnd;
+  return GateKind::kOr;
+}
+
+}  // namespace
+
+void pad_with_random_logic(Netlist& nl, int target_logic_gates, Rng& rng) {
+  if (nl.num_logic_gates() >= target_logic_gates) return;
+  // Candidate signals to draw fanins from, freshest last.
+  std::vector<GateId> pool;
+  for (GateId g = 0; g < nl.num_gates(); ++g) pool.push_back(g);
+  int serial = 0;
+  while (nl.num_logic_gates() < target_logic_gates) {
+    const GateKind kind = random_kind(rng);
+    const int arity = kind == GateKind::kNot ? 1 : rng.decaying_int(2, 4, 0.3);
+    std::vector<GateId> fanins;
+    for (int i = 0; i < arity; ++i) {
+      // Locality bias: prefer recent signals, fall back anywhere.
+      const std::size_t window = std::min<std::size_t>(pool.size(), 64);
+      const std::size_t idx = rng.flip(0.7)
+                                  ? pool.size() - 1 - rng.index(window)
+                                  : rng.index(pool.size());
+      const GateId cand = pool[idx];
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+        fanins.push_back(cand);
+    }
+    if (fanins.empty()) continue;
+    const GateId g =
+        nl.add_gate(kind, "rnd" + std::to_string(serial++), std::move(fanins));
+    pool.push_back(g);
+  }
+  // Close the interface: everything still dangling becomes a PO.
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    if (!nl.is_input(g) && !nl.is_output(g) && nl.fanouts(g).empty())
+      nl.mark_output(g);
+}
+
+Netlist make_random_logic(const RandomLogicParams& params) {
+  MFT_CHECK(params.num_inputs >= 2 && params.num_gates >= 1);
+  Rng rng(params.seed);
+  Netlist nl("rnd" + std::to_string(params.num_gates));
+  for (int i = 0; i < params.num_inputs; ++i)
+    nl.add_input("i" + std::to_string(i));
+  pad_with_random_logic(nl, params.num_gates, rng);
+  return nl;
+}
+
+}  // namespace mft

@@ -1,0 +1,88 @@
+// Structural circuit generators.
+//
+// The paper evaluates on ripple-carry adders (32–256 bit) and the ISCAS85
+// suite. The genuine ISCAS85 netlists are not distributable with this
+// repository, so src/gen builds *structural analogs*: real arithmetic and
+// control blocks (the same function classes as the originals) sized to the
+// published gate counts. See DESIGN.md §3 for the substitution argument and
+// iscas_analog.h for the per-circuit recipes. All generators are
+// deterministic given their seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace mft {
+
+/// The well-known 6-NAND c17 benchmark, reproduced exactly.
+Netlist make_c17();
+
+/// Ripple-carry adder from 9-NAND full adders (primitive-only netlist).
+/// Inputs a0..aN-1, b0..bN-1, cin; outputs s0..sN-1, cout.
+/// 9 NAND gates per bit.
+Netlist make_ripple_adder(int bits);
+
+/// Unsigned n×n Braun array multiplier from NAND/NOT primitives
+/// (AND partial products + full/half adder array). This is the structural
+/// analog of c6288 (a 16×16 array multiplier); for n=16 it has ~2.7k gates
+/// and the same many-reconvergent-paths character the paper calls out.
+Netlist make_array_multiplier(int bits);
+
+/// Single-error-correcting (SEC) style circuit: k overlapping parity
+/// (syndrome) trees over `data_bits` inputs, a decode stage, and XOR
+/// correction of every data bit — the function class of c499/c1355.
+/// Built from XOR/AND/NOT composite cells; tech_map_to_primitives() yields
+/// the "expanded" variant (the c1355 relationship to c499).
+Netlist make_parity_sec(int data_bits);
+
+/// Balanced 2^sel_bits : 1 multiplexer tree from NAND/NOT primitives.
+Netlist make_mux_tree(int sel_bits);
+
+/// n-bit magnitude comparator: equality AND-tree plus a ripple greater-than
+/// chain (function class of the comparator half of c2670/c7552).
+Netlist make_comparator(int bits);
+
+/// Small ALU: n-bit ripple adder, bitwise AND/OR/XOR planes, and a result
+/// mux selected by 2 opcode bits (function class of c880/c3540/c5315).
+Netlist make_alu(int bits);
+
+struct RandomLogicParams {
+  int num_inputs = 16;
+  int num_gates = 200;
+  std::uint64_t seed = 1;
+};
+
+/// Layered random combinational logic with decaying fanin and locality-
+/// biased wiring; every dangling gate becomes a primary output.
+Netlist make_random_logic(const RandomLogicParams& params);
+
+/// Appends random logic on top of an existing netlist's signals until it
+/// has roughly `target_logic_gates` gates (never removes anything).
+/// Newly dangling gates are marked as outputs.
+void pad_with_random_logic(Netlist& nl, int target_logic_gates, Rng& rng);
+
+// --- Composable sub-blocks (shared with iscas_analog) -----------------------
+
+/// 9-NAND full adder appended to `nl`; returns {sum, cout}.
+struct AdderBits {
+  GateId sum;
+  GateId cout;
+};
+AdderBits add_full_adder_nand(Netlist& nl, GateId a, GateId b, GateId cin,
+                              const std::string& prefix);
+
+/// 6-gate half adder (4-NAND XOR + NAND/NOT AND); returns {sum, cout}.
+AdderBits add_half_adder_nand(Netlist& nl, GateId a, GateId b,
+                              const std::string& prefix);
+
+/// 4-NAND XOR2 appended to `nl`.
+GateId add_xor2_nand(Netlist& nl, GateId a, GateId b, const std::string& prefix);
+
+/// 3-NAND + 1-NOT 2:1 mux (out = sel ? b : a).
+GateId add_mux2_nand(Netlist& nl, GateId a, GateId b, GateId sel,
+                     const std::string& prefix);
+
+}  // namespace mft

@@ -1,0 +1,98 @@
+#include "gen/iscas_analog.h"
+
+#include "gen/blocks.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mft {
+namespace {
+
+/// Splices `block` into `nl`: block inputs are driven by fresh PIs, block
+/// outputs become POs. Names are prefixed to stay unique.
+void splice(Netlist& nl, const Netlist& block, const std::string& prefix) {
+  std::vector<GateId> image(static_cast<std::size_t>(block.num_gates()),
+                            kInvalidGate);
+  for (GateId g : block.topological_order()) {
+    const Gate& gate = block.gate(g);
+    if (gate.kind == GateKind::kInput) {
+      image[static_cast<std::size_t>(g)] = nl.add_input(prefix + gate.name);
+      continue;
+    }
+    std::vector<GateId> fanins;
+    fanins.reserve(gate.fanins.size());
+    for (GateId f : gate.fanins)
+      fanins.push_back(image[static_cast<std::size_t>(f)]);
+    image[static_cast<std::size_t>(g)] =
+        nl.add_gate(gate.kind, prefix + gate.name, std::move(fanins));
+  }
+  for (GateId g : block.outputs())
+    nl.mark_output(image[static_cast<std::size_t>(g)]);
+}
+
+}  // namespace
+
+const std::vector<IscasAnalogSpec>& iscas85_specs() {
+  static const std::vector<IscasAnalogSpec> kSpecs = {
+      {"c432", 160, "27-channel interrupt controller (priority/mux)"},
+      {"c499", 202, "32-bit SEC circuit (parity trees)"},
+      {"c880", 383, "8-bit ALU"},
+      {"c1355", 546, "32-bit SEC circuit, XORs expanded to NANDs"},
+      {"c1908", 880, "16-bit SEC/ECAT (parity + decode)"},
+      {"c2670", 1193, "12-bit ALU and controller (comparator-heavy)"},
+      {"c3540", 1669, "8-bit ALU with BCD logic"},
+      {"c5315", 2307, "9-bit ALU with parity and selectors"},
+      {"c6288", 2406, "16x16 array multiplier"},
+      {"c7552", 3512, "32-bit adder/comparator"},
+  };
+  return kSpecs;
+}
+
+Netlist make_iscas_analog(const std::string& name) {
+  Rng rng(0xC0FFEE ^ std::hash<std::string>{}(name));
+  const IscasAnalogSpec* spec = nullptr;
+  for (const IscasAnalogSpec& s : iscas85_specs())
+    if (s.name == name) spec = &s;
+  MFT_CHECK_MSG(spec != nullptr, "unknown ISCAS85 circuit '" << name << "'");
+
+  Netlist nl(name + "_analog");
+  if (name == "c432") {
+    // Priority/interrupt function class: two mux trees over shared selects.
+    splice(nl, make_mux_tree(4), "u0_");
+    splice(nl, make_mux_tree(3), "u1_");
+  } else if (name == "c499") {
+    splice(nl, make_parity_sec(32), "u0_");
+  } else if (name == "c880") {
+    splice(nl, make_alu(8), "u0_");
+  } else if (name == "c1355") {
+    // The real c1355 is c499 with its XOR cells expanded into NAND networks.
+    Netlist mapped = tech_map_to_primitives(make_parity_sec(32));
+    splice(nl, mapped, "u0_");
+  } else if (name == "c1908") {
+    Netlist mapped = tech_map_to_primitives(make_parity_sec(16));
+    splice(nl, mapped, "u0_");
+    splice(nl, make_comparator(8), "u1_");
+  } else if (name == "c2670") {
+    splice(nl, make_comparator(12), "u0_");
+    splice(nl, make_alu(6), "u1_");
+  } else if (name == "c3540") {
+    splice(nl, make_alu(8), "u0_");
+    splice(nl, make_alu(6), "u1_");
+  } else if (name == "c5315") {
+    splice(nl, make_alu(9), "u0_");
+    splice(nl, make_alu(9), "u1_");
+    splice(nl, make_comparator(9), "u2_");
+  } else if (name == "c6288") {
+    // Structural, no padding: the multiplier IS the benchmark.
+    Netlist mult = make_array_multiplier(16);
+    splice(nl, mult, "");
+    return nl;
+  } else if (name == "c7552") {
+    splice(nl, make_ripple_adder(32), "u0_");
+    splice(nl, make_comparator(32), "u1_");
+    splice(nl, make_alu(8), "u2_");
+  }
+  pad_with_random_logic(nl, spec->published_gates, rng);
+  return nl;
+}
+
+}  // namespace mft

@@ -1,0 +1,31 @@
+// ISCAS85-analog circuit table.
+//
+// Each entry maps one benchmark name from the paper's Table 1 to a recipe:
+// a structural core block of the same function class as the original
+// circuit, padded with seeded random logic to the published gate count.
+// The c6288 analog is a genuine 16×16 array multiplier built structurally
+// (no padding) because its many-reconvergent-paths character is exactly
+// what the paper's headline 16.5% result hinges on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace mft {
+
+struct IscasAnalogSpec {
+  std::string name;          ///< paper's circuit name, e.g. "c432"
+  int published_gates;       ///< "# Gates" column of Table 1
+  std::string function;      ///< original circuit's documented function
+};
+
+/// The ten ISCAS85 circuits of Table 1 in paper order.
+const std::vector<IscasAnalogSpec>& iscas85_specs();
+
+/// Builds the analog for `name` ("c432" ... "c7552"). Throws on unknown
+/// names. Deterministic.
+Netlist make_iscas_analog(const std::string& name);
+
+}  // namespace mft

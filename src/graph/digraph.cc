@@ -1,0 +1,92 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace mft {
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+NodeId Digraph::add_nodes(int n) {
+  MFT_CHECK(n >= 0);
+  NodeId first = num_nodes();
+  out_.resize(out_.size() + static_cast<std::size_t>(n));
+  in_.resize(in_.size() + static_cast<std::size_t>(n));
+  return first;
+}
+
+ArcId Digraph::add_arc(NodeId tail, NodeId head) {
+  check_node(tail);
+  check_node(head);
+  ArcId a = num_arcs();
+  tail_.push_back(tail);
+  head_.push_back(head);
+  out_[tail].push_back(a);
+  in_[head].push_back(a);
+  return a;
+}
+
+std::optional<std::vector<NodeId>> Digraph::topological_order() const {
+  std::vector<int> indeg(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) indeg[v] = in_degree(v);
+  // Min-id-first queue for determinism. A plain FIFO would also be
+  // deterministic, but id order makes test expectations readable.
+  std::vector<NodeId> order;
+  order.reserve(num_nodes());
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    if (indeg[v] == 0) ready.push_back(v);
+  while (!ready.empty()) {
+    NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (ArcId a : out_arcs(v)) {
+      NodeId h = head(a);
+      if (--indeg[h] == 0) ready.push_back(h);
+    }
+  }
+  if (static_cast<int>(order.size()) != num_nodes()) return std::nullopt;
+  return order;
+}
+
+std::vector<NodeId> Digraph::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    if (in_degree(v) == 0) out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> Digraph::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    if (out_degree(v) == 0) out.push_back(v);
+  return out;
+}
+
+bool Digraph::reachable(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  if (from == to) return true;
+  std::vector<char> seen(num_nodes(), 0);
+  std::deque<NodeId> queue{from};
+  seen[from] = 1;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (ArcId a : out_arcs(v)) {
+      NodeId h = head(a);
+      if (h == to) return true;
+      if (!seen[h]) {
+        seen[h] = 1;
+        queue.push_back(h);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace mft

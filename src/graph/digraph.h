@@ -1,0 +1,80 @@
+// Generic directed-graph container used for circuit DAGs (paper §2.2) and as
+// the substrate for STA and delay balancing.
+//
+// Nodes and arcs are dense integer ids. Arc lists are stored per node in
+// both directions so that forward (arrival-time) and backward
+// (required-time) sweeps are symmetric.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mft {
+
+using NodeId = std::int32_t;
+using ArcId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr ArcId kInvalidArc = -1;
+
+/// A directed multigraph with dense ids. Parallel arcs and self-loops are
+/// representable (self-loops are rejected by topological_order()).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int num_nodes) { add_nodes(num_nodes); }
+
+  /// Append one node; returns its id.
+  NodeId add_node();
+
+  /// Append `n` nodes; returns the id of the first.
+  NodeId add_nodes(int n);
+
+  /// Append an arc tail -> head; returns its id.
+  ArcId add_arc(NodeId tail, NodeId head);
+
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+  int num_arcs() const { return static_cast<int>(tail_.size()); }
+
+  NodeId tail(ArcId a) const { return tail_[check_arc(a)]; }
+  NodeId head(ArcId a) const { return head_[check_arc(a)]; }
+
+  /// Arc ids leaving `v` / entering `v`.
+  const std::vector<ArcId>& out_arcs(NodeId v) const { return out_[check_node(v)]; }
+  const std::vector<ArcId>& in_arcs(NodeId v) const { return in_[check_node(v)]; }
+
+  int out_degree(NodeId v) const { return static_cast<int>(out_arcs(v).size()); }
+  int in_degree(NodeId v) const { return static_cast<int>(in_arcs(v).size()); }
+
+  /// Kahn topological order over all nodes, or nullopt if the graph has a
+  /// directed cycle. Deterministic: ties broken by node id.
+  std::optional<std::vector<NodeId>> topological_order() const;
+
+  /// True if the graph is a DAG.
+  bool is_dag() const { return topological_order().has_value(); }
+
+  /// Nodes with in-degree 0 / out-degree 0, in id order.
+  std::vector<NodeId> sources() const;
+  std::vector<NodeId> sinks() const;
+
+  /// True if `to` is reachable from `from` (BFS).
+  bool reachable(NodeId from, NodeId to) const;
+
+ private:
+  NodeId check_node(NodeId v) const {
+    MFT_DCHECK(v >= 0 && v < num_nodes());
+    return v;
+  }
+  ArcId check_arc(ArcId a) const {
+    MFT_DCHECK(a >= 0 && a < num_arcs());
+    return a;
+  }
+
+  std::vector<NodeId> tail_, head_;
+  std::vector<std::vector<ArcId>> out_, in_;
+};
+
+}  // namespace mft

@@ -1,0 +1,89 @@
+#include "graph/sp_tree.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mft {
+
+SpTree SpTree::leaf(int pin) {
+  MFT_CHECK(pin >= 0);
+  SpTree t;
+  t.kind_ = SpKind::kLeaf;
+  t.pin_ = pin;
+  return t;
+}
+
+SpTree SpTree::series(std::vector<SpTree> children) {
+  MFT_CHECK(!children.empty());
+  if (children.size() == 1) return std::move(children.front());
+  SpTree t;
+  t.kind_ = SpKind::kSeries;
+  t.children_ = std::move(children);
+  return t;
+}
+
+SpTree SpTree::parallel(std::vector<SpTree> children) {
+  MFT_CHECK(!children.empty());
+  if (children.size() == 1) return std::move(children.front());
+  SpTree t;
+  t.kind_ = SpKind::kParallel;
+  t.children_ = std::move(children);
+  return t;
+}
+
+int SpTree::num_transistors() const {
+  if (kind_ == SpKind::kLeaf) return 1;
+  int n = 0;
+  for (const SpTree& c : children_) n += c.num_transistors();
+  return n;
+}
+
+int SpTree::stack_depth() const {
+  switch (kind_) {
+    case SpKind::kLeaf:
+      return 1;
+    case SpKind::kSeries: {
+      int d = 0;
+      for (const SpTree& c : children_) d += c.stack_depth();
+      return d;
+    }
+    case SpKind::kParallel: {
+      int d = 0;
+      for (const SpTree& c : children_) d = std::max(d, c.stack_depth());
+      return d;
+    }
+  }
+  return 0;  // unreachable
+}
+
+SpTree SpTree::dual() const {
+  if (kind_ == SpKind::kLeaf) return *this;
+  std::vector<SpTree> dual_children;
+  dual_children.reserve(children_.size());
+  for (const SpTree& c : children_) dual_children.push_back(c.dual());
+  return kind_ == SpKind::kSeries ? parallel(std::move(dual_children))
+                                  : series(std::move(dual_children));
+}
+
+std::string SpTree::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case SpKind::kLeaf:
+      os << "p" << pin_;
+      break;
+    case SpKind::kSeries:
+    case SpKind::kParallel: {
+      const char* sep = kind_ == SpKind::kSeries ? "." : "+";
+      os << "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) os << sep;
+        os << children_[i].to_string();
+      }
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mft

@@ -1,0 +1,65 @@
+// Series/parallel transistor-network trees.
+//
+// The paper (§2.1) models every static CMOS gate as a series/parallel
+// network of transistors in the pulldown (NMOS) plane, with the pullup
+// (PMOS) plane as its structural dual. SpTree captures that topology; the
+// transistor-level lowering in src/timing walks it to build the per-gate
+// DAG of Fig. 1 and the Elmore load coefficients of eq. (3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mft {
+
+/// Kind of a series/parallel tree node.
+enum class SpKind {
+  kLeaf,      ///< a single transistor, identified by input-pin index
+  kSeries,    ///< children conduct in series (stacked)
+  kParallel,  ///< children conduct in parallel
+};
+
+/// Immutable series/parallel tree describing one conduction plane of a gate.
+/// Leaves carry the index of the gate input pin that drives the transistor.
+class SpTree {
+ public:
+  /// Build a leaf for input pin `pin`.
+  static SpTree leaf(int pin);
+  /// Build a series composition. Requires >= 1 child.
+  static SpTree series(std::vector<SpTree> children);
+  /// Build a parallel composition. Requires >= 1 child.
+  static SpTree parallel(std::vector<SpTree> children);
+
+  SpKind kind() const { return kind_; }
+  int pin() const {
+    MFT_DCHECK(kind_ == SpKind::kLeaf);
+    return pin_;
+  }
+  const std::vector<SpTree>& children() const { return children_; }
+
+  /// Number of transistors (leaves) in the tree.
+  int num_transistors() const;
+
+  /// Longest series chain length — the worst-case stack depth, which
+  /// bounds how many timing-DAG levels the gate contributes.
+  int stack_depth() const;
+
+  /// Structural dual: series <-> parallel, leaves unchanged. A static CMOS
+  /// gate's pullup plane is the dual of its pulldown plane.
+  SpTree dual() const;
+
+  /// Human-readable form like "(a.(b+c))" for debugging and tests.
+  std::string to_string() const;
+
+ private:
+  SpTree() = default;
+
+  SpKind kind_ = SpKind::kLeaf;
+  int pin_ = -1;
+  std::vector<SpTree> children_;
+};
+
+}  // namespace mft

@@ -1,0 +1,182 @@
+#include "lp/dense_simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mft {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Standard two-phase tableau simplex with Bland's rule, maximizing.
+// Variables are nonnegative; rows are equalities after slack insertion.
+class Tableau {
+ public:
+  // n nonnegative variables, m rows "Ax <= b".
+  Tableau(const std::vector<std::vector<double>>& a,
+          const std::vector<double>& b, const std::vector<double>& c)
+      : m_(static_cast<int>(b.size())), n_(static_cast<int>(c.size())) {
+    // Columns: n structural + m slack. Basis starts as the slacks; rows with
+    // negative b are fixed up by a phase-1 artificial objective.
+    t_.assign(static_cast<std::size_t>(m_ + 1),
+              std::vector<double>(static_cast<std::size_t>(n_ + m_ + 1), 0.0));
+    basis_.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      for (int j = 0; j < n_; ++j) row(i)[static_cast<std::size_t>(j)] = a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      row(i)[static_cast<std::size_t>(n_ + i)] = 1.0;
+      row(i).back() = b[static_cast<std::size_t>(i)];
+      basis_[static_cast<std::size_t>(i)] = n_ + i;
+    }
+    for (int j = 0; j < n_; ++j) obj()[static_cast<std::size_t>(j)] = -c[static_cast<std::size_t>(j)];
+  }
+
+  // Returns false on infeasible/unbounded.
+  bool solve() {
+    if (!make_feasible()) return false;
+    return optimize();
+  }
+
+  double value(int var) const {
+    for (int i = 0; i < m_; ++i)
+      if (basis_[static_cast<std::size_t>(i)] == var) return row_const(i).back();
+    return 0.0;
+  }
+
+ private:
+  std::vector<double>& row(int i) { return t_[static_cast<std::size_t>(i)]; }
+  const std::vector<double>& row_const(int i) const { return t_[static_cast<std::size_t>(i)]; }
+  std::vector<double>& obj() { return t_[static_cast<std::size_t>(m_)]; }
+
+  void pivot(int pr, int pc) {
+    auto& prow = row(pr);
+    const double pv = prow[static_cast<std::size_t>(pc)];
+    for (double& v : prow) v /= pv;
+    for (int i = 0; i <= m_; ++i) {
+      if (i == pr) continue;
+      auto& r = t_[static_cast<std::size_t>(i)];
+      const double f = r[static_cast<std::size_t>(pc)];
+      if (std::abs(f) < kEps) continue;
+      for (std::size_t j = 0; j < r.size(); ++j) r[j] -= f * prow[j];
+    }
+    basis_[static_cast<std::size_t>(pr)] = pc;
+  }
+
+  // Dual-simplex-style repair of negative RHS rows (phase 1).
+  bool make_feasible() {
+    for (int guard = 0; guard < 10000; ++guard) {
+      int pr = -1;
+      for (int i = 0; i < m_; ++i)
+        if (row_const(i).back() < -kEps && (pr == -1 || basis_[static_cast<std::size_t>(i)] < basis_[static_cast<std::size_t>(pr)]))
+          pr = i;
+      if (pr == -1) return true;
+      // Bland: smallest column with a negative row entry.
+      int pc = -1;
+      for (int j = 0; j < n_ + m_; ++j)
+        if (row_const(pr)[static_cast<std::size_t>(j)] < -kEps) {
+          pc = j;
+          break;
+        }
+      if (pc == -1) return false;  // infeasible
+      pivot(pr, pc);
+    }
+    MFT_CHECK_MSG(false, "dense simplex phase-1 did not terminate");
+    return false;
+  }
+
+  bool optimize() {
+    for (int guard = 0; guard < 100000; ++guard) {
+      // Bland: first improving column.
+      int pc = -1;
+      for (int j = 0; j < n_ + m_; ++j)
+        if (obj()[static_cast<std::size_t>(j)] < -kEps) {
+          pc = j;
+          break;
+        }
+      if (pc == -1) return true;  // optimal
+      // Min-ratio row, ties by smallest basis var (Bland).
+      int pr = -1;
+      double best = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        const double a = row_const(i)[static_cast<std::size_t>(pc)];
+        if (a <= kEps) continue;
+        const double ratio = row_const(i).back() / a;
+        if (pr == -1 || ratio < best - kEps) {
+          best = ratio;
+          pr = i;
+        } else if (ratio < best + kEps &&
+                   basis_[static_cast<std::size_t>(i)] <
+                       basis_[static_cast<std::size_t>(pr)]) {
+          pr = i;  // Bland tie-break on the leaving basic variable
+        }
+      }
+      if (pr == -1) return false;  // unbounded
+      pivot(pr, pc);
+    }
+    MFT_CHECK_MSG(false, "dense simplex phase-2 did not terminate");
+    return false;
+  }
+
+  int m_, n_;
+  std::vector<std::vector<double>> t_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+DenseLp::DenseLp(int num_vars) : num_vars_(num_vars) {
+  MFT_CHECK(num_vars >= 0);
+  obj_.assign(static_cast<std::size_t>(num_vars), 0.0);
+}
+
+void DenseLp::add_row(const std::vector<double>& coeff, double rhs) {
+  MFT_CHECK(static_cast<int>(coeff.size()) == num_vars_);
+  rows_.push_back(coeff);
+  rhs_.push_back(rhs);
+}
+
+void DenseLp::add_bounds(int v, double lo, double hi) {
+  MFT_CHECK(v >= 0 && v < num_vars_);
+  std::vector<double> row(static_cast<std::size_t>(num_vars_), 0.0);
+  row[static_cast<std::size_t>(v)] = 1.0;
+  add_row(row, hi);
+  row[static_cast<std::size_t>(v)] = -1.0;
+  add_row(row, -lo);
+}
+
+void DenseLp::set_objective(int v, double coeff) {
+  MFT_CHECK(v >= 0 && v < num_vars_);
+  obj_[static_cast<std::size_t>(v)] = coeff;
+}
+
+std::optional<DenseLp::Solution> DenseLp::solve() const {
+  // Split free variables: x = x+ − x−, both nonnegative.
+  const int n2 = 2 * num_vars_;
+  std::vector<std::vector<double>> a;
+  a.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    std::vector<double> row(static_cast<std::size_t>(n2));
+    for (int v = 0; v < num_vars_; ++v) {
+      row[static_cast<std::size_t>(v)] = r[static_cast<std::size_t>(v)];
+      row[static_cast<std::size_t>(num_vars_ + v)] = -r[static_cast<std::size_t>(v)];
+    }
+    a.push_back(std::move(row));
+  }
+  std::vector<double> c(static_cast<std::size_t>(n2));
+  for (int v = 0; v < num_vars_; ++v) {
+    c[static_cast<std::size_t>(v)] = obj_[static_cast<std::size_t>(v)];
+    c[static_cast<std::size_t>(num_vars_ + v)] = -obj_[static_cast<std::size_t>(v)];
+  }
+  Tableau t(a, rhs_, c);
+  if (!t.solve()) return std::nullopt;
+  Solution sol;
+  sol.x.resize(static_cast<std::size_t>(num_vars_));
+  for (int v = 0; v < num_vars_; ++v) {
+    sol.x[static_cast<std::size_t>(v)] = t.value(v) - t.value(num_vars_ + v);
+    sol.objective += obj_[static_cast<std::size_t>(v)] * sol.x[static_cast<std::size_t>(v)];
+  }
+  return sol;
+}
+
+}  // namespace mft

@@ -1,0 +1,117 @@
+#include "mcf/dual_lp.h"
+
+#include <cmath>
+
+#include "mcf/network_simplex.h"
+#include "mcf/ssp.h"
+
+namespace mft {
+
+const char* to_string(FlowSolver s) {
+  switch (s) {
+    case FlowSolver::kNetworkSimplex:
+      return "network-simplex";
+    case FlowSolver::kSsp:
+      return "ssp";
+    case FlowSolver::kCycleCanceling:
+      return "cycle-canceling";
+  }
+  return "?";
+}
+
+DualFlowLp::DualFlowLp(int num_vars) : num_vars_(num_vars) {
+  MFT_CHECK(num_vars >= 0);
+  fixed_.assign(static_cast<std::size_t>(num_vars), false);
+}
+
+void DualFlowLp::fix_zero(int v) {
+  MFT_CHECK(v >= 0 && v < num_vars_);
+  fixed_[static_cast<std::size_t>(v)] = true;
+}
+
+void DualFlowLp::add_constraint(int a, int b, double w) {
+  MFT_CHECK(a >= 0 && a < num_vars_ && b >= 0 && b < num_vars_);
+  MFT_CHECK_MSG(std::isfinite(w), "constraint bound must be finite");
+  cons_.push_back(Constraint{a, b, w});
+}
+
+void DualFlowLp::add_objective_difference(int plus, int minus, double coeff) {
+  MFT_CHECK(plus >= 0 && plus < num_vars_ && minus >= 0 && minus < num_vars_);
+  MFT_CHECK(std::isfinite(coeff));
+  obj_.push_back(ObjTerm{plus, minus, coeff});
+}
+
+DualFlowLp::Result DualFlowLp::solve(FlowSolver solver, int cost_digits,
+                                     int supply_digits) const {
+  MFT_CHECK(cost_digits >= 0 && cost_digits <= 9);
+  MFT_CHECK(supply_digits >= 0 && supply_digits <= 9);
+  const double cost_scale = std::pow(10.0, cost_digits);
+  const double supply_scale = std::pow(10.0, supply_digits);
+
+  // Flow node per free variable; all fixed variables share one ground node.
+  std::vector<NodeId> node(static_cast<std::size_t>(num_vars_));
+  int next = 0;
+  for (int v = 0; v < num_vars_; ++v)
+    if (!fixed_[static_cast<std::size_t>(v)]) node[static_cast<std::size_t>(v)] = next++;
+  const NodeId ground = next;
+  for (int v = 0; v < num_vars_; ++v)
+    if (fixed_[static_cast<std::size_t>(v)]) node[static_cast<std::size_t>(v)] = ground;
+
+  McfProblem p(next + 1);
+  for (const Constraint& c : cons_) {
+    const NodeId na = node[static_cast<std::size_t>(c.a)];
+    const NodeId nb = node[static_cast<std::size_t>(c.b)];
+    if (na == nb) {
+      // Constraint between two grounded variables (or a variable and
+      // itself): 0 <= w must hold or the LP is infeasible; the D-phase
+      // never produces a violating one, so treat it as a hard error.
+      MFT_CHECK_MSG(c.w >= -1e-12, "infeasible grounded constraint");
+      continue;
+    }
+    // Round *down*: the integerized constraint is then at least as tight as
+    // the real one, so the returned r never violates the true LP.
+    p.add_arc(na, nb, kInfFlow,
+              static_cast<Cost>(std::floor(c.w * cost_scale)));
+  }
+  for (const ObjTerm& t : obj_) {
+    const Flow s = std::llround(t.coeff * supply_scale);
+    if (s == 0) continue;
+    p.add_supply(node[static_cast<std::size_t>(t.plus)], s);
+    p.add_supply(node[static_cast<std::size_t>(t.minus)], -s);
+  }
+
+  McfSolution sol;
+  switch (solver) {
+    case FlowSolver::kNetworkSimplex:
+      sol = solve_network_simplex(p);
+      break;
+    case FlowSolver::kSsp:
+      sol = solve_ssp(p);
+      break;
+    case FlowSolver::kCycleCanceling:
+      sol = solve_cycle_canceling(p);
+      break;
+  }
+
+  Result res;
+  res.flow_status = sol.status;
+  if (sol.status != McfStatus::kOptimal) return res;
+  res.solved = true;
+  res.flow_cost = sol.total_cost;
+
+  // Optimal r: shift potentials so ground sits at exactly 0, then unscale.
+  const Cost base = sol.potential[static_cast<std::size_t>(ground)];
+  res.r.assign(static_cast<std::size_t>(num_vars_), 0.0);
+  for (int v = 0; v < num_vars_; ++v) {
+    const NodeId nv = node[static_cast<std::size_t>(v)];
+    res.r[static_cast<std::size_t>(v)] =
+        static_cast<double>(sol.potential[static_cast<std::size_t>(nv)] - base) /
+        cost_scale;
+  }
+  for (const ObjTerm& t : obj_)
+    res.objective += t.coeff * (res.r[static_cast<std::size_t>(t.plus)] -
+                                res.r[static_cast<std::size_t>(t.minus)]);
+  return res;
+}
+
+}  // namespace mft

@@ -1,0 +1,79 @@
+// The D-phase LP (paper eq. (10)) is a maximization over difference
+// constraints:
+//
+//     maximize   Σ c_k · r_k
+//     subject to r_a − r_b ≤ w_ab          (one per constraint)
+//                r_k = 0 for "grounded" variables (PIs and the dummy
+//                                                  output O, Corollary 1)
+//
+// Its dual is a min-cost network flow: each constraint becomes an
+// uncapacitated arc a→b of cost w_ab, each objective coefficient a node
+// supply, and all grounded variables collapse into one ground node. The
+// optimal node potentials of the flow are an optimal r.
+//
+// Costs and supplies are integerized by decimal scaling exactly as §2.3.1
+// prescribes; objective terms are added as ±pairs so supplies stay balanced
+// after rounding.
+#pragma once
+
+#include <vector>
+
+#include "mcf/mcf.h"
+
+namespace mft {
+
+/// Which flow solver backs the LP. NetworkSimplex is the production choice;
+/// the others exist for cross-checking and the solver-ablation bench.
+enum class FlowSolver { kNetworkSimplex, kSsp, kCycleCanceling };
+
+const char* to_string(FlowSolver s);
+
+/// Builder + solver for the difference-constraint dual LP above.
+class DualFlowLp {
+ public:
+  explicit DualFlowLp(int num_vars);
+
+  /// Pin variable `v` to zero (PIs / dummy output in the D-phase).
+  void fix_zero(int v);
+
+  /// Add constraint  r_a − r_b ≤ w.
+  void add_constraint(int a, int b, double w);
+
+  /// Add objective term  coeff · (r_plus − r_minus), coeff of either sign.
+  /// Keeping the ± pair together guarantees exact supply balance after
+  /// integer scaling.
+  void add_objective_difference(int plus, int minus, double coeff);
+
+  struct Result {
+    bool solved = false;        ///< false => flow infeasible (LP unbounded)
+    McfStatus flow_status = McfStatus::kInfeasible;
+    std::vector<double> r;      ///< optimal variable values (grounded = 0)
+    double objective = 0.0;     ///< Σ c_k r_k at the optimum
+    Cost flow_cost = 0;         ///< integerized flow cost (diagnostics)
+  };
+
+  /// Solve with decimal scaling 10^cost_digits for constraint bounds and
+  /// 10^supply_digits for objective coefficients.
+  Result solve(FlowSolver solver = FlowSolver::kNetworkSimplex,
+               int cost_digits = 4, int supply_digits = 3) const;
+
+  int num_vars() const { return num_vars_; }
+  int num_constraints() const { return static_cast<int>(cons_.size()); }
+
+ private:
+  struct Constraint {
+    int a, b;
+    double w;
+  };
+  struct ObjTerm {
+    int plus, minus;
+    double coeff;
+  };
+
+  int num_vars_;
+  std::vector<bool> fixed_;
+  std::vector<Constraint> cons_;
+  std::vector<ObjTerm> obj_;
+};
+
+}  // namespace mft

@@ -1,0 +1,356 @@
+#include "mcf/network_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mft {
+namespace {
+
+// Arc states. kLower/kUpper encode the sign used in the violation test
+// state * reduced_cost < 0.
+enum State : int { kStateUpper = -1, kStateTree = 0, kStateLower = 1 };
+
+// Direction of a node's predecessor (tree) arc.
+enum Dir : int {
+  kDirDown = 0,  // arc points parent -> node
+  kDirUp = 1,    // arc points node -> parent
+};
+
+class Simplex {
+ public:
+  Simplex(const McfProblem& p, const NetworkSimplexOptions& opt)
+      : p_(p), n_(p.num_nodes()), root_(p.num_nodes()) {
+    const int m_user = p.num_arcs();
+    m_ = m_user + n_;  // user arcs + one artificial arc per node
+    tail_.reserve(m_);
+    head_.reserve(m_);
+    cap_.reserve(m_);
+    cost_.reserve(m_);
+    for (const McfArc& a : p.arcs()) {
+      tail_.push_back(a.tail);
+      head_.push_back(a.head);
+      cap_.push_back(a.capacity);
+      cost_.push_back(a.cost);
+    }
+    // Big-M exceeding any simple-path cost so artificial flow is driven out
+    // whenever the instance is feasible.
+    art_cost_ = (p.max_abs_cost() + 1) * static_cast<Cost>(n_ + 1);
+
+    flow_.assign(static_cast<std::size_t>(m_), 0);
+    state_.assign(static_cast<std::size_t>(m_), kStateLower);
+    pi_.assign(static_cast<std::size_t>(n_ + 1), 0);
+    parent_.assign(static_cast<std::size_t>(n_ + 1), kInvalidNode);
+    pred_.assign(static_cast<std::size_t>(n_ + 1), kInvalidArc);
+    pred_dir_.assign(static_cast<std::size_t>(n_ + 1), kDirDown);
+    tree_adj_.assign(static_cast<std::size_t>(n_ + 1), {});
+
+    for (NodeId v = 0; v < n_; ++v) {
+      const Flow s = p.supply(v);
+      ArcId a;
+      if (s >= 0) {
+        a = add_internal_arc(v, root_, kInfFlow, art_cost_);
+        flow_[static_cast<std::size_t>(a)] = s;
+        pred_dir_[static_cast<std::size_t>(v)] = kDirUp;
+        pi_[static_cast<std::size_t>(v)] = art_cost_;
+      } else {
+        a = add_internal_arc(root_, v, kInfFlow, art_cost_);
+        flow_[static_cast<std::size_t>(a)] = -s;
+        pred_dir_[static_cast<std::size_t>(v)] = kDirDown;
+        pi_[static_cast<std::size_t>(v)] = -art_cost_;
+      }
+      state_[static_cast<std::size_t>(a)] = kStateTree;
+      parent_[static_cast<std::size_t>(v)] = root_;
+      pred_[static_cast<std::size_t>(v)] = a;
+      tree_adj_[static_cast<std::size_t>(v)].push_back(a);
+      tree_adj_[static_cast<std::size_t>(root_)].push_back(a);
+    }
+
+    block_size_ = opt.block_size > 0
+                      ? opt.block_size
+                      : std::max(20, static_cast<int>(std::sqrt(
+                                         static_cast<double>(m_))));
+    max_pivots_ = opt.max_pivots > 0
+                      ? opt.max_pivots
+                      : 50 * static_cast<std::int64_t>(m_) + 1000;
+  }
+
+  McfSolution run() {
+    McfSolution sol;
+    if (p_.total_supply() != 0) {
+      sol.status = McfStatus::kInfeasible;
+      return sol;
+    }
+    std::int64_t pivots = 0;
+    ArcId in_arc;
+    while ((in_arc = find_entering_arc()) != kInvalidArc) {
+      MFT_CHECK_MSG(++pivots <= max_pivots_,
+                    "network simplex exceeded pivot safety cap");
+      if (!pivot(in_arc)) {
+        sol.status = McfStatus::kUnbounded;
+        return sol;
+      }
+    }
+    // Any residual artificial flow means the supplies cannot be routed.
+    for (ArcId a = p_.num_arcs(); a < m_; ++a) {
+      if (flow_[static_cast<std::size_t>(a)] != 0) {
+        sol.status = McfStatus::kInfeasible;
+        return sol;
+      }
+    }
+    sol.status = McfStatus::kOptimal;
+    sol.flow.assign(flow_.begin(), flow_.begin() + p_.num_arcs());
+    sol.potential.assign(pi_.begin(), pi_.begin() + n_);
+    sol.total_cost = flow_cost(p_, sol.flow);
+    return sol;
+  }
+
+ private:
+  ArcId add_internal_arc(NodeId t, NodeId h, Flow cap, Cost cost) {
+    tail_.push_back(t);
+    head_.push_back(h);
+    cap_.push_back(cap);
+    cost_.push_back(cost);
+    return static_cast<ArcId>(tail_.size() - 1);
+  }
+
+  // Reduced cost under the dual contract of mcf.h.
+  Cost reduced_cost(ArcId a) const {
+    return cost_[static_cast<std::size_t>(a)] -
+           pi_[static_cast<std::size_t>(tail_[static_cast<std::size_t>(a)])] +
+           pi_[static_cast<std::size_t>(head_[static_cast<std::size_t>(a)])];
+  }
+
+  // Block pivot search: scan arcs cyclically, return the most violating arc
+  // within the first block that contains any violation.
+  ArcId find_entering_arc() {
+    Cost best_violation = 0;
+    ArcId best = kInvalidArc;
+    int counted = 0;
+    for (int scanned = 0; scanned < m_; ++scanned) {
+      const ArcId a = next_arc_;
+      next_arc_ = (next_arc_ + 1 == m_) ? 0 : next_arc_ + 1;
+      const int s = state_[static_cast<std::size_t>(a)];
+      if (s == kStateTree) continue;
+      const Cost violation = -static_cast<Cost>(s) * reduced_cost(a);
+      if (violation > best_violation) {
+        best_violation = violation;
+        best = a;
+      }
+      if (++counted == block_size_) {
+        if (best != kInvalidArc) return best;
+        counted = 0;
+      }
+    }
+    return best;
+  }
+
+  NodeId find_join(NodeId u, NodeId v) {
+    // Mark the path u -> root, then walk from v until a marked node.
+    for (NodeId w = u; w != kInvalidNode; w = parent_[static_cast<std::size_t>(w)])
+      mark_[static_cast<std::size_t>(w)] = true;
+    NodeId join = v;
+    while (!mark_[static_cast<std::size_t>(join)])
+      join = parent_[static_cast<std::size_t>(join)];
+    for (NodeId w = u; w != kInvalidNode; w = parent_[static_cast<std::size_t>(w)])
+      mark_[static_cast<std::size_t>(w)] = false;
+    return join;
+  }
+
+  // Executes one pivot on `in_arc`. Returns false if the cycle is
+  // cost-reducing and uncapacitated (unbounded problem).
+  bool pivot(ArcId in_arc) {
+    if (mark_.empty()) mark_.assign(static_cast<std::size_t>(n_ + 1), false);
+
+    // Cycle orientation: `delta` units travel join -> first -> (in_arc
+    // residual) -> second -> join.
+    NodeId first, second;
+    if (state_[static_cast<std::size_t>(in_arc)] == kStateLower) {
+      first = tail_[static_cast<std::size_t>(in_arc)];
+      second = head_[static_cast<std::size_t>(in_arc)];
+    } else {
+      first = head_[static_cast<std::size_t>(in_arc)];
+      second = tail_[static_cast<std::size_t>(in_arc)];
+    }
+    const NodeId join = find_join(first, second);
+
+    // Residual of the entering arc itself.
+    Flow delta =
+        state_[static_cast<std::size_t>(in_arc)] == kStateLower
+            ? cap_[static_cast<std::size_t>(in_arc)] -
+                  flow_[static_cast<std::size_t>(in_arc)]
+            : flow_[static_cast<std::size_t>(in_arc)];
+    int result = 0;  // 0: in_arc leaves; 1/2: a tree arc on either path
+    NodeId u_out = kInvalidNode;
+
+    // First-side path: cycle direction is parent -> child (toward `first`).
+    for (NodeId u = first; u != join; u = parent_[static_cast<std::size_t>(u)]) {
+      const ArcId e = pred_[static_cast<std::size_t>(u)];
+      const Flow f = flow_[static_cast<std::size_t>(e)];
+      const Flow residual = pred_dir_[static_cast<std::size_t>(u)] == kDirDown
+                                ? cap_[static_cast<std::size_t>(e)] - f
+                                : f;
+      if (residual < delta) {
+        delta = residual;
+        u_out = u;
+        result = 1;
+      }
+    }
+    // Second-side path: cycle direction is child -> parent. `<=` implements
+    // the strongly-feasible tie-break (leave the arc closest to join on the
+    // second side).
+    for (NodeId u = second; u != join; u = parent_[static_cast<std::size_t>(u)]) {
+      const ArcId e = pred_[static_cast<std::size_t>(u)];
+      const Flow f = flow_[static_cast<std::size_t>(e)];
+      const Flow residual = pred_dir_[static_cast<std::size_t>(u)] == kDirUp
+                                ? cap_[static_cast<std::size_t>(e)] - f
+                                : f;
+      if (residual <= delta) {
+        delta = residual;
+        u_out = u;
+        result = 2;
+      }
+    }
+
+    // Any genuine blocking residual is bounded by real capacities or total
+    // supply; half of kInfFlow can only be reached via uncapacitated arcs,
+    // i.e. a negative cycle with unbounded improving direction.
+    if (delta >= kInfFlow / 2) return false;
+
+    // Apply the flow change around the cycle.
+    if (delta != 0) {
+      const Flow signed_delta =
+          state_[static_cast<std::size_t>(in_arc)] == kStateLower ? delta
+                                                                  : -delta;
+      flow_[static_cast<std::size_t>(in_arc)] += signed_delta;
+      for (NodeId u = first; u != join;
+           u = parent_[static_cast<std::size_t>(u)]) {
+        const ArcId e = pred_[static_cast<std::size_t>(u)];
+        flow_[static_cast<std::size_t>(e)] +=
+            pred_dir_[static_cast<std::size_t>(u)] == kDirDown ? delta : -delta;
+      }
+      for (NodeId u = second; u != join;
+           u = parent_[static_cast<std::size_t>(u)]) {
+        const ArcId e = pred_[static_cast<std::size_t>(u)];
+        flow_[static_cast<std::size_t>(e)] +=
+            pred_dir_[static_cast<std::size_t>(u)] == kDirUp ? delta : -delta;
+      }
+    }
+
+    if (result == 0) {
+      // The entering arc saturates without displacing a tree arc.
+      state_[static_cast<std::size_t>(in_arc)] =
+          state_[static_cast<std::size_t>(in_arc)] == kStateLower ? kStateUpper
+                                                                  : kStateLower;
+      return true;
+    }
+
+    // Swap the basis: `out_arc` (pred of u_out) leaves, in_arc enters.
+    const ArcId out_arc = pred_[static_cast<std::size_t>(u_out)];
+    const NodeId p_out = parent_[static_cast<std::size_t>(u_out)];
+    detach_tree_arc(u_out, out_arc);
+    detach_tree_arc(p_out, out_arc);
+    state_[static_cast<std::size_t>(out_arc)] =
+        flow_[static_cast<std::size_t>(out_arc)] == 0 ? kStateLower
+                                                      : kStateUpper;
+
+    const NodeId attach = result == 1 ? first : second;  // endpoint inside
+    const NodeId outside = attach == tail_[static_cast<std::size_t>(in_arc)]
+                               ? head_[static_cast<std::size_t>(in_arc)]
+                               : tail_[static_cast<std::size_t>(in_arc)];
+    tree_adj_[static_cast<std::size_t>(attach)].push_back(in_arc);
+    tree_adj_[static_cast<std::size_t>(outside)].push_back(in_arc);
+    state_[static_cast<std::size_t>(in_arc)] = kStateTree;
+
+    reroot_subtree(attach, outside, in_arc);
+    return true;
+  }
+
+  void detach_tree_arc(NodeId v, ArcId a) {
+    auto& adj = tree_adj_[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      if (adj[i] == a) {
+        adj[i] = adj.back();
+        adj.pop_back();
+        return;
+      }
+    }
+    MFT_CHECK_MSG(false, "tree arc not found in adjacency");
+  }
+
+  // Re-roots the detached subtree at `q`, now hanging from `q_parent` via
+  // tree arc `via`, recomputing parent/pred/pi for every subtree node.
+  void reroot_subtree(NodeId q, NodeId q_parent, ArcId via) {
+    stack_.clear();
+    attach_node(q, q_parent, via);
+    stack_.push_back(q);
+    while (!stack_.empty()) {
+      const NodeId w = stack_.back();
+      stack_.pop_back();
+      for (const ArcId a : tree_adj_[static_cast<std::size_t>(w)]) {
+        if (a == pred_[static_cast<std::size_t>(w)]) continue;
+        const NodeId z = tail_[static_cast<std::size_t>(a)] == w
+                             ? head_[static_cast<std::size_t>(a)]
+                             : tail_[static_cast<std::size_t>(a)];
+        attach_node(z, w, a);
+        stack_.push_back(z);
+      }
+    }
+  }
+
+  void attach_node(NodeId child, NodeId parent, ArcId a) {
+    parent_[static_cast<std::size_t>(child)] = parent;
+    pred_[static_cast<std::size_t>(child)] = a;
+    if (tail_[static_cast<std::size_t>(a)] == parent) {
+      // arc parent -> child: 0 = cost - pi(parent) + pi(child)
+      pred_dir_[static_cast<std::size_t>(child)] = kDirDown;
+      pi_[static_cast<std::size_t>(child)] =
+          pi_[static_cast<std::size_t>(parent)] -
+          cost_[static_cast<std::size_t>(a)];
+    } else {
+      // arc child -> parent: 0 = cost - pi(child) + pi(parent)
+      pred_dir_[static_cast<std::size_t>(child)] = kDirUp;
+      pi_[static_cast<std::size_t>(child)] =
+          pi_[static_cast<std::size_t>(parent)] +
+          cost_[static_cast<std::size_t>(a)];
+    }
+  }
+
+  const McfProblem& p_;
+  const int n_;
+  const NodeId root_;
+  int m_ = 0;
+  Cost art_cost_ = 0;
+  int block_size_ = 0;
+  std::int64_t max_pivots_ = 0;
+  ArcId next_arc_ = 0;
+
+  // Parallel arrays over user + artificial arcs.
+  std::vector<NodeId> tail_, head_;
+  std::vector<Flow> cap_, flow_;
+  std::vector<Cost> cost_;
+  std::vector<int> state_;
+
+  // Spanning-tree basis.
+  std::vector<Cost> pi_;
+  std::vector<NodeId> parent_;
+  std::vector<ArcId> pred_;
+  std::vector<int> pred_dir_;
+  std::vector<std::vector<ArcId>> tree_adj_;
+  std::vector<bool> mark_;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace
+
+McfSolution solve_network_simplex(const McfProblem& p,
+                                  const NetworkSimplexOptions& opt) {
+  if (p.num_nodes() == 0) {
+    McfSolution sol;
+    sol.status = McfStatus::kOptimal;
+    return sol;
+  }
+  return Simplex(p, opt).run();
+}
+
+}  // namespace mft

@@ -1,0 +1,30 @@
+// Primal network simplex for min-cost flow.
+//
+// This is the production solver used by the D-phase. The paper's complexity
+// citation [9] (Goldberg/Grigoriadis/Tarjan) is a network-simplex variant;
+// like LEMON's implementation we use a spanning-tree basis with a block
+// pivot search, big-M artificial arcs rooted at a virtual node, and the
+// "strongly feasible" leaving-arc tie-break that prevents cycling.
+//
+// All arithmetic is exact int64 (the D-phase integerizes its costs by
+// power-of-ten scaling per §2.3.1 before calling this).
+#pragma once
+
+#include "mcf/mcf.h"
+
+namespace mft {
+
+struct NetworkSimplexOptions {
+  /// Pivot block size as a fraction of sqrt(num arcs); 0 picks a default.
+  int block_size = 0;
+  /// Hard safety cap on pivots (guards against a cycling bug, not expected
+  /// to trigger). 0 picks 50*m + 1000.
+  std::int64_t max_pivots = 0;
+};
+
+/// Solves `p` to optimality. Returns flows, total cost, and node potentials
+/// satisfying the contract documented in mcf.h.
+McfSolution solve_network_simplex(const McfProblem& p,
+                                  const NetworkSimplexOptions& opt = {});
+
+}  // namespace mft

@@ -1,0 +1,21 @@
+// Alternative min-cost flow solvers used as cross-check oracles for the
+// network simplex and as ablation subjects (bench_flow_solvers).
+//
+//  - solve_ssp: successive shortest paths with Dijkstra + Johnson
+//    potentials; negative arc costs are handled by a Bellman–Ford
+//    negative-cycle-canceling preprocessing pass.
+//  - solve_cycle_canceling: Klein's algorithm — establish any feasible flow,
+//    then cancel Bellman–Ford negative cycles until optimal.
+//
+// Both return solutions satisfying the same dual contract as the network
+// simplex (see mcf.h), so check_flow_optimal() applies uniformly.
+#pragma once
+
+#include "mcf/mcf.h"
+
+namespace mft {
+
+McfSolution solve_ssp(const McfProblem& p);
+McfSolution solve_cycle_canceling(const McfProblem& p);
+
+}  // namespace mft

@@ -1,0 +1,158 @@
+#include "netlist/bench_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace mft {
+namespace {
+
+struct PendingGate {
+  std::string name;
+  std::string kind;
+  std::vector<std::string> fanins;
+  int line;
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, const std::string& circuit_name) {
+  Netlist nl(circuit_name);
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> pending;
+  std::string line;
+  int lineno = 0;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view s = trim(line);
+    if (s.empty() || s.front() == '#') continue;
+
+    auto parse_paren = [&](std::string_view keyword) -> std::string {
+      // keyword(name)
+      std::string_view rest = trim(s.substr(keyword.size()));
+      MFT_CHECK_MSG(!rest.empty() && rest.front() == '(' && rest.back() == ')',
+                    "line " << lineno << ": malformed " << keyword);
+      return std::string(trim(rest.substr(1, rest.size() - 2)));
+    };
+
+    const std::string upper = to_upper(s.substr(0, s.find('(')));
+    if (starts_with(upper, "INPUT") && s.find('=') == std::string_view::npos) {
+      nl.add_input(parse_paren(s.substr(0, s.find('('))));
+      continue;
+    }
+    if (starts_with(upper, "OUTPUT") && s.find('=') == std::string_view::npos) {
+      output_names.push_back(parse_paren(s.substr(0, s.find('('))));
+      continue;
+    }
+
+    const std::size_t eq = s.find('=');
+    MFT_CHECK_MSG(eq != std::string_view::npos,
+                  "line " << lineno << ": expected assignment");
+    PendingGate g;
+    g.name = std::string(trim(s.substr(0, eq)));
+    g.line = lineno;
+    std::string_view rhs = trim(s.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    MFT_CHECK_MSG(open != std::string_view::npos && rhs.back() == ')',
+                  "line " << lineno << ": malformed gate expression");
+    g.kind = std::string(trim(rhs.substr(0, open)));
+    const std::string_view args = rhs.substr(open + 1, rhs.size() - open - 2);
+    for (const std::string& a : split(args, ',')) g.fanins.push_back(a);
+    pending.push_back(std::move(g));
+  }
+
+  // Gates may reference signals defined later; resolve with repeated passes
+  // in definition order (a .bench file is not required to be topological).
+  std::vector<bool> done(pending.size(), false);
+  std::size_t remaining = pending.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (done[i]) continue;
+      const PendingGate& g = pending[i];
+      std::vector<GateId> ids;
+      ids.reserve(g.fanins.size());
+      bool ready = true;
+      for (const std::string& f : g.fanins) {
+        const GateId id = nl.find(f);
+        if (id == kInvalidGate) {
+          ready = false;
+          break;
+        }
+        ids.push_back(id);
+      }
+      if (!ready) continue;
+      nl.add_gate(gate_kind_from_string(g.kind), g.name, std::move(ids));
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    for (std::size_t i = 0; i < pending.size(); ++i)
+      if (!done[i])
+        MFT_CHECK_MSG(false, "line " << pending[i].line << ": gate '"
+                                     << pending[i].name
+                                     << "' references undefined signals "
+                                        "(or a combinational cycle)");
+  }
+
+  for (const std::string& o : output_names) {
+    const GateId g = nl.find(o);
+    MFT_CHECK_MSG(g != kInvalidGate, "OUTPUT(" << o << ") is undefined");
+    nl.mark_output(g);
+  }
+  return nl;
+}
+
+Netlist read_bench_string(const std::string& text,
+                          const std::string& circuit_name) {
+  std::istringstream is(text);
+  return read_bench(is, circuit_name);
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  MFT_CHECK_MSG(f.good(), "cannot open '" << path << "'");
+  // Circuit name = basename without extension.
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos)
+    name = name.substr(slash + 1);
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos)
+    name = name.substr(0, dot);
+  return read_bench(f, name);
+}
+
+void write_bench(const Netlist& nl, std::ostream& out) {
+  out << "# " << nl.name() << " — " << nl.num_inputs() << " inputs, "
+      << nl.num_outputs() << " outputs, " << nl.num_logic_gates()
+      << " gates\n";
+  for (GateId g : nl.inputs()) out << "INPUT(" << nl.gate(g).name << ")\n";
+  for (GateId g : nl.outputs()) out << "OUTPUT(" << nl.gate(g).name << ")\n";
+  for (GateId g : nl.topological_order()) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kInput) continue;
+    out << gate.name << " = " << to_string(gate.kind) << "(";
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i)
+      out << (i ? ", " : "") << nl.gate(gate.fanins[i]).name;
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(nl, os);
+  return os.str();
+}
+
+void write_bench_file(const Netlist& nl, const std::string& path) {
+  std::ofstream f(path);
+  MFT_CHECK_MSG(f.good(), "cannot open '" << path << "' for writing");
+  write_bench(nl, f);
+}
+
+}  // namespace mft

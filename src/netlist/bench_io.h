@@ -1,0 +1,36 @@
+// Reader/writer for the ISCAS85 ".bench" netlist format:
+//
+//     # comment
+//     INPUT(G1)
+//     OUTPUT(G17)
+//     G10 = NAND(G1, G3)
+//
+// The generators in src/gen emit this format and the parser reads it back,
+// so genuine ISCAS85 files can be dropped into the benchmark harness
+// unchanged when available.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace mft {
+
+/// Parses a .bench stream. Throws CheckError with a line number on syntax
+/// errors, undefined signals, or duplicate definitions.
+Netlist read_bench(std::istream& in, const std::string& circuit_name = "bench");
+
+/// Convenience overload over a string.
+Netlist read_bench_string(const std::string& text,
+                          const std::string& circuit_name = "bench");
+
+/// Reads a .bench file from disk.
+Netlist read_bench_file(const std::string& path);
+
+/// Serializes to .bench. Gates appear in topological order.
+void write_bench(const Netlist& nl, std::ostream& out);
+std::string write_bench_string(const Netlist& nl);
+void write_bench_file(const Netlist& nl, const std::string& path);
+
+}  // namespace mft

@@ -1,0 +1,122 @@
+#include "netlist/cell.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace mft {
+
+const char* to_string(GateKind k) {
+  switch (k) {
+    case GateKind::kInput:
+      return "INPUT";
+    case GateKind::kBuf:
+      return "BUFF";
+    case GateKind::kNot:
+      return "NOT";
+    case GateKind::kAnd:
+      return "AND";
+    case GateKind::kNand:
+      return "NAND";
+    case GateKind::kOr:
+      return "OR";
+    case GateKind::kNor:
+      return "NOR";
+    case GateKind::kXor:
+      return "XOR";
+    case GateKind::kXnor:
+      return "XNOR";
+    case GateKind::kAoi21:
+      return "AOI21";
+    case GateKind::kOai21:
+      return "OAI21";
+  }
+  return "?";
+}
+
+GateKind gate_kind_from_string(const std::string& s) {
+  const std::string u = to_upper(s);
+  if (u == "INPUT") return GateKind::kInput;
+  if (u == "BUF" || u == "BUFF") return GateKind::kBuf;
+  if (u == "NOT" || u == "INV") return GateKind::kNot;
+  if (u == "AND") return GateKind::kAnd;
+  if (u == "NAND") return GateKind::kNand;
+  if (u == "OR") return GateKind::kOr;
+  if (u == "NOR") return GateKind::kNor;
+  if (u == "XOR") return GateKind::kXor;
+  if (u == "XNOR") return GateKind::kXnor;
+  if (u == "AOI21") return GateKind::kAoi21;
+  if (u == "OAI21") return GateKind::kOai21;
+  MFT_CHECK_MSG(false, "unknown gate kind '" << s << "'");
+  return GateKind::kBuf;  // unreachable
+}
+
+bool is_primitive(GateKind k) {
+  switch (k) {
+    case GateKind::kNot:
+    case GateKind::kNand:
+    case GateKind::kNor:
+    case GateKind::kAoi21:
+    case GateKind::kOai21:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_inverting(GateKind k) { return is_primitive(k); }
+
+int fixed_arity(GateKind k) {
+  switch (k) {
+    case GateKind::kInput:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+      return 1;
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return -1;  // variadic parity
+    case GateKind::kAoi21:
+    case GateKind::kOai21:
+      return 3;
+    default:
+      return -1;  // variadic
+  }
+}
+
+SpTree pulldown_topology(GateKind k, int fanin) {
+  MFT_CHECK_MSG(is_primitive(k), "no SP topology for composite gate "
+                                     << to_string(k));
+  switch (k) {
+    case GateKind::kNot:
+      MFT_CHECK(fanin == 1);
+      return SpTree::leaf(0);
+    case GateKind::kNand: {
+      MFT_CHECK(fanin >= 1);
+      std::vector<SpTree> kids;
+      for (int i = 0; i < fanin; ++i) kids.push_back(SpTree::leaf(i));
+      return SpTree::series(std::move(kids));
+    }
+    case GateKind::kNor: {
+      MFT_CHECK(fanin >= 1);
+      std::vector<SpTree> kids;
+      for (int i = 0; i < fanin; ++i) kids.push_back(SpTree::leaf(i));
+      return SpTree::parallel(std::move(kids));
+    }
+    case GateKind::kAoi21:
+      MFT_CHECK(fanin == 3);
+      // !(in0·in1 + in2): pulldown = (p0.p1) + p2
+      return SpTree::parallel(
+          {SpTree::series({SpTree::leaf(0), SpTree::leaf(1)}), SpTree::leaf(2)});
+    case GateKind::kOai21:
+      MFT_CHECK(fanin == 3);
+      // !((in0+in1)·in2): pulldown = (p0+p1) . p2
+      return SpTree::series(
+          {SpTree::parallel({SpTree::leaf(0), SpTree::leaf(1)}), SpTree::leaf(2)});
+    default:
+      break;
+  }
+  MFT_CHECK(false);
+  return SpTree::leaf(0);  // unreachable
+}
+
+}  // namespace mft

@@ -1,0 +1,298 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace mft {
+
+GateId Netlist::add_input(const std::string& name) {
+  MFT_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                "duplicate gate name '" << name << "'");
+  const GateId g = num_gates();
+  gates_.push_back(Gate{GateKind::kInput, name, {}});
+  is_output_.push_back(false);
+  inputs_.push_back(g);
+  by_name_.emplace(name, g);
+  invalidate_cache();
+  return g;
+}
+
+GateId Netlist::add_gate(GateKind kind, const std::string& name,
+                         std::vector<GateId> fanins) {
+  MFT_CHECK_MSG(kind != GateKind::kInput, "use add_input for inputs");
+  MFT_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                "duplicate gate name '" << name << "'");
+  const int arity = fixed_arity(kind);
+  if (arity >= 0)
+    MFT_CHECK_MSG(static_cast<int>(fanins.size()) == arity,
+                  to_string(kind) << " '" << name << "' needs " << arity
+                                  << " fanins, got " << fanins.size());
+  else
+    MFT_CHECK_MSG(fanins.size() >= 1, "variadic gate '" << name
+                                                        << "' needs fanins");
+  for (GateId f : fanins)
+    MFT_CHECK_MSG(f >= 0 && f < num_gates(),
+                  "gate '" << name << "' references unknown fanin " << f);
+  const GateId g = num_gates();
+  gates_.push_back(Gate{kind, name, std::move(fanins)});
+  is_output_.push_back(false);
+  by_name_.emplace(name, g);
+  invalidate_cache();
+  return g;
+}
+
+void Netlist::mark_output(GateId g) {
+  check(g);
+  if (!is_output_[static_cast<std::size_t>(g)]) {
+    is_output_[static_cast<std::size_t>(g)] = true;
+    outputs_.push_back(g);
+  }
+}
+
+int Netlist::num_logic_gates() const { return num_gates() - num_inputs(); }
+
+GateId Netlist::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidGate : it->second;
+}
+
+const std::vector<GateId>& Netlist::fanouts(GateId g) const {
+  if (fanout_cache_.empty()) {
+    fanout_cache_.resize(static_cast<std::size_t>(num_gates()));
+    for (GateId v = 0; v < num_gates(); ++v)
+      for (GateId f : gates_[static_cast<std::size_t>(v)].fanins)
+        fanout_cache_[static_cast<std::size_t>(f)].push_back(v);
+  }
+  return fanout_cache_[check(g)];
+}
+
+std::vector<GateId> Netlist::topological_order() const {
+  std::vector<int> indeg(static_cast<std::size_t>(num_gates()), 0);
+  for (GateId g = 0; g < num_gates(); ++g)
+    indeg[static_cast<std::size_t>(g)] =
+        static_cast<int>(gates_[static_cast<std::size_t>(g)].fanins.size());
+  std::deque<GateId> ready;
+  for (GateId g = 0; g < num_gates(); ++g)
+    if (indeg[static_cast<std::size_t>(g)] == 0) ready.push_back(g);
+  std::vector<GateId> order;
+  order.reserve(static_cast<std::size_t>(num_gates()));
+  while (!ready.empty()) {
+    const GateId g = ready.front();
+    ready.pop_front();
+    order.push_back(g);
+    for (GateId h : fanouts(g))
+      if (--indeg[static_cast<std::size_t>(h)] == 0) ready.push_back(h);
+  }
+  MFT_CHECK_MSG(static_cast<int>(order.size()) == num_gates(),
+                "netlist contains a combinational cycle");
+  return order;
+}
+
+int Netlist::depth() const {
+  std::vector<int> level(static_cast<std::size_t>(num_gates()), 0);
+  int d = 0;
+  for (GateId g : topological_order()) {
+    const Gate& gate = gates_[static_cast<std::size_t>(g)];
+    int lvl = 0;
+    for (GateId f : gate.fanins)
+      lvl = std::max(lvl, level[static_cast<std::size_t>(f)]);
+    if (gate.kind != GateKind::kInput) lvl += 1;
+    level[static_cast<std::size_t>(g)] = lvl;
+    d = std::max(d, lvl);
+  }
+  return d;
+}
+
+bool Netlist::validate(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  for (GateId g = 0; g < num_gates(); ++g) {
+    const Gate& gate = gates_[static_cast<std::size_t>(g)];
+    const int arity = fixed_arity(gate.kind);
+    if (arity >= 0 && static_cast<int>(gate.fanins.size()) != arity)
+      return fail("gate '" + gate.name + "' has wrong arity");
+    if (gate.kind != GateKind::kInput && gate.fanins.empty())
+      return fail("gate '" + gate.name + "' has no fanins");
+    if (!is_output(g) && gate.kind != GateKind::kInput && fanouts(g).empty())
+      return fail("gate '" + gate.name + "' dangles (no fanout, not a PO)");
+  }
+  // Acyclicity: topological_order throws; convert to a bool result.
+  try {
+    (void)topological_order();
+  } catch (const CheckError&) {
+    return fail("combinational cycle");
+  }
+  for (GateId g : inputs_)
+    if (gates_[static_cast<std::size_t>(g)].kind != GateKind::kInput)
+      return fail("inputs list corrupt");
+  return true;
+}
+
+bool Netlist::is_primitive_only() const {
+  for (GateId g = 0; g < num_gates(); ++g) {
+    const GateKind k = gates_[static_cast<std::size_t>(g)].kind;
+    if (k != GateKind::kInput && !is_primitive(k)) return false;
+  }
+  return true;
+}
+
+std::vector<bool> Netlist::evaluate(const std::vector<bool>& input_values) const {
+  MFT_CHECK(static_cast<int>(input_values.size()) == num_inputs());
+  std::vector<bool> value(static_cast<std::size_t>(num_gates()), false);
+  for (std::size_t i = 0; i < inputs_.size(); ++i)
+    value[static_cast<std::size_t>(inputs_[i])] = input_values[i];
+  for (GateId g : topological_order()) {
+    const Gate& gate = gates_[static_cast<std::size_t>(g)];
+    if (gate.kind == GateKind::kInput) continue;
+    auto in = [&](std::size_t i) {
+      return static_cast<bool>(
+          value[static_cast<std::size_t>(gate.fanins[i])]);
+    };
+    bool v = false;
+    switch (gate.kind) {
+      case GateKind::kInput:
+        break;
+      case GateKind::kBuf:
+        v = in(0);
+        break;
+      case GateKind::kNot:
+        v = !in(0);
+        break;
+      case GateKind::kAnd:
+      case GateKind::kNand: {
+        v = true;
+        for (std::size_t i = 0; i < gate.fanins.size(); ++i) v = v && in(i);
+        if (gate.kind == GateKind::kNand) v = !v;
+        break;
+      }
+      case GateKind::kOr:
+      case GateKind::kNor: {
+        v = false;
+        for (std::size_t i = 0; i < gate.fanins.size(); ++i) v = v || in(i);
+        if (gate.kind == GateKind::kNor) v = !v;
+        break;
+      }
+      case GateKind::kXor:
+      case GateKind::kXnor: {
+        v = false;
+        for (std::size_t i = 0; i < gate.fanins.size(); ++i) v = v != in(i);
+        if (gate.kind == GateKind::kXnor) v = !v;
+        break;
+      }
+      case GateKind::kAoi21:
+        v = !((in(0) && in(1)) || in(2));
+        break;
+      case GateKind::kOai21:
+        v = !((in(0) || in(1)) && in(2));
+        break;
+    }
+    value[static_cast<std::size_t>(g)] = v;
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (GateId g : outputs_) out.push_back(value[static_cast<std::size_t>(g)]);
+  return out;
+}
+
+// --- Tech mapping -----------------------------------------------------------
+
+namespace {
+
+/// Helper building primitive decompositions in the target netlist.
+class Mapper {
+ public:
+  explicit Mapper(const Netlist& src, Netlist& dst) : src_(src), dst_(dst) {}
+
+  void run() {
+    for (GateId g : src_.topological_order()) map_gate(g);
+    for (GateId g : src_.outputs())
+      dst_.mark_output(image_[static_cast<std::size_t>(g)]);
+  }
+
+ private:
+  std::string fresh(const std::string& base) {
+    std::string name = base;
+    while (dst_.find(name) != kInvalidGate)
+      name = base + "_m" + std::to_string(counter_++);
+    return name;
+  }
+
+  GateId nand(std::vector<GateId> ins, const std::string& base) {
+    return dst_.add_gate(GateKind::kNand, fresh(base), std::move(ins));
+  }
+  GateId nor(std::vector<GateId> ins, const std::string& base) {
+    return dst_.add_gate(GateKind::kNor, fresh(base), std::move(ins));
+  }
+  GateId inv(GateId in, const std::string& base) {
+    return dst_.add_gate(GateKind::kNot, fresh(base), {in});
+  }
+
+  // XOR of exactly two signals via the classic 4-NAND structure.
+  GateId xor2(GateId a, GateId b, const std::string& base) {
+    const GateId t1 = nand({a, b}, base + "_x1");
+    const GateId t2 = nand({a, t1}, base + "_x2");
+    const GateId t3 = nand({b, t1}, base + "_x3");
+    return nand({t2, t3}, base + "_x4");
+  }
+
+  void map_gate(GateId g) {
+    const Gate& gate = src_.gate(g);
+    image_.resize(static_cast<std::size_t>(src_.num_gates()), kInvalidGate);
+    std::vector<GateId> ins;
+    ins.reserve(gate.fanins.size());
+    for (GateId f : gate.fanins)
+      ins.push_back(image_[static_cast<std::size_t>(f)]);
+
+    GateId out = kInvalidGate;
+    switch (gate.kind) {
+      case GateKind::kInput:
+        out = dst_.add_input(gate.name);
+        break;
+      case GateKind::kNot:
+      case GateKind::kNand:
+      case GateKind::kNor:
+      case GateKind::kAoi21:
+      case GateKind::kOai21:
+        out = dst_.add_gate(gate.kind, fresh(gate.name), std::move(ins));
+        break;
+      case GateKind::kBuf:
+        // Two inverters keep the stage count even and the name stable.
+        out = inv(inv(ins[0], gate.name + "_b"), gate.name);
+        break;
+      case GateKind::kAnd:
+        out = inv(nand(std::move(ins), gate.name + "_n"), gate.name);
+        break;
+      case GateKind::kOr:
+        out = inv(nor(std::move(ins), gate.name + "_n"), gate.name);
+        break;
+      case GateKind::kXor:
+      case GateKind::kXnor: {
+        GateId acc = ins[0];
+        for (std::size_t i = 1; i < ins.size(); ++i)
+          acc = xor2(acc, ins[i], gate.name + "_p" + std::to_string(i));
+        if (gate.kind == GateKind::kXnor) acc = inv(acc, gate.name + "_i");
+        out = acc;
+        break;
+      }
+    }
+    image_[static_cast<std::size_t>(g)] = out;
+  }
+
+  const Netlist& src_;
+  Netlist& dst_;
+  std::vector<GateId> image_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Netlist tech_map_to_primitives(const Netlist& nl) {
+  Netlist out(nl.name() + "_prim");
+  Mapper(nl, out).run();
+  return out;
+}
+
+}  // namespace mft

@@ -1,0 +1,45 @@
+#include "netlist/stats.h"
+
+#include <sstream>
+
+namespace mft {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.num_inputs = nl.num_inputs();
+  s.num_outputs = nl.num_outputs();
+  s.num_logic_gates = nl.num_logic_gates();
+  s.depth = nl.depth();
+  long fanin_sum = 0;
+  long fanout_sum = 0;
+  int fanout_nodes = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind != GateKind::kInput) {
+      fanin_sum += static_cast<long>(gate.fanins.size());
+      ++s.kind_histogram[gate.kind];
+    }
+    const int fo = static_cast<int>(nl.fanouts(g).size());
+    if (fo > 0) {
+      fanout_sum += fo;
+      ++fanout_nodes;
+    }
+    s.max_fanout = std::max(s.max_fanout, fo);
+  }
+  if (s.num_logic_gates > 0)
+    s.avg_fanin = static_cast<double>(fanin_sum) / s.num_logic_gates;
+  if (fanout_nodes > 0)
+    s.avg_fanout = static_cast<double>(fanout_sum) / fanout_nodes;
+  return s;
+}
+
+std::string to_string(const NetlistStats& s) {
+  std::ostringstream os;
+  os << s.num_logic_gates << " gates, " << s.num_inputs << " PI, "
+     << s.num_outputs << " PO, depth " << s.depth << ", avg fanin "
+     << s.avg_fanin << ", avg fanout " << s.avg_fanout << ", max fanout "
+     << s.max_fanout;
+  return os.str();
+}
+
+}  // namespace mft

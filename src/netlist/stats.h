@@ -1,0 +1,29 @@
+// Structural statistics over a netlist — used by the generators to verify
+// their ISCAS85 analogs match the published character of each circuit, and
+// by reports.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace mft {
+
+struct NetlistStats {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int num_logic_gates = 0;
+  int depth = 0;
+  double avg_fanin = 0.0;   ///< over logic gates
+  double avg_fanout = 0.0;  ///< over gates with any fanout
+  int max_fanout = 0;
+  std::map<GateKind, int> kind_histogram;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+/// One-line human-readable summary.
+std::string to_string(const NetlistStats& s);
+
+}  // namespace mft

@@ -1,0 +1,42 @@
+#include "sizing/downsize.h"
+
+#include <algorithm>
+
+namespace mft {
+
+DownsizeResult greedy_downsize(const SizingNetwork& net,
+                               const std::vector<double>& start,
+                               double target_delay,
+                               const DownsizeOptions& opt) {
+  MFT_CHECK(opt.shrink > 0.0 && opt.shrink < 1.0);
+  MFT_CHECK_MSG(run_sta(net, start).critical_path <=
+                    target_delay * (1.0 + 1e-9),
+                "greedy_downsize requires a feasible starting point");
+  DownsizeResult res;
+  res.sizes = start;
+  const double min_size = net.tech().min_size;
+
+  for (int pass = 0; pass < opt.max_passes; ++pass) {
+    ++res.passes;
+    int accepted_this_pass = 0;
+    for (NodeId v = 0; v < net.num_vertices(); ++v) {
+      if (net.is_source(v)) continue;
+      double& x = res.sizes[static_cast<std::size_t>(v)];
+      if (x <= min_size * (1.0 + 1e-12)) continue;
+      const double saved = x;
+      x = std::max(min_size, x * opt.shrink);
+      if (run_sta(net, res.sizes).critical_path >
+          target_delay * (1.0 + 1e-9)) {
+        x = saved;  // revert
+      } else {
+        ++accepted_this_pass;
+      }
+    }
+    res.accepted_moves += accepted_this_pass;
+    if (accepted_this_pass == 0) break;
+  }
+  res.area = net.area(res.sizes);
+  return res;
+}
+
+}  // namespace mft

@@ -1,0 +1,83 @@
+#include "sizing/dphase.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mft {
+
+DPhaseResult run_dphase(const SizingNetwork& net,
+                        const std::vector<double>& sizes,
+                        const DPhaseOptions& opt) {
+  MFT_CHECK(net.frozen());
+  MFT_CHECK(opt.beta > 0.0);
+  const Digraph& g = net.dag();
+  const int n = net.num_vertices();
+
+  const TimingReport timing = run_sta(net, sizes);
+  const DelayBalance bal = compute_delay_balance(net, timing, opt.balance);
+  std::vector<double> weights;
+  if (opt.uniform_weights) {
+    weights.assign(static_cast<std::size_t>(n), 1.0);
+  } else {
+    weights = net.area_delay_weights(sizes);
+  }
+
+  // Variable layout: r(v) = v, r(Dmy(v)) = n + v, dummy output O = 2n.
+  const int var_dmy = n;
+  const int var_o = 2 * n;
+  DualFlowLp lp(2 * n + 1);
+  lp.fix_zero(var_o);
+  for (NodeId v = 0; v < n; ++v)
+    if (net.is_source(v)) lp.fix_zero(v);
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (net.is_source(v)) continue;
+    const double d = timing.delay[static_cast<std::size_t>(v)];
+    const double a_self = net.vertex(v).a_self;
+    // Trust bounds; the lower one keeps d_new comfortably above the
+    // self-loading floor so the W-phase SMP stays solvable.
+    const double max_dd = opt.beta * d;
+    const double min_dd = -std::min(opt.beta * d, 0.95 * (d - a_self));
+    // FSDU(i→Dmy(i)) = 0 under both canonical schedules.
+    lp.add_constraint(var_dmy + v, v, max_dd);   // δd_v <= MAXΔD
+    lp.add_constraint(v, var_dmy + v, -min_dd);  // δd_v >= MINΔD
+    lp.add_objective_difference(var_dmy + v, v, weights[static_cast<std::size_t>(v)]);
+  }
+
+  // Causality: displaced FSDUs on all original edges stay non-negative.
+  // Edges leave Dmy(i) (Fig. 5); edges out of sources use r(source) itself.
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const NodeId i = g.tail(a);
+    const NodeId j = g.head(a);
+    const int from = net.is_source(i) ? i : var_dmy + i;
+    lp.add_constraint(from, j, bal.arc_fsdu[static_cast<std::size_t>(a)]);
+  }
+  // PO edges to the dummy output O (Corollary 1 pins CP).
+  for (NodeId v = 0; v < n; ++v) {
+    if (net.is_source(v)) continue;
+    if (net.vertex(v).is_po || g.out_degree(v) == 0) {
+      lp.add_constraint(var_dmy + v, var_o,
+                        bal.po_fsdu[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  DPhaseResult res;
+  res.num_constraints = lp.num_constraints();
+  const DualFlowLp::Result sol =
+      lp.solve(opt.solver, opt.cost_digits, opt.supply_digits);
+  if (!sol.solved) return res;
+
+  res.solved = true;
+  res.objective = sol.objective;
+  res.budget = timing.delay;
+  for (NodeId v = 0; v < n; ++v) {
+    if (net.is_source(v)) continue;
+    const double dd = sol.r[static_cast<std::size_t>(var_dmy + v)] -
+                      sol.r[static_cast<std::size_t>(v)];
+    if (std::abs(dd) > 1e-12) ++res.num_moved;
+    res.budget[static_cast<std::size_t>(v)] += dd;
+  }
+  return res;
+}
+
+}  // namespace mft

@@ -1,0 +1,47 @@
+// MINFLOTRANSIT (paper §2.4): TILOS initial solution, then alternating
+// D-phase (min-cost-flow delay-budget redistribution) and W-phase (SMP
+// minimum-area re-sizing) until the area improvement becomes negligible.
+#pragma once
+
+#include "sizing/dphase.h"
+#include "sizing/tilos.h"
+#include "sizing/wphase.h"
+
+namespace mft {
+
+struct MinflotransitOptions {
+  TilosOptions tilos;
+  DPhaseOptions dphase;
+  int max_iterations = 100;  ///< §3: "no more than 100 iterations"
+  /// Stop when the relative area improvement stays below this for
+  /// `patience` consecutive iterations ("negligible", §2.4 step 3).
+  double rel_improvement_stop = 1e-4;
+  int patience = 3;
+  /// On W-phase infeasibility or timing regression, the trust bound β is
+  /// halved and the iteration retried, at most this many times in a row.
+  int max_beta_backoffs = 4;
+};
+
+struct IterationLog {
+  double area = 0.0;
+  double critical_path = 0.0;
+  double dphase_objective = 0.0;  ///< predicted area decrease
+  double beta = 0.0;
+};
+
+struct MinflotransitResult {
+  std::vector<double> sizes;   ///< best solution found
+  bool met_target = false;
+  double area = 0.0;
+  double delay = 0.0;          ///< CP at the returned sizes
+  TilosResult initial;         ///< the TILOS solution it started from
+  std::vector<IterationLog> iterations;
+  double tilos_seconds = 0.0;  ///< time spent in the initial TILOS sizing
+  double total_seconds = 0.0;  ///< end-to-end, including TILOS
+};
+
+MinflotransitResult run_minflotransit(const SizingNetwork& net,
+                                      double target_delay,
+                                      const MinflotransitOptions& opt = {});
+
+}  // namespace mft

@@ -1,0 +1,30 @@
+// Human- and machine-readable sizing reports: the output side of a
+// production sizing tool (per-element sizes, size histogram, timing
+// summary, comparison between two sizings).
+#pragma once
+
+#include <string>
+
+#include "sizing/minflotransit.h"
+#include "timing/sta.h"
+
+namespace mft {
+
+/// Multi-line timing summary: CP, worst slack, number of critical vertices.
+std::string timing_summary(const SizingNetwork& net,
+                           const std::vector<double>& sizes);
+
+/// Logarithmic size histogram over sizeable vertices ("1-2x: ###...").
+std::string size_histogram(const SizingNetwork& net,
+                           const std::vector<double>& sizes, int max_width = 50);
+
+/// CSV with one row per sizeable vertex: name, kind, size, delay, slack.
+std::string sizing_csv(const SizingNetwork& net,
+                       const std::vector<double>& sizes);
+
+/// Side-by-side comparison of a MINFLOTRANSIT run against its TILOS seed:
+/// areas, delays, iteration count, biggest per-vertex movers.
+std::string compare_report(const SizingNetwork& net,
+                           const MinflotransitResult& result, int top_movers = 8);
+
+}  // namespace mft

@@ -1,0 +1,72 @@
+#include "sizing/tilos.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mft {
+
+double min_sized_delay(const SizingNetwork& net) {
+  return run_sta(net, net.min_sizes()).critical_path;
+}
+
+TilosResult run_tilos(const SizingNetwork& net, double target_delay,
+                      const TilosOptions& opt) {
+  MFT_CHECK(opt.bumpsize > 1.0);
+  const Tech& tech = net.tech();
+  TilosResult res;
+  res.sizes = net.min_sizes();
+  const std::int64_t max_bumps =
+      opt.max_bumps > 0 ? opt.max_bumps
+                        : 4000 * static_cast<std::int64_t>(
+                                     std::max(1, net.num_sizeable()));
+
+  std::vector<char> on_path(static_cast<std::size_t>(net.num_vertices()), 0);
+  while (true) {
+    const TimingReport timing = run_sta(net, res.sizes);
+    res.achieved_delay = timing.critical_path;
+    if (timing.critical_path <= target_delay) {
+      res.met_target = true;
+      break;
+    }
+    if (res.bumps >= max_bumps) break;
+
+    const std::vector<NodeId> path = timing.critical_vertices(net);
+    std::fill(on_path.begin(), on_path.end(), 0);
+    for (NodeId v : path) on_path[static_cast<std::size_t>(v)] = 1;
+
+    // Pick the on-path element with the best (most negative) change in path
+    // delay per unit of added area.
+    NodeId best = kInvalidNode;
+    double best_sens = 0.0;
+    for (NodeId v : path) {
+      if (net.is_source(v)) continue;
+      const double x = res.sizes[static_cast<std::size_t>(v)];
+      const double nx = x * opt.bumpsize;
+      if (nx > tech.max_size) continue;
+
+      // Own-stage speedup: delay(v) = a_self + L/x with L independent of x.
+      const double load =
+          (timing.delay[static_cast<std::size_t>(v)] - net.vertex(v).a_self) * x;
+      double dpath = load * (1.0 / nx - 1.0 / x);
+      // Upstream penalty: every on-path vertex u with a load term a_uv sees
+      // Δdelay(u) = a_uv·(nx − x)/x_u.
+      for (const LoadTerm& t : net.reverse_loads()[static_cast<std::size_t>(v)]) {
+        if (!on_path[static_cast<std::size_t>(t.vertex)]) continue;
+        dpath += t.coeff * (nx - x) /
+                 res.sizes[static_cast<std::size_t>(t.vertex)];
+      }
+      const double sens = dpath / (nx - x);
+      if (sens < best_sens) {
+        best_sens = sens;
+        best = v;
+      }
+    }
+    if (best == kInvalidNode) break;  // nothing improves: infeasible target
+    res.sizes[static_cast<std::size_t>(best)] *= opt.bumpsize;
+    ++res.bumps;
+  }
+  res.area = net.area(res.sizes);
+  return res;
+}
+
+}  // namespace mft

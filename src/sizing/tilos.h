@@ -1,0 +1,38 @@
+// TILOS-style sensitivity-based greedy sizer (paper refs [1],[15]).
+//
+// This is both the baseline MINFLOTRANSIT is compared against in Table 1 /
+// Fig. 7 and the producer of MINFLOTRANSIT's initial guess solution (§2.4
+// step 1). Starting from a minimum-sized circuit, each pass walks the
+// critical path, computes for every on-path element the change in path
+// delay per unit of added area if that element were bumped by ×bumpsize,
+// bumps the most beneficial element, and repeats until the delay target is
+// met or no bump helps.
+#pragma once
+
+#include <cstdint>
+
+#include "timing/sta.h"
+
+namespace mft {
+
+struct TilosOptions {
+  double bumpsize = 1.1;  ///< paper §3 uses 1.1
+  /// Safety cap on bump passes; 0 picks a generous default.
+  std::int64_t max_bumps = 0;
+};
+
+struct TilosResult {
+  std::vector<double> sizes;
+  bool met_target = false;
+  double achieved_delay = 0.0;  ///< CP at the returned sizes
+  double area = 0.0;
+  std::int64_t bumps = 0;
+};
+
+/// Critical-path delay of the minimum-sized circuit (the paper's Dmin).
+double min_sized_delay(const SizingNetwork& net);
+
+TilosResult run_tilos(const SizingNetwork& net, double target_delay,
+                      const TilosOptions& opt = {});
+
+}  // namespace mft

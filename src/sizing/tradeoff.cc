@@ -1,0 +1,31 @@
+#include "sizing/tradeoff.h"
+
+#include "util/stopwatch.h"
+
+namespace mft {
+
+TradeoffCurve area_delay_sweep(const SizingNetwork& net,
+                               const std::vector<double>& target_ratios,
+                               const MinflotransitOptions& opt) {
+  TradeoffCurve curve;
+  curve.dmin = min_sized_delay(net);
+  curve.min_area = net.area(net.min_sizes());
+  for (const double ratio : target_ratios) {
+    TradeoffPoint p;
+    p.target_ratio = ratio;
+    const double target = ratio * curve.dmin;
+    const MinflotransitResult r = run_minflotransit(net, target, opt);
+    p.tilos_met = r.initial.met_target;
+    p.mft_met = r.met_target;
+    p.tilos_area_ratio = r.initial.area / curve.min_area;
+    p.mft_area_ratio = r.area / curve.min_area;
+    p.tilos_seconds = r.tilos_seconds;
+    p.mft_seconds = r.total_seconds;
+    if (p.tilos_met && p.mft_met && r.initial.area > 0.0)
+      p.savings_pct = 100.0 * (1.0 - r.area / r.initial.area);
+    curve.points.push_back(p);
+  }
+  return curve;
+}
+
+}  // namespace mft

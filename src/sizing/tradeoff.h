@@ -1,0 +1,31 @@
+// Area-delay trade-off sweeps (paper Fig. 7): for a list of delay targets
+// expressed as fractions of Dmin, size the circuit with both TILOS and
+// MINFLOTRANSIT and report areas normalized to the minimum-sized circuit.
+#pragma once
+
+#include "sizing/minflotransit.h"
+
+namespace mft {
+
+struct TradeoffPoint {
+  double target_ratio = 0.0;      ///< target delay / Dmin
+  bool tilos_met = false;
+  bool mft_met = false;
+  double tilos_area_ratio = 0.0;  ///< TILOS area / min-sized area
+  double mft_area_ratio = 0.0;    ///< MINFLOTRANSIT area / min-sized area
+  double savings_pct = 0.0;       ///< 100·(1 − mft/tilos), when both met
+  double tilos_seconds = 0.0;
+  double mft_seconds = 0.0;       ///< total including the TILOS warm start
+};
+
+struct TradeoffCurve {
+  double dmin = 0.0;      ///< CP of the minimum-sized circuit
+  double min_area = 0.0;  ///< area of the minimum-sized circuit
+  std::vector<TradeoffPoint> points;
+};
+
+TradeoffCurve area_delay_sweep(const SizingNetwork& net,
+                               const std::vector<double>& target_ratios,
+                               const MinflotransitOptions& opt = {});
+
+}  // namespace mft

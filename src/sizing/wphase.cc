@@ -1,0 +1,52 @@
+#include "sizing/wphase.h"
+
+#include <algorithm>
+
+namespace mft {
+
+WPhaseResult solve_wphase(const SizingNetwork& net,
+                          const std::vector<double>& delay_budget) {
+  MFT_CHECK(net.frozen());
+  MFT_CHECK(static_cast<int>(delay_budget.size()) == net.num_vertices());
+  const Tech& tech = net.tech();
+  WPhaseResult res;
+  res.sizes = net.min_sizes();
+
+  const auto& topo = net.topological_order();
+  const int max_sweeps = std::max(4, net.num_vertices());
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    ++res.sweeps;
+    double max_rel_change = 0.0;
+    // Reverse topological order: fanout sizes settle before their drivers
+    // read them, making the first sweep exact in the triangular case.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId v = *it;
+      const SizingVertex& sv = net.vertex(v);
+      if (sv.kind == VertexKind::kSource) continue;
+      const double d = delay_budget[static_cast<std::size_t>(v)];
+      if (d <= sv.a_self) {
+        // No finite size meets this budget (self-loading already exceeds
+        // it); clamp to max and report infeasibility.
+        res.feasible = false;
+        res.sizes[static_cast<std::size_t>(v)] = tech.max_size;
+        continue;
+      }
+      double load = sv.b;
+      for (const LoadTerm& t : sv.loads)
+        load += t.coeff * res.sizes[static_cast<std::size_t>(t.vertex)];
+      double x = load / (d - sv.a_self);
+      if (x > tech.max_size) {
+        res.feasible = false;
+        x = tech.max_size;
+      }
+      x = std::max(x, tech.min_size);
+      const double old = res.sizes[static_cast<std::size_t>(v)];
+      max_rel_change = std::max(max_rel_change, std::abs(x - old) / old);
+      res.sizes[static_cast<std::size_t>(v)] = x;
+    }
+    if (max_rel_change < 1e-12) break;
+  }
+  return res;
+}
+
+}  // namespace mft

@@ -1,0 +1,31 @@
+// W-phase (paper §2.3.2): minimum-area sizes meeting fixed delay budgets.
+//
+//     minimize Σ x_i   s.t.  (a_self_i·x_i + Σ a_ij x_j + b_i)/x_i ≤ d_i,
+//                            minsize ≤ x_i ≤ maxsize
+//
+// equivalently x_i ≥ (Σ a_ij x_j + b_i)/(d_i − a_self_i), a Simple
+// Monotonic Program (ref [10]): the right-hand side is monotone increasing
+// in every x_j, so the unique minimum-area solution is the least fixpoint,
+// reached by Gauss–Seidel relaxation from all-minimum sizes. A single
+// reverse-topological pass is exact for gate sizing (loads point strictly
+// downstream); mutually-loading transistor blocks converge in a few extra
+// sweeps. Worst case O(|V||E|), matching the paper's bound.
+#pragma once
+
+#include "timing/sizing_network.h"
+
+namespace mft {
+
+struct WPhaseResult {
+  std::vector<double> sizes;
+  /// False if some budget is unachievable: d_i ≤ a_self_i (no size works)
+  /// or the required size exceeds maxsize. Sizes are still returned,
+  /// clamped, so the caller can inspect how close the solution came.
+  bool feasible = true;
+  int sweeps = 0;
+};
+
+WPhaseResult solve_wphase(const SizingNetwork& net,
+                          const std::vector<double>& delay_budget);
+
+}  // namespace mft

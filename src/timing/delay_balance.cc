@@ -1,0 +1,74 @@
+#include "timing/delay_balance.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mft {
+
+DelayBalance compute_delay_balance(const SizingNetwork& net,
+                                   const TimingReport& timing,
+                                   BalanceMode mode) {
+  const Digraph& g = net.dag();
+  DelayBalance bal;
+  bal.critical_path = timing.critical_path;
+  bal.schedule = mode == BalanceMode::kAsap ? timing.at : timing.rt;
+  bal.arc_fsdu.resize(static_cast<std::size_t>(g.num_arcs()));
+  bal.po_fsdu.assign(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const NodeId i = g.tail(a);
+    const NodeId j = g.head(a);
+    bal.arc_fsdu[static_cast<std::size_t>(a)] =
+        bal.schedule[static_cast<std::size_t>(j)] -
+        bal.schedule[static_cast<std::size_t>(i)] -
+        timing.delay[static_cast<std::size_t>(i)];
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (net.vertex(v).is_po || g.out_degree(v) == 0) {
+      bal.po_fsdu[static_cast<std::size_t>(v)] =
+          bal.critical_path - bal.schedule[static_cast<std::size_t>(v)] -
+          timing.delay[static_cast<std::size_t>(v)];
+    }
+  }
+  return bal;
+}
+
+bool check_balanced(const SizingNetwork& net, const TimingReport& timing,
+                    const DelayBalance& bal, std::string* why, double tol) {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  const Digraph& g = net.dag();
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const double f = bal.arc_fsdu[static_cast<std::size_t>(a)];
+    if (f < -tol) {
+      std::ostringstream os;
+      os << "negative FSDU " << f << " on arc " << a;
+      return fail(os.str());
+    }
+    const NodeId i = g.tail(a);
+    const NodeId j = g.head(a);
+    const double lhs = bal.schedule[static_cast<std::size_t>(i)] +
+                       timing.delay[static_cast<std::size_t>(i)] + f;
+    if (std::abs(lhs - bal.schedule[static_cast<std::size_t>(j)]) > tol)
+      return fail("schedule inconsistent with FSDU on arc " +
+                  std::to_string(a));
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (net.is_source(v) &&
+        bal.schedule[static_cast<std::size_t>(v)] < -tol)
+      return fail("source scheduled before time 0");
+    if (net.vertex(v).is_po || g.out_degree(v) == 0) {
+      const double f = bal.po_fsdu[static_cast<std::size_t>(v)];
+      if (f < -tol) return fail("negative PO FSDU at vertex " + std::to_string(v));
+      const double end = bal.schedule[static_cast<std::size_t>(v)] +
+                         timing.delay[static_cast<std::size_t>(v)] + f;
+      if (std::abs(end - bal.critical_path) > tol)
+        return fail("PO vertex " + std::to_string(v) +
+                    " does not meet CP after balancing");
+    }
+  }
+  return true;
+}
+
+}  // namespace mft

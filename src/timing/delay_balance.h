@@ -1,0 +1,40 @@
+// Delay balancing (paper §2.3.1, "Delay Balancing", ref [13]).
+//
+// A delay-balanced configuration assigns a fictitious delay unit (FSDU) to
+// every edge so that all edge slack is captured explicitly: with a vertex
+// schedule t(·), FSDU(i→j) = t(j) − t(i) − delay(i) ≥ 0 and every PI→O path
+// sums to CP(G). The D-phase then *displaces* these FSDUs (eq. (9)) via the
+// min-cost-flow dual. Two canonical schedules are provided; by the paper's
+// Theorem 1 any two balanced configurations are FSDU-displaced versions of
+// each other (a property the tests verify).
+#pragma once
+
+#include "timing/sta.h"
+
+namespace mft {
+
+enum class BalanceMode {
+  kAsap,  ///< t(v) = AT(v): slack pushed onto the latest possible edges
+  kAlap,  ///< t(v) = RT(v): slack pulled as early as possible
+};
+
+struct DelayBalance {
+  std::vector<double> schedule;  ///< t(v) per vertex
+  std::vector<double> arc_fsdu;  ///< FSDU per DAG arc
+  std::vector<double> po_fsdu;   ///< FSDU on the implicit Dmy(i)→O edge,
+                                 ///< meaningful for PO/sink vertices
+  double critical_path = 0.0;
+};
+
+DelayBalance compute_delay_balance(const SizingNetwork& net,
+                                   const TimingReport& timing,
+                                   BalanceMode mode = BalanceMode::kAsap);
+
+/// Verifies the balanced-configuration invariants: every FSDU >= -tol and
+/// the schedule is consistent (t(j) = t(i) + delay(i) + FSDU(i→j) exactly,
+/// sources at t >= 0, POs meeting CP).
+bool check_balanced(const SizingNetwork& net, const TimingReport& timing,
+                    const DelayBalance& bal, std::string* why = nullptr,
+                    double tol = 1e-9);
+
+}  // namespace mft

@@ -1,0 +1,117 @@
+#include <map>
+
+#include "timing/lowering.h"
+
+namespace mft {
+
+LoweredCircuit lower_gate_level(const Netlist& nl, const Tech& tech,
+                                const GateLoweringOptions& opt) {
+  LoweredCircuit out(tech);
+  SizingNetwork& net = out.net;
+  out.gate_vertices.resize(static_cast<std::size_t>(nl.num_gates()));
+  out.wire_vertices.assign(static_cast<std::size_t>(nl.num_gates()),
+                           kInvalidNode);
+
+  // Pass 1: one vertex per gate (sources for PIs). A gate carries the PO
+  // load itself unless a sizeable wire vertex will shield it.
+  std::vector<NodeId> vtx(static_cast<std::size_t>(nl.num_gates()));
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    const bool has_wire = opt.size_wires && !nl.fanouts(g).empty();
+    SizingVertex v;
+    v.name = gate.name;
+    v.origin_gate = g;
+    if (gate.kind == GateKind::kInput) {
+      v.kind = VertexKind::kSource;
+    } else {
+      v.kind = VertexKind::kGate;
+      const double ge =
+          logical_effort(gate.kind, static_cast<int>(gate.fanins.size()));
+      const double pe =
+          parasitic_effort(gate.kind, static_cast<int>(gate.fanins.size()));
+      v.a_self = tech.r_unit * ge * tech.c_par * pe;
+      if (nl.is_output(g) && !has_wire) {
+        v.is_po = true;
+        v.b = tech.r_unit * ge * tech.c_po_load;
+      }
+    }
+    vtx[static_cast<std::size_t>(g)] = net.add_vertex(std::move(v));
+    out.gate_vertices[static_cast<std::size_t>(g)] = {
+        vtx[static_cast<std::size_t>(g)]};
+  }
+
+  // Pass 1b: wire vertex per driven net.
+  if (opt.size_wires) {
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      if (nl.fanouts(g).empty()) continue;
+      SizingVertex w;
+      w.kind = VertexKind::kWire;
+      w.name = nl.gate(g).name + "$wire";
+      w.origin_gate = g;
+      w.is_po = nl.is_output(g);
+      w.b = opt.r_wire * tech.c_wire;  // residual fixed cap
+      if (w.is_po) w.b += opt.r_wire * tech.c_po_load;
+      out.wire_vertices[static_cast<std::size_t>(g)] =
+          net.add_vertex(std::move(w));
+    }
+  }
+
+  // Pass 2: timing arcs and load coefficients.
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    const NodeId vg = vtx[static_cast<std::size_t>(g)];
+    const NodeId wg = out.wire_vertices[static_cast<std::size_t>(g)];
+
+    // Pin multiplicity of every fanout connection.
+    std::map<GateId, int> pin_count;
+    for (GateId h : nl.fanouts(g)) {
+      int pins = 0;
+      for (GateId f : nl.gate(h).fanins)
+        if (f == g) ++pins;
+      pin_count[h] = pins;
+    }
+
+    if (gate.kind != GateKind::kInput) {
+      const double ge =
+          logical_effort(gate.kind, static_cast<int>(gate.fanins.size()));
+      if (wg == kInvalidNode) {
+        // Direct pin + fixed-wire loading.
+        for (const auto& [h, pins] : pin_count) {
+          const Gate& sink = nl.gate(h);
+          const double gh = logical_effort(
+              sink.kind, static_cast<int>(sink.fanins.size()));
+          net.add_load(vg, vtx[static_cast<std::size_t>(h)],
+                       tech.r_unit * ge * tech.c_in * gh * pins);
+          net.add_b(vg, tech.r_unit * ge * tech.c_wire * pins);
+        }
+      } else {
+        // Sizeable wire shields the pins: driver sees c_wire·x_w only.
+        net.add_load(vg, wg, tech.r_unit * ge * tech.c_wire);
+      }
+    }
+
+    // Wire vertex: r_wire/x_w over downstream pin capacitances.
+    if (wg != kInvalidNode) {
+      for (const auto& [h, pins] : pin_count) {
+        const Gate& sink = nl.gate(h);
+        const double gh = logical_effort(
+            sink.kind, static_cast<int>(sink.fanins.size()));
+        net.add_load(wg, vtx[static_cast<std::size_t>(h)],
+                     opt.r_wire * tech.c_in * gh * pins);
+      }
+    }
+
+    // Timing arcs: fanin (or its wire) -> gate; gate -> its wire.
+    for (GateId f : gate.fanins) {
+      const NodeId wf = out.wire_vertices[static_cast<std::size_t>(f)];
+      net.add_arc(wf != kInvalidNode ? wf : vtx[static_cast<std::size_t>(f)],
+                  vg);
+    }
+    if (wg != kInvalidNode) net.add_arc(vg, wg);
+  }
+
+  net.freeze();
+  return out;
+}
+
+}  // namespace mft

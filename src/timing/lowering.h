@@ -1,0 +1,49 @@
+// Lowering from the netlist IR to the sizing IR at two granularities:
+//
+//  - lower_gate_level: one vertex per logic gate, modeled as an equivalent
+//    inverter with logical-effort scaling (the relaxed "gate sizing"
+//    problem of §1, used for the paper's §3 experiments). Optionally adds
+//    one sizeable wire vertex per driven net (§2.1 wire-sizing extension).
+//
+//  - lower_transistor_level: one vertex per transistor, built from each
+//    gate's pullup/pulldown series/parallel planes exactly as §2.1/Fig. 1:
+//    per-plane DAG stages from the output node toward the supply rail,
+//    Elmore load coefficients from the stack's internal nodes, and
+//    cross-gate arcs NMOS-leaves→PMOS-roots / PMOS-leaves→NMOS-roots
+//    (Fig. 2). Requires a primitive-only netlist
+//    (tech_map_to_primitives first).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "timing/sizing_network.h"
+
+namespace mft {
+
+/// A sizing network plus the mapping back to netlist gates.
+struct LoweredCircuit {
+  explicit LoweredCircuit(const Tech& tech) : net(tech) {}
+
+  SizingNetwork net;
+  /// gate_vertices[gate] = sizing vertices of that gate (the source vertex
+  /// for PIs; 1 vertex per gate at gate level; one per transistor at
+  /// transistor level).
+  std::vector<std::vector<NodeId>> gate_vertices;
+  /// wire_vertices[gate] = wire vertex on the gate's output net, or
+  /// kInvalidNode (only populated with size_wires).
+  std::vector<NodeId> wire_vertices;
+};
+
+struct GateLoweringOptions {
+  bool size_wires = false;
+  /// Wire resistance per unit width (only with size_wires).
+  double r_wire = 0.5;
+};
+
+LoweredCircuit lower_gate_level(const Netlist& nl, const Tech& tech,
+                                const GateLoweringOptions& opt = {});
+
+LoweredCircuit lower_transistor_level(const Netlist& nl, const Tech& tech);
+
+}  // namespace mft

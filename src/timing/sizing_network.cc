@@ -1,0 +1,132 @@
+#include "timing/sizing_network.h"
+
+#include <algorithm>
+
+namespace mft {
+
+NodeId SizingNetwork::add_vertex(SizingVertex v) {
+  MFT_CHECK_MSG(topo_.empty(), "network is frozen");
+  MFT_CHECK(v.a_self >= 0.0 && v.b >= 0.0);
+  const NodeId id = dag_.add_node();
+  if (v.kind != VertexKind::kSource) ++num_sizeable_;
+  verts_.push_back(std::move(v));
+  return id;
+}
+
+void SizingNetwork::add_load(NodeId on, NodeId of, double coeff) {
+  MFT_CHECK_MSG(topo_.empty(), "network is frozen");
+  MFT_CHECK(coeff >= 0.0);
+  MFT_CHECK_MSG(on != of, "self-load belongs in a_self");
+  MFT_CHECK_MSG(!is_source(of), "sources are not sizeable loads");
+  verts_[static_cast<std::size_t>(on)].loads.push_back(LoadTerm{of, coeff});
+}
+
+void SizingNetwork::add_b(NodeId v, double delta) {
+  MFT_CHECK_MSG(topo_.empty(), "network is frozen");
+  verts_[static_cast<std::size_t>(v)].b += delta;
+  MFT_CHECK(verts_[static_cast<std::size_t>(v)].b >= 0.0);
+}
+
+void SizingNetwork::add_a_self(NodeId v, double delta) {
+  MFT_CHECK_MSG(topo_.empty(), "network is frozen");
+  verts_[static_cast<std::size_t>(v)].a_self += delta;
+  MFT_CHECK(verts_[static_cast<std::size_t>(v)].a_self >= 0.0);
+}
+
+void SizingNetwork::set_po(NodeId v, bool po) {
+  MFT_CHECK_MSG(topo_.empty(), "network is frozen");
+  verts_[static_cast<std::size_t>(v)].is_po = po;
+}
+
+void SizingNetwork::freeze() {
+  MFT_CHECK(num_vertices() == dag_.num_nodes());
+  auto order = dag_.topological_order();
+  MFT_CHECK_MSG(order.has_value(), "sizing network has a timing cycle");
+  topo_ = std::move(*order);
+  rev_loads_.assign(static_cast<std::size_t>(num_vertices()), {});
+  for (NodeId j = 0; j < num_vertices(); ++j)
+    for (const LoadTerm& t : verts_[static_cast<std::size_t>(j)].loads)
+      rev_loads_[static_cast<std::size_t>(t.vertex)].push_back(
+          LoadTerm{j, t.coeff});
+  for (NodeId v = 0; v < num_vertices(); ++v) {
+    const SizingVertex& sv = verts_[static_cast<std::size_t>(v)];
+    if (sv.kind == VertexKind::kSource) {
+      MFT_CHECK_MSG(sv.loads.empty() && sv.a_self == 0.0 && sv.b == 0.0,
+                    "source vertex '" << sv.name << "' must be delay-free");
+    } else {
+      MFT_CHECK_MSG(sv.b > 0.0 || !sv.loads.empty(),
+                    "sizeable vertex '" << sv.name
+                                        << "' has no load: delay would be "
+                                           "degenerate (zero)");
+    }
+  }
+}
+
+std::vector<double> SizingNetwork::min_sizes() const {
+  std::vector<double> x(static_cast<std::size_t>(num_vertices()), 0.0);
+  for (NodeId v = 0; v < num_vertices(); ++v)
+    if (!is_source(v)) x[static_cast<std::size_t>(v)] = tech_.min_size;
+  return x;
+}
+
+double SizingNetwork::delay(NodeId v, const std::vector<double>& sizes) const {
+  const SizingVertex& sv = vertex(v);
+  if (sv.kind == VertexKind::kSource) return 0.0;
+  const double x = sizes[static_cast<std::size_t>(v)];
+  MFT_DCHECK(x > 0.0);
+  double load = sv.b;
+  for (const LoadTerm& t : sv.loads)
+    load += t.coeff * sizes[static_cast<std::size_t>(t.vertex)];
+  return sv.a_self + load / x;
+}
+
+double SizingNetwork::area(const std::vector<double>& sizes) const {
+  double a = 0.0;
+  for (NodeId v = 0; v < num_vertices(); ++v)
+    if (!is_source(v)) a += sizes[static_cast<std::size_t>(v)];
+  return a;
+}
+
+std::vector<double> SizingNetwork::area_delay_weights(
+    const std::vector<double>& sizes) const {
+  MFT_CHECK(frozen());
+  // Solve (D−A)^T y = 1:
+  //   y_i = (1 + Σ_{j loads i} a_ji · y_j) / (delay(i) − a_self_i).
+  // For gate sizing, loads strictly point downstream and one Gauss–Seidel
+  // sweep in topological order is exact ((D−A) is triangular, §2.3). For
+  // transistor sizing, vertices sharing an electrical node load each other
+  // mutually ((D−A) is *block* triangular), so we iterate sweeps; the
+  // coupling is the weak parasitic term, so convergence is geometric.
+  const std::size_t n = static_cast<std::size_t>(num_vertices());
+  const auto& rev = rev_loads_;
+  std::vector<double> y(n, 0.0);
+  std::vector<double> denom(n, 1.0);
+  for (NodeId v = 0; v < num_vertices(); ++v) {
+    if (is_source(v)) continue;
+    denom[static_cast<std::size_t>(v)] = delay(v, sizes) - vertex(v).a_self;
+    MFT_CHECK_MSG(denom[static_cast<std::size_t>(v)] > 0.0,
+                  "degenerate delay at '" << vertex(v).name << "'");
+  }
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    double max_delta = 0.0;
+    for (NodeId v : topo_) {
+      if (is_source(v)) continue;
+      double acc = 1.0;
+      for (const LoadTerm& t : rev[static_cast<std::size_t>(v)])
+        acc += t.coeff * y[static_cast<std::size_t>(t.vertex)];
+      const double yv = acc / denom[static_cast<std::size_t>(v)];
+      max_delta = std::max(max_delta,
+                           std::abs(yv - y[static_cast<std::size_t>(v)]));
+      y[static_cast<std::size_t>(v)] = yv;
+    }
+    if (max_delta < 1e-12) break;
+  }
+  std::vector<double> weights(n, 0.0);
+  for (NodeId v = 0; v < num_vertices(); ++v)
+    if (!is_source(v))
+      weights[static_cast<std::size_t>(v)] =
+          sizes[static_cast<std::size_t>(v)] * y[static_cast<std::size_t>(v)];
+  return weights;
+}
+
+}  // namespace mft

@@ -1,0 +1,115 @@
+// The sizing IR: the circuit DAG of paper §2.1–2.2 annotated with the
+// simple-monotonic delay decomposition of eq. (4)–(5).
+//
+// Every sizeable element (equivalent-inverter gate, individual transistor,
+// or wire) is a vertex i with size x_i and delay
+//
+//     delay(i) = (a_self_i·x_i + Σ_j a_ij·x_j + b_i) / x_i
+//
+// i.e. exactly  delay(i)·x_i = Σ_j a_ij·x_j + b_i  with the diagonal term
+// a_ii = a_self capturing self-loading. Sources (primary inputs) carry no
+// size and zero delay. Timing-precedence arcs (the DAG) are stored
+// separately from load coefficients: a load a_ij says "x_j appears in
+// delay(i)", an arc i→j says "a transition traverses i before j".
+//
+// Both lowerings (gate_lowering, transistor_lowering) produce this IR; STA,
+// TILOS, the W-phase and the D-phase all operate on it, which is what makes
+// the optimizer granularity-agnostic (paper feature 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "timing/tech.h"
+
+namespace mft {
+
+enum class VertexKind {
+  kSource,      ///< primary input: no size, zero delay
+  kGate,        ///< equivalent-inverter gate (gate sizing)
+  kTransistor,  ///< single transistor (true transistor sizing)
+  kWire,        ///< sizeable wire (the §2.1 wire-sizing extension)
+};
+
+/// One (vertex, coefficient) load term a_ij.
+struct LoadTerm {
+  NodeId vertex = kInvalidNode;
+  double coeff = 0.0;
+};
+
+struct SizingVertex {
+  VertexKind kind = VertexKind::kGate;
+  std::string name;
+  double a_self = 0.0;          ///< a_ii
+  double b = 0.0;               ///< constant term b_i
+  std::vector<LoadTerm> loads;  ///< off-diagonal a_ij, j != i
+  bool is_po = false;           ///< drives a primary output (gets C_L in b)
+  int origin_gate = -1;         ///< netlist GateId this vertex came from
+};
+
+/// The sizing network. Construction: add vertices, add timing arcs, add
+/// loads, then freeze(); afterwards only sizes change.
+class SizingNetwork {
+ public:
+  explicit SizingNetwork(const Tech& tech) : tech_(tech) {}
+
+  NodeId add_vertex(SizingVertex v);
+  void add_arc(NodeId from, NodeId to) { dag_.add_arc(from, to); }
+  void add_load(NodeId on, NodeId of, double coeff);
+
+  /// Pre-freeze adjustments used by the lowerings.
+  void add_b(NodeId v, double delta);
+  void add_a_self(NodeId v, double delta);
+  void set_po(NodeId v, bool po);
+
+  /// Validates invariants (DAG, coefficient signs, sources have no loads)
+  /// and caches the topological order. Must be called before analysis.
+  void freeze();
+  bool frozen() const { return !topo_.empty() || num_vertices() == 0; }
+
+  int num_vertices() const { return static_cast<int>(verts_.size()); }
+  /// Number of sizeable (non-source) vertices.
+  int num_sizeable() const { return num_sizeable_; }
+  const SizingVertex& vertex(NodeId v) const {
+    return verts_[static_cast<std::size_t>(v)];
+  }
+  const Digraph& dag() const { return dag_; }
+  const Tech& tech() const { return tech_; }
+  const std::vector<NodeId>& topological_order() const { return topo_; }
+
+  bool is_source(NodeId v) const {
+    return vertex(v).kind == VertexKind::kSource;
+  }
+
+  /// reverse_loads()[i] = all (j, a_ji) with a load of j on i — i.e. the
+  /// vertices whose delay grows when x_i grows. Available after freeze().
+  const std::vector<std::vector<LoadTerm>>& reverse_loads() const {
+    MFT_CHECK(frozen());
+    return rev_loads_;
+  }
+
+  /// Uniform starting point: every sizeable vertex at min_size, sources 0.
+  std::vector<double> min_sizes() const;
+
+  /// delay(v) under `sizes` (0 for sources).
+  double delay(NodeId v, const std::vector<double>& sizes) const;
+
+  /// Σ x_i over sizeable vertices — the paper's objective (eq. (1)).
+  double area(const std::vector<double>& sizes) const;
+
+  /// Sensitivity weights C_i = x_i · y_i with (D−A)^T y = 1 (DESIGN.md
+  /// §2.2): the first-order decrease in total area per unit of extra delay
+  /// budget at vertex i. Solved by one pass in topological order.
+  std::vector<double> area_delay_weights(const std::vector<double>& sizes) const;
+
+ private:
+  Tech tech_;
+  Digraph dag_;
+  std::vector<SizingVertex> verts_;
+  std::vector<NodeId> topo_;
+  std::vector<std::vector<LoadTerm>> rev_loads_;
+  int num_sizeable_ = 0;
+};
+
+}  // namespace mft

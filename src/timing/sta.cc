@@ -1,0 +1,110 @@
+#include "timing/sta.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mft {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes) {
+  MFT_CHECK(net.frozen());
+  MFT_CHECK(static_cast<int>(sizes.size()) == net.num_vertices());
+  const Digraph& g = net.dag();
+  const std::size_t n = static_cast<std::size_t>(net.num_vertices());
+
+  TimingReport r;
+  r.delay.resize(n);
+  r.at.assign(n, 0.0);
+  r.rt.assign(n, kInf);
+  r.slack.resize(n);
+
+  for (NodeId v = 0; v < net.num_vertices(); ++v)
+    r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
+
+  // Forward: AT(v) = max over fanin j of AT(j) + delay(j); 0 at sources.
+  for (NodeId v : net.topological_order()) {
+    double at = 0.0;
+    for (ArcId a : g.in_arcs(v)) {
+      const NodeId j = g.tail(a);
+      at = std::max(at, r.at[static_cast<std::size_t>(j)] +
+                            r.delay[static_cast<std::size_t>(j)]);
+    }
+    r.at[static_cast<std::size_t>(v)] = at;
+    r.critical_path =
+        std::max(r.critical_path,
+                 at + r.delay[static_cast<std::size_t>(v)]);
+  }
+
+  // Backward: RT(v) = CP − delay(v) at POs, min over fanouts elsewhere.
+  const auto& topo = net.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId v = *it;
+    double rt = kInf;
+    if (net.vertex(v).is_po || g.out_degree(v) == 0)
+      rt = r.critical_path - r.delay[static_cast<std::size_t>(v)];
+    for (ArcId a : g.out_arcs(v)) {
+      const NodeId j = g.head(a);
+      rt = std::min(rt, r.rt[static_cast<std::size_t>(j)] -
+                            r.delay[static_cast<std::size_t>(v)]);
+    }
+    r.rt[static_cast<std::size_t>(v)] = rt;
+    r.slack[static_cast<std::size_t>(v)] =
+        rt - r.at[static_cast<std::size_t>(v)];
+  }
+  return r;
+}
+
+double TimingReport::edge_slack(const SizingNetwork& net, ArcId a) const {
+  const Digraph& g = net.dag();
+  const NodeId i = g.tail(a);
+  const NodeId j = g.head(a);
+  return rt[static_cast<std::size_t>(j)] - at[static_cast<std::size_t>(i)] -
+         delay[static_cast<std::size_t>(i)];
+}
+
+std::vector<NodeId> TimingReport::critical_vertices(
+    const SizingNetwork& net) const {
+  // Walk back from the vertex realizing CP along tight arcs.
+  const Digraph& g = net.dag();
+  NodeId cur = kInvalidNode;
+  double best = -kInf;
+  for (NodeId v = 0; v < net.num_vertices(); ++v) {
+    const double end = at[static_cast<std::size_t>(v)] +
+                       delay[static_cast<std::size_t>(v)];
+    if (end > best) {
+      best = end;
+      cur = v;
+    }
+  }
+  std::vector<NodeId> path;
+  while (cur != kInvalidNode) {
+    path.push_back(cur);
+    NodeId next = kInvalidNode;
+    for (ArcId a : g.in_arcs(cur)) {
+      const NodeId j = g.tail(a);
+      if (std::abs(at[static_cast<std::size_t>(j)] +
+                   delay[static_cast<std::size_t>(j)] -
+                   at[static_cast<std::size_t>(cur)]) <=
+          1e-9 * (1.0 + std::abs(at[static_cast<std::size_t>(cur)]))) {
+        next = j;
+        break;
+      }
+    }
+    cur = next;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool TimingReport::safe(const SizingNetwork& net, double tol) const {
+  for (NodeId v = 0; v < net.num_vertices(); ++v)
+    if (slack[static_cast<std::size_t>(v)] < -tol) return false;
+  for (ArcId a = 0; a < net.dag().num_arcs(); ++a)
+    if (edge_slack(net, a) < -tol) return false;
+  return true;
+}
+
+}  // namespace mft

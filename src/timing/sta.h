@@ -1,0 +1,32 @@
+// Static timing analysis over a SizingNetwork — the attributes of paper
+// eq. (8): arrival time AT, required time RT, slack, edge slack, and the
+// critical path CP(G).
+#pragma once
+
+#include <vector>
+
+#include "timing/sizing_network.h"
+
+namespace mft {
+
+struct TimingReport {
+  std::vector<double> delay;   ///< per-vertex delay under the given sizes
+  std::vector<double> at;      ///< arrival time at the vertex *input*
+  std::vector<double> rt;      ///< required time
+  std::vector<double> slack;   ///< rt - at
+  double critical_path = 0.0;  ///< CP(G) = max_v (at + delay)
+
+  /// Edge slack esl(e_ij) = RT(j) − AT(i) − delay(i)  (eq. (8)).
+  double edge_slack(const SizingNetwork& net, ArcId a) const;
+
+  /// Vertices on (a) critical path, source→sink order.
+  std::vector<NodeId> critical_vertices(const SizingNetwork& net) const;
+
+  /// "Safe" per the paper: all vertex slacks and edge slacks >= -tol.
+  bool safe(const SizingNetwork& net, double tol = 1e-9) const;
+};
+
+/// Full forward/backward sweep. `sizes` indexed by vertex id.
+TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes);
+
+}  // namespace mft

@@ -1,0 +1,61 @@
+#include "timing/tech.h"
+
+#include "util/check.h"
+
+namespace mft {
+
+double logical_effort(GateKind kind, int fanin) {
+  const double k = fanin;
+  switch (kind) {
+    case GateKind::kInput:
+      return 0.0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+      return 1.0;
+    case GateKind::kNand:
+      return (k + 2.0) / 3.0;
+    case GateKind::kNor:
+      return (2.0 * k + 1.0) / 3.0;
+    case GateKind::kAnd:  // NAND + INV lumped
+      return (k + 2.0) / 3.0 + 0.3;
+    case GateKind::kOr:  // NOR + INV lumped
+      return (2.0 * k + 1.0) / 3.0 + 0.3;
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return 4.0 * std::max(1.0, k - 1.0);
+    case GateKind::kAoi21:
+      return 2.0;
+    case GateKind::kOai21:
+      return 5.0 / 3.0;
+  }
+  MFT_CHECK(false);
+  return 1.0;
+}
+
+double parasitic_effort(GateKind kind, int fanin) {
+  const double k = fanin;
+  switch (kind) {
+    case GateKind::kInput:
+      return 0.0;
+    case GateKind::kBuf:
+      return 2.0;
+    case GateKind::kNot:
+      return 1.0;
+    case GateKind::kNand:
+    case GateKind::kNor:
+      return k;
+    case GateKind::kAnd:
+    case GateKind::kOr:
+      return k + 1.0;
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return 4.0 * std::max(1.0, k - 1.0);
+    case GateKind::kAoi21:
+    case GateKind::kOai21:
+      return 3.0;
+  }
+  MFT_CHECK(false);
+  return 1.0;
+}
+
+}  // namespace mft

@@ -1,0 +1,42 @@
+// Technology parameters for the Elmore delay model.
+//
+// The paper's constants (eq. (2)): A = unit-transistor resistance, B/C =
+// unit drain/source capacitance, D/E = wire capacitances, C_L = output
+// load. We work in normalized units (R_unit = C_in = 1), which is
+// sufficient because the paper's evaluation reports only *relative* area
+// (vs. minimum-sized) and *relative* delay (vs. Dmin) — see DESIGN.md §3.
+//
+// For gate sizing, a gate is modeled as an equivalent inverter whose drive
+// resistance and pin capacitance are scaled by logical-effort-style factors
+// per gate kind (Sutherland/Sproull-style: NANDk g=(k+2)/3, NORk
+// g=(2k+1)/3), so multi-input gates are intrinsically slower and heavier —
+// the same asymmetry the per-transistor model exposes exactly.
+#pragma once
+
+#include "netlist/cell.h"
+
+namespace mft {
+
+struct Tech {
+  double r_unit = 1.0;    ///< output resistance of a unit-size device (A)
+  double c_in = 1.0;      ///< gate (input) capacitance per unit size
+  double c_par = 0.15;    ///< drain/source parasitic cap per unit size (B,C)
+                          ///< (low enough that 0.4·Dmin targets stay
+                          ///< reachable, as in the paper's §3 experiments)
+  double c_wire = 0.6;    ///< wire capacitance per fanout branch (D,E)
+  double c_po_load = 4.0; ///< primary-output load capacitance (C_L)
+
+  double min_size = 1.0;
+  double max_size = 128.0;
+};
+
+/// Logical effort g(kind, fanin): relative drive resistance (and pin
+/// capacitance) of the gate vs. an inverter at equal size. Composite kinds
+/// (AND/OR/XOR/...) get effective single-stage approximations — exact
+/// values are irrelevant to the optimization, monotonicity in fanin is.
+double logical_effort(GateKind kind, int fanin);
+
+/// Parasitic effort p(kind, fanin): self-loading relative to an inverter.
+double parasitic_effort(GateKind kind, int fanin);
+
+}  // namespace mft

@@ -1,0 +1,267 @@
+// Transistor-level lowering (paper §2.1–2.2, Fig. 1–2).
+//
+// Per gate and per conduction plane (NMOS pulldown, PMOS pullup = dual):
+//  - every transistor is a vertex;
+//  - the plane's series/parallel tree is flattened into *levels* counted
+//    from the output node toward the supply rail, aligned at the output
+//    side (exact for all primitive cells, whose nesting depth is <= 2);
+//  - Elmore load coefficients: a transistor at level L carries, under its
+//    1/x resistance, the capacitance of the output node plus every internal
+//    stack node above it (drain+source parasitics of the adjacent levels),
+//    which reproduces eq. (2)/(3) exactly for NAND stacks;
+//  - DAG arcs run from the output side ("higher up in the discharging
+//    path") toward the rail, so root vertices sit at the output node and
+//    leaf vertices at the rail;
+//  - cross-gate arcs connect NMOS leaves of the driver to the PMOS roots of
+//    the driven gate that share a conduction path with the driven
+//    transistor, and vice versa (Fig. 2).
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "timing/lowering.h"
+#include "util/str.h"
+
+namespace mft {
+namespace {
+
+/// One conduction plane of one gate, flattened.
+struct Plane {
+  struct Device {
+    int pin = -1;    ///< gate input pin driving this transistor
+    int level = 0;   ///< 0 = adjacent to the output node
+    NodeId vertex = kInvalidNode;
+  };
+  std::vector<Device> devices;
+  std::vector<std::vector<int>> members;          ///< device indices by level
+  std::vector<std::pair<int, int>> series_arcs;   ///< device -> device
+  std::vector<int> entries, exits;                ///< device indices
+  std::map<int, std::vector<int>> pin_roots;      ///< pin -> root devices
+  int depth = 0;
+};
+
+struct SubInfo {
+  std::vector<int> entries, exits;
+  int depth = 0;
+};
+
+SubInfo build_plane(const SpTree& t, int start_level, Plane& plane) {
+  switch (t.kind()) {
+    case SpKind::kLeaf: {
+      const int idx = static_cast<int>(plane.devices.size());
+      plane.devices.push_back(Plane::Device{t.pin(), start_level, kInvalidNode});
+      plane.pin_roots[t.pin()] = {idx};
+      return SubInfo{{idx}, {idx}, 1};
+    }
+    case SpKind::kSeries: {
+      SubInfo all;
+      int level = start_level;
+      std::vector<int> prev_exits;
+      std::vector<int> first_entries;
+      for (std::size_t i = 0; i < t.children().size(); ++i) {
+        // Record which pins belong to this child so non-first children can
+        // have their roots redirected to the series head.
+        const std::size_t pins_before = plane.devices.size();
+        SubInfo info = build_plane(t.children()[i], level, plane);
+        level += info.depth;
+        all.depth += info.depth;
+        if (i == 0) {
+          all.entries = info.entries;
+          first_entries = info.entries;
+        } else {
+          for (int u : prev_exits)
+            for (int v : info.entries) plane.series_arcs.emplace_back(u, v);
+          // Any conduction path through a non-head child enters the series
+          // block through the head's entries.
+          for (std::size_t d = pins_before; d < plane.devices.size(); ++d)
+            plane.pin_roots[plane.devices[d].pin] = first_entries;
+        }
+        prev_exits = info.exits;
+      }
+      all.exits = prev_exits;
+      return all;
+    }
+    case SpKind::kParallel: {
+      SubInfo all;
+      for (const SpTree& c : t.children()) {
+        SubInfo info = build_plane(c, start_level, plane);
+        all.entries.insert(all.entries.end(), info.entries.begin(),
+                           info.entries.end());
+        all.exits.insert(all.exits.end(), info.exits.begin(),
+                         info.exits.end());
+        all.depth = std::max(all.depth, info.depth);
+      }
+      return all;
+    }
+  }
+  MFT_CHECK(false);
+  return {};
+}
+
+Plane make_plane(const SpTree& topology) {
+  Plane plane;
+  SubInfo top = build_plane(topology, 0, plane);
+  plane.entries = std::move(top.entries);
+  plane.exits = std::move(top.exits);
+  plane.depth = top.depth;
+  plane.members.resize(static_cast<std::size_t>(plane.depth));
+  for (std::size_t d = 0; d < plane.devices.size(); ++d)
+    plane.members[static_cast<std::size_t>(plane.devices[d].level)].push_back(
+        static_cast<int>(d));
+  return plane;
+}
+
+}  // namespace
+
+LoweredCircuit lower_transistor_level(const Netlist& nl, const Tech& tech) {
+  MFT_CHECK_MSG(nl.is_primitive_only(),
+                "transistor lowering requires a primitive netlist; run "
+                "tech_map_to_primitives first");
+  LoweredCircuit out(tech);
+  SizingNetwork& net = out.net;
+  out.gate_vertices.resize(static_cast<std::size_t>(nl.num_gates()));
+  out.wire_vertices.assign(static_cast<std::size_t>(nl.num_gates()),
+                           kInvalidNode);
+
+  // Pass 1: vertices. Planes indexed [gate][0=pulldown NMOS, 1=pullup PMOS].
+  std::vector<std::array<Plane, 2>> planes(
+      static_cast<std::size_t>(nl.num_gates()));
+  std::vector<NodeId> source_vtx(static_cast<std::size_t>(nl.num_gates()),
+                                 kInvalidNode);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kInput) {
+      SizingVertex v;
+      v.kind = VertexKind::kSource;
+      v.name = gate.name;
+      v.origin_gate = g;
+      source_vtx[static_cast<std::size_t>(g)] = net.add_vertex(std::move(v));
+      out.gate_vertices[static_cast<std::size_t>(g)] = {
+          source_vtx[static_cast<std::size_t>(g)]};
+      continue;
+    }
+    const int fanin = static_cast<int>(gate.fanins.size());
+    const SpTree pd = pulldown_topology(gate.kind, fanin);
+    planes[static_cast<std::size_t>(g)][0] = make_plane(pd);
+    planes[static_cast<std::size_t>(g)][1] = make_plane(pd.dual());
+    for (int pl = 0; pl < 2; ++pl) {
+      Plane& plane = planes[static_cast<std::size_t>(g)][static_cast<std::size_t>(pl)];
+      for (std::size_t d = 0; d < plane.devices.size(); ++d) {
+        SizingVertex v;
+        v.kind = VertexKind::kTransistor;
+        v.name = strf("%s_%s%zu", gate.name.c_str(), pl == 0 ? "n" : "p", d);
+        v.origin_gate = g;
+        plane.devices[d].vertex = net.add_vertex(std::move(v));
+        out.gate_vertices[static_cast<std::size_t>(g)].push_back(
+            plane.devices[d].vertex);
+      }
+    }
+  }
+
+  // Pass 2: load coefficients and arcs.
+  const double rc_par = tech.r_unit * tech.c_par;
+  const double rc_in = tech.r_unit * tech.c_in;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kInput) continue;
+
+    // Output-node capacitors: level-0 drains of both planes, wire, pins.
+    std::vector<NodeId> out_node_devices;
+    for (int pl = 0; pl < 2; ++pl) {
+      const Plane& plane =
+          planes[static_cast<std::size_t>(g)][static_cast<std::size_t>(pl)];
+      for (int d : plane.members[0])
+        out_node_devices.push_back(
+            plane.devices[static_cast<std::size_t>(d)].vertex);
+    }
+    std::vector<NodeId> driven_pins;  // transistors whose gates hang on net
+    int connections = 0;
+    for (GateId h : nl.fanouts(g)) {
+      const Gate& sink = nl.gate(h);
+      for (std::size_t pin = 0; pin < sink.fanins.size(); ++pin) {
+        if (sink.fanins[pin] != g) continue;
+        ++connections;
+        for (int pl = 0; pl < 2; ++pl) {
+          const Plane& sp =
+              planes[static_cast<std::size_t>(h)][static_cast<std::size_t>(pl)];
+          for (const Plane::Device& dev : sp.devices)
+            if (dev.pin == static_cast<int>(pin))
+              driven_pins.push_back(dev.vertex);
+        }
+      }
+    }
+    const double fixed_b =
+        tech.r_unit * (tech.c_wire * connections +
+                       (nl.is_output(g) ? tech.c_po_load : 0.0));
+
+    for (int pl = 0; pl < 2; ++pl) {
+      const Plane& plane =
+          planes[static_cast<std::size_t>(g)][static_cast<std::size_t>(pl)];
+      for (const Plane::Device& dev : plane.devices) {
+        const NodeId t = dev.vertex;
+        auto load = [&](NodeId j, double coeff) {
+          if (j == t)
+            net.add_a_self(t, coeff);
+          else
+            net.add_load(t, j, coeff);
+        };
+        // Internal stack nodes above this device: boundary bd sits between
+        // levels bd-1 and bd and carries the parasitics of both.
+        for (int bd = 1; bd <= dev.level; ++bd) {
+          for (int lv = bd - 1; lv <= bd; ++lv)
+            for (int m : plane.members[static_cast<std::size_t>(lv)])
+              load(plane.devices[static_cast<std::size_t>(m)].vertex, rc_par);
+        }
+        // Output node.
+        for (NodeId j : out_node_devices) load(j, rc_par);
+        for (NodeId j : driven_pins) load(j, rc_in);
+        net.add_b(t, fixed_b);
+        if (nl.is_output(g) &&
+            std::find(plane.exits.begin(), plane.exits.end(),
+                      static_cast<int>(&dev - plane.devices.data())) !=
+                plane.exits.end())
+          net.set_po(t, true);
+      }
+      // Intra-plane series arcs (output side -> rail side).
+      for (const auto& [u, v] : plane.series_arcs)
+        net.add_arc(plane.devices[static_cast<std::size_t>(u)].vertex,
+                    plane.devices[static_cast<std::size_t>(v)].vertex);
+    }
+  }
+
+  // Pass 3: cross-gate arcs. For every connection driver->(gate h, pin p):
+  // driver NMOS exits -> h's PMOS roots reaching p, and PMOS exits -> NMOS
+  // roots reaching p. PIs connect from their source vertex to both planes.
+  for (GateId h = 0; h < nl.num_gates(); ++h) {
+    const Gate& sink = nl.gate(h);
+    if (sink.kind == GateKind::kInput) continue;
+    for (std::size_t pin = 0; pin < sink.fanins.size(); ++pin) {
+      const GateId drv = sink.fanins[pin];
+      for (int sink_pl = 0; sink_pl < 2; ++sink_pl) {
+        const Plane& sp = planes[static_cast<std::size_t>(h)]
+                                [static_cast<std::size_t>(sink_pl)];
+        auto roots_it = sp.pin_roots.find(static_cast<int>(pin));
+        MFT_CHECK(roots_it != sp.pin_roots.end());
+        if (nl.is_input(drv)) {
+          for (int r : roots_it->second)
+            net.add_arc(source_vtx[static_cast<std::size_t>(drv)],
+                        sp.devices[static_cast<std::size_t>(r)].vertex);
+          continue;
+        }
+        // NMOS driver plane (0) pairs with PMOS sink plane (1), and vice
+        // versa: a falling driver output turns on the sink's PMOS plane.
+        const Plane& dp = planes[static_cast<std::size_t>(drv)]
+                                [static_cast<std::size_t>(1 - sink_pl)];
+        for (int e : dp.exits)
+          for (int r : roots_it->second)
+            net.add_arc(dp.devices[static_cast<std::size_t>(e)].vertex,
+                        sp.devices[static_cast<std::size_t>(r)].vertex);
+      }
+    }
+  }
+
+  net.freeze();
+  return out;
+}
+
+}  // namespace mft

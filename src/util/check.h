@@ -1,0 +1,56 @@
+// Lightweight runtime-check macros used across the library.
+//
+// MFT_CHECK(cond)        — always-on invariant check; throws mft::CheckError.
+// MFT_CHECK_MSG(cond, m) — same, with a streamed message.
+// MFT_DCHECK(cond)       — debug-only (compiled out under NDEBUG).
+//
+// We throw instead of aborting so that tests can assert on failures and so
+// that library users get a catchable error type.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mft {
+
+/// Error thrown when an MFT_CHECK fails. Carries file:line context.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mft
+
+#define MFT_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::mft::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MFT_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream mft_check_os_;                              \
+      mft_check_os_ << msg;                                          \
+      ::mft::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                  mft_check_os_.str());              \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define MFT_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define MFT_DCHECK(cond) MFT_CHECK(cond)
+#endif

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generator for circuit generation.
+//
+// All generators in src/gen take an explicit seed so that every benchmark
+// circuit is bit-reproducible across runs and machines. We wrap a fixed
+// engine (splitmix64-seeded xoshiro-style via std::mt19937_64) rather than
+// std::default_random_engine, whose definition is implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/check.h"
+
+namespace mft {
+
+/// Deterministic RNG with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    MFT_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    MFT_DCHECK(n > 0);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool flip(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Geometric-ish fanin sampler: returns lo..hi with mass decaying by
+  /// `decay` per step; used to mimic ISCAS fanin distributions.
+  int decaying_int(int lo, int hi, double decay) {
+    int v = lo;
+    while (v < hi && flip(decay)) ++v;
+    return v;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mft

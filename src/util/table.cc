@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mft {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MFT_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MFT_CHECK_MSG(row.size() == header_.size(),
+                "row arity " << row.size() << " != header " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? " | " : "| ") << row[c]
+         << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "-+-" : "+-") << std::string(width[c], '-');
+  os << "-+\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << row[c];
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace mft

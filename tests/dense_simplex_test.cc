@@ -1,0 +1,80 @@
+// Unit tests for the dense simplex oracle itself.
+#include <gtest/gtest.h>
+
+#include "lp/dense_simplex.h"
+
+namespace mft {
+namespace {
+
+TEST(DenseLp, SolvesTextbookTwoVarProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  DenseLp lp(2);
+  lp.set_objective(0, 3.0);
+  lp.set_objective(1, 5.0);
+  lp.add_row({1, 0}, 4);
+  lp.add_row({0, 2}, 12);
+  lp.add_row({3, 2}, 18);
+  lp.add_row({-1, 0}, 0);
+  lp.add_row({0, -1}, 0);
+  auto sol = lp.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 36.0, 1e-7);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-7);
+}
+
+TEST(DenseLp, HandlesFreeVariablesGoingNegative) {
+  // max -x s.t. x >= -5  ->  x = -5.
+  DenseLp lp(1);
+  lp.set_objective(0, -1.0);
+  lp.add_row({-1.0}, 5.0);  // -x <= 5
+  lp.add_row({1.0}, 100.0);
+  auto sol = lp.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->x[0], -5.0, 1e-7);
+}
+
+TEST(DenseLp, DetectsUnbounded) {
+  DenseLp lp(1);
+  lp.set_objective(0, 1.0);
+  lp.add_row({-1.0}, 0.0);  // only a lower bound
+  EXPECT_FALSE(lp.solve().has_value());
+}
+
+TEST(DenseLp, DetectsInfeasible) {
+  DenseLp lp(1);
+  lp.set_objective(0, 1.0);
+  lp.add_row({1.0}, 1.0);    // x <= 1
+  lp.add_row({-1.0}, -2.0);  // x >= 2
+  EXPECT_FALSE(lp.solve().has_value());
+}
+
+TEST(DenseLp, EqualityViaBoundsPinsVariable) {
+  DenseLp lp(2);
+  lp.set_objective(1, 1.0);
+  lp.add_bounds(0, 3.0, 3.0);
+  lp.add_row({-1, 1}, 2.0);  // y - x <= 2
+  lp.add_bounds(1, -100.0, 100.0);
+  auto sol = lp.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->x[0], 3.0, 1e-7);
+  EXPECT_NEAR(sol->x[1], 5.0, 1e-7);
+}
+
+TEST(DenseLp, DegenerateConstraintsStillTerminate) {
+  // Several redundant rows through the same vertex (classic cycling bait —
+  // Bland's rule must cope).
+  DenseLp lp(2);
+  lp.set_objective(0, 1.0);
+  lp.set_objective(1, 1.0);
+  for (int k = 1; k <= 4; ++k)
+    lp.add_row({static_cast<double>(k), static_cast<double>(k)}, 2.0 * k);
+  lp.add_row({-1, 0}, 0);
+  lp.add_row({0, -1}, 0);
+  auto sol = lp.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 2.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace mft

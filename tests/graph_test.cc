@@ -1,0 +1,119 @@
+// Tests for the digraph container and series/parallel trees.
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/sp_tree.h"
+#include "util/rng.h"
+
+namespace mft {
+namespace {
+
+TEST(Digraph, BasicConstruction) {
+  Digraph g(3);
+  const ArcId a = g.add_arc(0, 1);
+  const ArcId b = g.add_arc(1, 2);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(g.tail(a), 0);
+  EXPECT_EQ(g.head(a), 1);
+  EXPECT_EQ(g.out_degree(1), 1);
+  EXPECT_EQ(g.in_degree(1), 1);
+  EXPECT_EQ(g.out_arcs(1).front(), b);
+}
+
+TEST(Digraph, TopologicalOrderRespectsArcs) {
+  Digraph g(5);
+  g.add_arc(3, 1);
+  g.add_arc(1, 4);
+  g.add_arc(3, 4);
+  g.add_arc(0, 3);
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(5);
+  for (int i = 0; i < 5; ++i) pos[static_cast<std::size_t>((*order)[static_cast<std::size_t>(i)])] = i;
+  for (ArcId a = 0; a < g.num_arcs(); ++a)
+    EXPECT_LT(pos[static_cast<std::size_t>(g.tail(a))], pos[static_cast<std::size_t>(g.head(a))]);
+}
+
+TEST(Digraph, CycleHasNoTopologicalOrder) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);
+  EXPECT_FALSE(g.topological_order().has_value());
+  EXPECT_FALSE(g.is_dag());
+}
+
+TEST(Digraph, SourcesAndSinks) {
+  Digraph g(4);
+  g.add_arc(0, 2);
+  g.add_arc(1, 2);
+  g.add_arc(2, 3);
+  EXPECT_EQ(g.sources(), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(g.sinks(), (std::vector<NodeId>{3}));
+}
+
+TEST(Digraph, Reachability) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  EXPECT_TRUE(g.reachable(0, 2));
+  EXPECT_TRUE(g.reachable(2, 2));
+  EXPECT_FALSE(g.reachable(2, 0));
+  EXPECT_FALSE(g.reachable(0, 3));
+}
+
+TEST(Digraph, RandomDagAlwaysHasOrder) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.uniform_int(2, 40);
+    Digraph g(n);
+    for (int e = 0; e < 3 * n; ++e) {
+      int u = rng.uniform_int(0, n - 2);
+      int v = rng.uniform_int(u + 1, n - 1);
+      g.add_arc(u, v);  // forward arcs only => DAG by construction
+    }
+    EXPECT_TRUE(g.is_dag());
+  }
+}
+
+TEST(SpTree, NandPulldownShape) {
+  // 3-input NAND: pulldown = series of 3, pullup = parallel of 3 (Fig. 1).
+  SpTree pd = SpTree::series({SpTree::leaf(0), SpTree::leaf(1), SpTree::leaf(2)});
+  EXPECT_EQ(pd.num_transistors(), 3);
+  EXPECT_EQ(pd.stack_depth(), 3);
+  SpTree pu = pd.dual();
+  EXPECT_EQ(pu.kind(), SpKind::kParallel);
+  EXPECT_EQ(pu.num_transistors(), 3);
+  EXPECT_EQ(pu.stack_depth(), 1);
+}
+
+TEST(SpTree, DualIsInvolution) {
+  SpTree aoi = SpTree::parallel(
+      {SpTree::series({SpTree::leaf(0), SpTree::leaf(1)}), SpTree::leaf(2)});
+  EXPECT_EQ(aoi.dual().dual().to_string(), aoi.to_string());
+}
+
+TEST(SpTree, SingleChildCollapses) {
+  SpTree t = SpTree::series({SpTree::leaf(4)});
+  EXPECT_EQ(t.kind(), SpKind::kLeaf);
+  EXPECT_EQ(t.pin(), 4);
+}
+
+TEST(SpTree, StackDepthOfNestedNetwork) {
+  // (a.b + c).d -> depth 3
+  SpTree t = SpTree::series(
+      {SpTree::parallel({SpTree::series({SpTree::leaf(0), SpTree::leaf(1)}),
+                         SpTree::leaf(2)}),
+       SpTree::leaf(3)});
+  EXPECT_EQ(t.stack_depth(), 3);
+  EXPECT_EQ(t.num_transistors(), 4);
+}
+
+TEST(SpTree, ToStringRoundTripShape) {
+  SpTree t = SpTree::parallel({SpTree::leaf(0), SpTree::leaf(1)});
+  EXPECT_EQ(t.to_string(), "(p0+p1)");
+}
+
+}  // namespace
+}  // namespace mft

@@ -1,0 +1,207 @@
+// Tests for the netlist IR, cell definitions, tech mapping and .bench I/O.
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+#include "netlist/stats.h"
+#include "util/rng.h"
+
+namespace mft {
+namespace {
+
+Netlist two_nand_chain() {
+  Netlist nl("chain");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g1 = nl.add_gate(GateKind::kNand, "g1", {a, b});
+  const GateId g2 = nl.add_gate(GateKind::kNand, "g2", {g1, b});
+  nl.mark_output(g2);
+  return nl;
+}
+
+TEST(Netlist, BasicTopology) {
+  Netlist nl = two_nand_chain();
+  EXPECT_EQ(nl.num_gates(), 4);
+  EXPECT_EQ(nl.num_logic_gates(), 2);
+  EXPECT_EQ(nl.num_inputs(), 2);
+  EXPECT_EQ(nl.num_outputs(), 1);
+  EXPECT_EQ(nl.depth(), 2);
+  const GateId b = nl.find("b");
+  ASSERT_NE(b, kInvalidGate);
+  EXPECT_EQ(nl.fanouts(b).size(), 2u);  // drives g1 and g2
+  std::string why;
+  EXPECT_TRUE(nl.validate(&why)) << why;
+}
+
+TEST(Netlist, RejectsBadConstruction) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), CheckError);            // duplicate
+  EXPECT_THROW(nl.add_gate(GateKind::kNot, "n", {a, a}), CheckError);  // arity
+  EXPECT_THROW(nl.add_gate(GateKind::kNand, "m", {99}), CheckError);   // bad id
+}
+
+TEST(Netlist, ValidateFlagsDanglingGate) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  nl.add_gate(GateKind::kNot, "n", {a});  // never marked output, no fanout
+  std::string why;
+  EXPECT_FALSE(nl.validate(&why));
+  EXPECT_NE(why.find("dangles"), std::string::npos);
+}
+
+TEST(Netlist, EvaluateNandChain) {
+  Netlist nl = two_nand_chain();
+  // g1 = !(a&b); g2 = !(g1&b)
+  EXPECT_EQ(nl.evaluate({false, false}), (std::vector<bool>{true}));
+  EXPECT_EQ(nl.evaluate({true, true}), (std::vector<bool>{true}));
+  EXPECT_EQ(nl.evaluate({false, true}), (std::vector<bool>{false}));
+}
+
+TEST(Netlist, EvaluateAllKinds) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_input("c");
+  const GateId aoi = nl.add_gate(GateKind::kAoi21, "aoi", {a, b, c});
+  const GateId oai = nl.add_gate(GateKind::kOai21, "oai", {a, b, c});
+  const GateId x3 = nl.add_gate(GateKind::kXor, "x3", {a, b, c});
+  nl.mark_output(aoi);
+  nl.mark_output(oai);
+  nl.mark_output(x3);
+  for (int m = 0; m < 8; ++m) {
+    const bool va = m & 1, vb = m & 2, vc = m & 4;
+    auto out = nl.evaluate({va, vb, vc});
+    EXPECT_EQ(out[0], !((va && vb) || vc)) << m;
+    EXPECT_EQ(out[1], !((va || vb) && vc)) << m;
+    EXPECT_EQ(out[2], (va != vb) != vc) << m;
+  }
+}
+
+TEST(Cell, KindStringsRoundTrip) {
+  for (GateKind k :
+       {GateKind::kBuf, GateKind::kNot, GateKind::kAnd, GateKind::kNand,
+        GateKind::kOr, GateKind::kNor, GateKind::kXor, GateKind::kXnor,
+        GateKind::kAoi21, GateKind::kOai21})
+    EXPECT_EQ(gate_kind_from_string(to_string(k)), k);
+  EXPECT_THROW(gate_kind_from_string("FLIPFLOP"), CheckError);
+}
+
+TEST(Cell, PulldownTopologies) {
+  EXPECT_EQ(pulldown_topology(GateKind::kNand, 3).to_string(), "(p0.p1.p2)");
+  EXPECT_EQ(pulldown_topology(GateKind::kNor, 2).to_string(), "(p0+p1)");
+  EXPECT_EQ(pulldown_topology(GateKind::kAoi21, 3).to_string(), "((p0.p1)+p2)");
+  EXPECT_EQ(pulldown_topology(GateKind::kNot, 1).to_string(), "p0");
+  EXPECT_THROW(pulldown_topology(GateKind::kXor, 2), CheckError);
+}
+
+TEST(TechMap, PreservesFunctionOnRandomVectors) {
+  // Build a composite-rich netlist and check the primitive version computes
+  // the same outputs on random input vectors.
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_input("c");
+  const GateId d = nl.add_input("d");
+  const GateId x = nl.add_gate(GateKind::kXor, "x", {a, b, c});
+  const GateId o = nl.add_gate(GateKind::kOr, "o", {x, d});
+  const GateId n = nl.add_gate(GateKind::kXnor, "n", {o, a});
+  const GateId f = nl.add_gate(GateKind::kBuf, "f", {n});
+  const GateId g = nl.add_gate(GateKind::kAnd, "g", {f, c, d});
+  nl.mark_output(g);
+  nl.mark_output(x);
+
+  Netlist prim = tech_map_to_primitives(nl);
+  EXPECT_TRUE(prim.is_primitive_only());
+  EXPECT_FALSE(nl.is_primitive_only());
+  std::string why;
+  EXPECT_TRUE(prim.validate(&why)) << why;
+  ASSERT_EQ(prim.num_inputs(), nl.num_inputs());
+  ASSERT_EQ(prim.num_outputs(), nl.num_outputs());
+  for (int m = 0; m < 16; ++m) {
+    const std::vector<bool> in{static_cast<bool>(m & 1),
+                               static_cast<bool>(m & 2),
+                               static_cast<bool>(m & 4),
+                               static_cast<bool>(m & 8)};
+    EXPECT_EQ(nl.evaluate(in), prim.evaluate(in)) << "vector " << m;
+  }
+}
+
+TEST(BenchIo, ParsesC17Text) {
+  const std::string text = R"(# c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+)";
+  Netlist nl = read_bench_string(text, "c17");
+  EXPECT_EQ(nl.num_inputs(), 5);
+  EXPECT_EQ(nl.num_outputs(), 2);
+  EXPECT_EQ(nl.num_logic_gates(), 6);
+  EXPECT_EQ(nl.depth(), 3);
+  std::string why;
+  EXPECT_TRUE(nl.validate(&why)) << why;
+}
+
+TEST(BenchIo, HandlesForwardReferences) {
+  // Gates defined out of order must still resolve.
+  const std::string text = R"(
+INPUT(a)
+OUTPUT(z)
+z = NOT(y)
+y = NAND(a, a2)
+a2 = NOT(a)
+)";
+  Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.num_logic_gates(), 3);
+  EXPECT_EQ(nl.find("z") != kInvalidGate, true);
+}
+
+TEST(BenchIo, RejectsUndefinedSignals) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nz = NAND(a, ghost)\nOUTPUT(z)\n"),
+               CheckError);
+}
+
+TEST(BenchIo, RejectsMalformedLines) {
+  EXPECT_THROW(read_bench_string("z NAND(a, b)\n"), CheckError);
+  EXPECT_THROW(read_bench_string("INPUT a\n"), CheckError);
+}
+
+TEST(BenchIo, RoundTripPreservesStructureAndFunction) {
+  Rng rng(55);
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g1 = nl.add_gate(GateKind::kXor, "g1", {a, b});
+  const GateId g2 = nl.add_gate(GateKind::kAoi21, "g2", {a, b, g1});
+  nl.mark_output(g2);
+  Netlist back = read_bench_string(write_bench_string(nl), "rt");
+  EXPECT_EQ(back.num_logic_gates(), nl.num_logic_gates());
+  for (int m = 0; m < 4; ++m) {
+    const std::vector<bool> in{static_cast<bool>(m & 1),
+                               static_cast<bool>(m & 2)};
+    EXPECT_EQ(nl.evaluate(in), back.evaluate(in));
+  }
+}
+
+TEST(Stats, CountsAreConsistent) {
+  Netlist nl = two_nand_chain();
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.num_logic_gates, 2);
+  EXPECT_EQ(s.depth, 2);
+  EXPECT_DOUBLE_EQ(s.avg_fanin, 2.0);
+  EXPECT_EQ(s.kind_histogram.at(GateKind::kNand), 2);
+  EXPECT_EQ(s.max_fanout, 2);
+}
+
+}  // namespace
+}  // namespace mft

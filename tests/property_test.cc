@@ -1,0 +1,173 @@
+// Randomized property tests over the whole stack, parameterized by seed
+// (TEST_P sweeps): monotonicity laws of the Elmore IR, W-phase optimality
+// laws (idempotence, least-fixpoint dominance), D-phase safety laws
+// (non-negative objective, causality preservation), and TILOS dominance.
+#include <gtest/gtest.h>
+
+#include "gen/blocks.h"
+#include "netlist/bench_io.h"
+#include "sizing/minflotransit.h"
+#include "timing/delay_balance.h"
+#include "timing/lowering.h"
+#include "util/rng.h"
+
+namespace mft {
+namespace {
+
+Netlist random_circuit(std::uint64_t seed) {
+  RandomLogicParams p;
+  Rng rng(seed);
+  p.num_inputs = rng.uniform_int(6, 20);
+  p.num_gates = rng.uniform_int(40, 240);
+  p.seed = seed * 977 + 1;
+  return make_random_logic(p);
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST_P(SeededProperty, UpsizingIsMonotoneInTheElmoreModel) {
+  Netlist nl = random_circuit(GetParam());
+  LoweredCircuit lc = lower_gate_level(nl, Tech{});
+  Rng rng(GetParam() ^ 0xABCD);
+  std::vector<double> x = lc.net.min_sizes();
+  for (NodeId v = 0; v < lc.net.num_vertices(); ++v)
+    if (!lc.net.is_source(v))
+      x[static_cast<std::size_t>(v)] = rng.uniform(1.0, 8.0);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    NodeId v = static_cast<NodeId>(rng.index(
+        static_cast<std::size_t>(lc.net.num_vertices())));
+    if (lc.net.is_source(v)) continue;
+    const double own_before = lc.net.delay(v, x);
+    std::vector<double> upstream_before;
+    for (const LoadTerm& t : lc.net.reverse_loads()[static_cast<std::size_t>(v)])
+      upstream_before.push_back(lc.net.delay(t.vertex, x));
+
+    auto y = x;
+    y[static_cast<std::size_t>(v)] *= 1.5;
+    // Own delay can only drop; every loading driver can only slow down.
+    EXPECT_LE(lc.net.delay(v, y), own_before + 1e-12);
+    std::size_t k = 0;
+    for (const LoadTerm& t : lc.net.reverse_loads()[static_cast<std::size_t>(v)])
+      EXPECT_GE(lc.net.delay(t.vertex, y), upstream_before[k++] - 1e-12);
+  }
+}
+
+TEST_P(SeededProperty, CriticalPathIsMaxOverAllPathSums) {
+  Netlist nl = random_circuit(GetParam());
+  LoweredCircuit lc = lower_gate_level(nl, Tech{});
+  const auto x = lc.net.min_sizes();
+  const TimingReport t = run_sta(lc.net, x);
+  // Random downstream walks can never beat the reported CP.
+  Rng rng(GetParam() ^ 0x77);
+  const Digraph& g = lc.net.dag();
+  for (int walk = 0; walk < 30; ++walk) {
+    const auto sources = g.sources();
+    NodeId v = sources[rng.index(sources.size())];
+    double sum = 0.0;
+    while (true) {
+      sum += t.delay[static_cast<std::size_t>(v)];
+      if (g.out_degree(v) == 0) break;
+      v = g.head(g.out_arcs(v)[rng.index(
+          static_cast<std::size_t>(g.out_degree(v)))]);
+    }
+    EXPECT_LE(sum, t.critical_path + 1e-9);
+  }
+  // And the reconstructed critical path realizes it exactly.
+  double cp = 0.0;
+  for (NodeId v : t.critical_vertices(lc.net))
+    cp += t.delay[static_cast<std::size_t>(v)];
+  EXPECT_NEAR(cp, t.critical_path, 1e-9);
+}
+
+TEST_P(SeededProperty, WPhaseIsIdempotent) {
+  Netlist nl = random_circuit(GetParam());
+  LoweredCircuit lc = lower_gate_level(nl, Tech{});
+  const double dmin = min_sized_delay(lc.net);
+  const TilosResult tilos = run_tilos(lc.net, 0.8 * dmin);
+  ASSERT_TRUE(tilos.met_target);
+  std::vector<double> budget(static_cast<std::size_t>(lc.net.num_vertices()));
+  for (NodeId v = 0; v < lc.net.num_vertices(); ++v)
+    budget[static_cast<std::size_t>(v)] = lc.net.delay(v, tilos.sizes);
+  const WPhaseResult once = solve_wphase(lc.net, budget);
+  ASSERT_TRUE(once.feasible);
+  // Re-deriving budgets from the fixpoint and re-solving changes nothing:
+  // the W-phase output is self-consistent (it IS the least fixpoint).
+  std::vector<double> budget2(static_cast<std::size_t>(lc.net.num_vertices()));
+  for (NodeId v = 0; v < lc.net.num_vertices(); ++v)
+    budget2[static_cast<std::size_t>(v)] =
+        std::max(budget[static_cast<std::size_t>(v)],
+                 lc.net.delay(v, once.sizes));
+  const WPhaseResult twice = solve_wphase(lc.net, budget2);
+  ASSERT_TRUE(twice.feasible);
+  for (NodeId v = 0; v < lc.net.num_vertices(); ++v)
+    EXPECT_NEAR(twice.sizes[static_cast<std::size_t>(v)],
+                once.sizes[static_cast<std::size_t>(v)], 1e-6);
+}
+
+TEST_P(SeededProperty, DPhaseBudgetsRemainRealizableAndSafe) {
+  Netlist nl = random_circuit(GetParam());
+  LoweredCircuit lc = lower_gate_level(nl, Tech{});
+  const double dmin = min_sized_delay(lc.net);
+  const TilosResult tilos = run_tilos(lc.net, 0.75 * dmin);
+  ASSERT_TRUE(tilos.met_target);
+  for (BalanceMode mode : {BalanceMode::kAsap, BalanceMode::kAlap}) {
+    DPhaseOptions opt;
+    opt.balance = mode;
+    const DPhaseResult d = run_dphase(lc.net, tilos.sizes, opt);
+    ASSERT_TRUE(d.solved);
+    EXPECT_GE(d.objective, -1e-9);
+    const WPhaseResult w = solve_wphase(lc.net, d.budget);
+    ASSERT_TRUE(w.feasible);
+    const TimingReport t = run_sta(lc.net, w.sizes);
+    EXPECT_LE(t.critical_path, tilos.achieved_delay * (1 + 1e-6));
+    EXPECT_TRUE(t.safe(lc.net));
+  }
+}
+
+TEST_P(SeededProperty, MinflotransitDominatesTilos) {
+  Netlist nl = random_circuit(GetParam());
+  LoweredCircuit lc = lower_gate_level(nl, Tech{});
+  const double dmin = min_sized_delay(lc.net);
+  const double floor_d = run_tilos(lc.net, 0.05 * dmin).achieved_delay;
+  const double target = floor_d + 0.3 * (dmin - floor_d);
+  const MinflotransitResult r = run_minflotransit(lc.net, target);
+  ASSERT_TRUE(r.initial.met_target);
+  EXPECT_TRUE(r.met_target);
+  EXPECT_LE(r.area, r.initial.area * (1 + 1e-9));
+  EXPECT_LE(r.delay, target * (1 + 1e-9));
+}
+
+TEST_P(SeededProperty, BenchRoundTripPreservesFunction) {
+  Netlist nl = random_circuit(GetParam());
+  Netlist back = read_bench_string(write_bench_string(nl), "rt");
+  ASSERT_EQ(back.num_inputs(), nl.num_inputs());
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int vec = 0; vec < 10; ++vec) {
+    std::vector<bool> in(static_cast<std::size_t>(nl.num_inputs()));
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.flip(0.5);
+    EXPECT_EQ(nl.evaluate(in), back.evaluate(in)) << "vector " << vec;
+  }
+}
+
+TEST_P(SeededProperty, TransistorLoweringConservesStructure) {
+  Netlist nl = tech_map_to_primitives(random_circuit(GetParam()));
+  LoweredCircuit lc = lower_transistor_level(nl, Tech{});
+  // Vertex count: every primitive gate contributes 2 transistors per input.
+  int expect = nl.num_inputs();
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind != GateKind::kInput)
+      expect += 2 * static_cast<int>(gate.fanins.size());
+  }
+  EXPECT_EQ(lc.net.num_vertices(), expect);
+  const TimingReport t = run_sta(lc.net, lc.net.min_sizes());
+  EXPECT_TRUE(t.safe(lc.net));
+  EXPECT_GT(t.critical_path, 0.0);
+}
+
+}  // namespace
+}  // namespace mft

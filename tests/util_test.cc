@@ -1,0 +1,79 @@
+// Tests for util: checks, strings, tables, RNG determinism.
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/str.h"
+#include "util/table.h"
+
+namespace mft {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    MFT_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Str, TrimAndSplit) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  auto parts = split(" a, b ,, c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  auto kept = split("a,,b", ',', /*keep_empty=*/true);
+  EXPECT_EQ(kept.size(), 3u);
+}
+
+TEST(Str, StartsWithAndUpper) {
+  EXPECT_TRUE(starts_with("INPUT(a)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+  EXPECT_EQ(to_upper("nand2"), "NAND2");
+}
+
+TEST(Str, Strf) {
+  EXPECT_EQ(strf("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(Table, AlignedTextAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\na,1\nlong-name,22\n");
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    const double d = rng.uniform(0.5, 1.5);
+    EXPECT_GE(d, 0.5);
+    EXPECT_LT(d, 1.5);
+    const int g = rng.decaying_int(1, 4, 0.5);
+    EXPECT_GE(g, 1);
+    EXPECT_LE(g, 4);
+  }
+}
+
+}  // namespace
+}  // namespace mft
