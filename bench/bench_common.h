@@ -8,7 +8,10 @@
 // ratio lands near the middle of that band.
 #pragma once
 
+#include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gen/blocks.h"
 #include "gen/iscas_analog.h"
@@ -16,6 +19,43 @@
 #include "timing/lowering.h"
 
 namespace mft::bench {
+
+/// Machine-readable benchmark record sink. Each entry is one benchmark run
+/// (name, wall seconds, and free-form numeric metrics such as pivot counts
+/// or optimal costs); write() emits a JSON array so the perf trajectory can
+/// be diffed across PRs (BENCH_flow_solvers.json, BENCH_table1.json, ...).
+class BenchJson {
+ public:
+  void add(const std::string& name, double wall_seconds,
+           std::vector<std::pair<std::string, double>> metrics = {}) {
+    entries_.push_back(Entry{name, wall_seconds, std::move(metrics)});
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f, "  {\"name\": \"%s\", \"wall_seconds\": %.9g",
+                   e.name.c_str(), e.wall_seconds);
+      for (const auto& [key, value] : e.metrics)
+        std::fprintf(f, ", \"%s\": %.17g", key.c_str(), value);
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double wall_seconds = 0.0;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::vector<Entry> entries_;
+};
 
 /// Builds a Table-1 circuit by name: "adder32", "adder256", or an ISCAS85
 /// analog name ("c432" ... "c7552").

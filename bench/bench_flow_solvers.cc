@@ -1,11 +1,25 @@
 // Ablation A1: which min-cost-flow solver should back the D-phase?
-// Benchmarks network simplex vs successive shortest paths vs cycle
-// canceling on real D-phase instances (the LP of eq. (10) built from
-// TILOS-sized ISCAS analogs). google-benchmark micro-harness.
-#include <benchmark/benchmark.h>
+//
+// Two sections:
+//  1. Real D-phase instances — the LP of eq. (10) built from TILOS-sized
+//     ISCAS analogs — solved end-to-end through run_dphase with each
+//     backend solver.
+//  2. Generated layered min-cost-flow instances of growing size (deep,
+//     chain-heavy networks shaped like circuit DAG duals), solved directly
+//     with the network simplex. This is the hot-path scaling curve; the
+//     largest instance is the PR-over-PR perf gate.
+//
+// Results go to stdout and to BENCH_flow_solvers.json (see BenchJson).
+#include <cstdio>
+#include <functional>
+#include <map>
 
 #include "bench_common.h"
+#include "mcf/network_simplex.h"
+#include "mcf/ssp.h"
 #include "sizing/dphase.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
 
 using namespace mft;
 using namespace mft::bench;
@@ -30,34 +44,150 @@ const Prepared& prepared(const std::string& name) {
   return it->second;
 }
 
-void BM_DPhaseSolver(benchmark::State& state, const std::string& circuit,
-                     FlowSolver solver) {
-  const Prepared& p = prepared(circuit);
-  DPhaseOptions opt;
-  opt.solver = solver;
-  for (auto _ : state) {
-    DPhaseResult r = run_dphase(p.lc.net, p.sizes, opt);
-    benchmark::DoNotOptimize(r);
+// Deterministic layered flow network mimicking a D-phase dual: `layers`
+// ranks of `width` nodes, a guaranteed spine i->i between consecutive
+// ranks (so every supply can route), plus random in-rank-to-next-rank and
+// skip arcs. Mostly uncapacitated arcs with nonnegative integerized costs;
+// a fraction carry finite capacity and possibly negative cost.
+McfProblem make_layered(std::uint64_t seed, int layers, int width,
+                        int extra_per_node) {
+  Rng rng(seed);
+  const int n = layers * width;
+  McfProblem p(n);
+  auto node = [width](int layer, int i) { return layer * width + i; };
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int i = 0; i < width; ++i) {
+      p.add_arc(node(l, i), node(l + 1, i), kInfFlow,
+                rng.uniform_int(0, 1000));
+      for (int e = 0; e < extra_per_node; ++e) {
+        const int j = rng.uniform_int(0, width - 1);
+        const int skip = std::min(layers - 1 - l, rng.uniform_int(1, 3));
+        if (rng.flip(0.2)) {
+          // Capacitated (possibly negative-cost) shortcut.
+          p.add_arc(node(l, i), node(l + skip, j),
+                    rng.uniform_int(1, 50), rng.uniform_int(-200, 1000));
+        } else {
+          p.add_arc(node(l, i), node(l + skip, j), kInfFlow,
+                    rng.uniform_int(0, 1000));
+        }
+      }
+    }
   }
-  const DPhaseResult r = run_dphase(p.lc.net, p.sizes, opt);
-  state.counters["constraints"] = static_cast<double>(r.num_constraints);
-  state.counters["objective"] = r.objective;
+  // Balanced supplies: sources on rank 0, sinks on the last rank.
+  Flow total = 0;
+  for (int i = 0; i < width; ++i) {
+    const Flow s = rng.uniform_int(1, 20);
+    p.add_supply(node(0, i), s);
+    total += s;
+  }
+  for (int i = 0; i < width; ++i) {
+    const Flow s = i + 1 < width ? total / width : total - (width - 1) * (total / width);
+    p.add_supply(node(layers - 1, i), -s);
+  }
+  return p;
+}
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
 }
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_DPhaseSolver, c432_network_simplex, "c432",
-                  FlowSolver::kNetworkSimplex);
-BENCHMARK_CAPTURE(BM_DPhaseSolver, c432_ssp, "c432", FlowSolver::kSsp);
-BENCHMARK_CAPTURE(BM_DPhaseSolver, c432_cycle_canceling, "c432",
-                  FlowSolver::kCycleCanceling);
-BENCHMARK_CAPTURE(BM_DPhaseSolver, c880_network_simplex, "c880",
-                  FlowSolver::kNetworkSimplex);
-BENCHMARK_CAPTURE(BM_DPhaseSolver, c880_ssp, "c880", FlowSolver::kSsp);
-BENCHMARK_CAPTURE(BM_DPhaseSolver, c1355_network_simplex, "c1355",
-                  FlowSolver::kNetworkSimplex);
-BENCHMARK_CAPTURE(BM_DPhaseSolver, c1355_ssp, "c1355", FlowSolver::kSsp);
-BENCHMARK_CAPTURE(BM_DPhaseSolver, c2670_network_simplex, "c2670",
-                  FlowSolver::kNetworkSimplex);
+int main() {
+  BenchJson json;
 
-BENCHMARK_MAIN();
+  // --- Section 1: D-phase instances through each backend -----------------
+  const std::vector<std::string> circuits = {"c432", "c880", "c1355", "c2670"};
+  const std::vector<std::pair<const char*, FlowSolver>> solvers = {
+      {"network_simplex", FlowSolver::kNetworkSimplex},
+      {"ssp", FlowSolver::kSsp},
+  };
+  std::printf("%-34s %12s %14s %12s\n", "benchmark", "wall (ms)",
+              "constraints", "objective");
+  for (const std::string& name : circuits) {
+    const Prepared& p = prepared(name);
+    for (const auto& [sname, solver] : solvers) {
+      if (solver == FlowSolver::kSsp && name == "c2670") continue;
+      DPhaseOptions opt;
+      opt.solver = solver;
+      DPhaseResult r;
+      const double secs = time_best_of(3, [&] {
+        r = run_dphase(p.lc.net, p.sizes, opt);
+      });
+      const std::string bname = "dphase/" + name + "/" + sname;
+      std::printf("%-34s %12.3f %14d %12.4f\n", bname.c_str(), secs * 1e3,
+                  r.num_constraints, r.objective);
+      std::fflush(stdout);
+      json.add(bname, secs,
+               {{"constraints", static_cast<double>(r.num_constraints)},
+                {"objective", r.objective}});
+    }
+    // Steady-state with a persistent workspace: the LP + flow problem are
+    // built on the first call, later calls only rewrite costs/supplies.
+    {
+      DPhaseWorkspace ws;
+      DPhaseResult r = run_dphase(p.lc.net, p.sizes, {}, &ws);  // warm up
+      const double secs = time_best_of(3, [&] {
+        r = run_dphase(p.lc.net, p.sizes, {}, &ws);
+      });
+      const std::string bname = "dphase/" + name + "/network_simplex_ws";
+      std::printf("%-34s %12.3f %14d %12.4f\n", bname.c_str(), secs * 1e3,
+                  r.num_constraints, r.objective);
+      std::fflush(stdout);
+      json.add(bname, secs,
+               {{"constraints", static_cast<double>(r.num_constraints)},
+                {"objective", r.objective},
+                {"pivots", static_cast<double>(ws.flow.mcf.ns_pivots)},
+                {"problem_builds", static_cast<double>(ws.problem_builds())}});
+    }
+  }
+
+  // --- Section 2: network simplex on generated layered instances ---------
+  struct Shape {
+    const char* name;
+    int layers, width, extra;
+  };
+  const std::vector<Shape> shapes = {
+      {"layered_2k", 100, 20, 2},
+      {"layered_12k", 600, 20, 2},
+      {"layered_50k", 2500, 20, 2},
+  };
+  std::printf("\n%-34s %12s %10s %10s %16s\n", "benchmark", "wall (ms)",
+              "nodes", "arcs", "cost");
+  McfWorkspace ws;
+  for (const Shape& s : shapes) {
+    const McfProblem p = make_layered(/*seed=*/42, s.layers, s.width, s.extra);
+    McfSolution sol;
+    const int reps = p.num_nodes() <= 20000 ? 3 : 2;
+    const double secs = time_best_of(reps, [&] {
+      sol = solve_network_simplex(p, {}, &ws);
+    });
+    MFT_CHECK(sol.status == McfStatus::kOptimal);
+    const std::string bname = std::string("ns/") + s.name;
+    std::printf("%-34s %12.3f %10d %10d %16lld\n", bname.c_str(), secs * 1e3,
+                p.num_nodes(), p.num_arcs(),
+                static_cast<long long>(sol.total_cost));
+    std::fflush(stdout);
+    json.add(bname, secs,
+             {{"nodes", static_cast<double>(p.num_nodes())},
+              {"arcs", static_cast<double>(p.num_arcs())},
+              {"pivots", static_cast<double>(ws.ns_pivots)},
+              {"cost", static_cast<double>(sol.total_cost)}});
+    // Cross-check the small instance against SSP.
+    if (p.num_nodes() <= 5000) {
+      const McfSolution ref = solve_ssp(p);
+      MFT_CHECK(ref.status == McfStatus::kOptimal &&
+                ref.total_cost == sol.total_cost);
+    }
+  }
+
+  if (!json.write("BENCH_flow_solvers.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_flow_solvers.json\n");
+  return 0;
+}

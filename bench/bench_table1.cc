@@ -20,6 +20,7 @@ int main() {
 
   Table table({"Circuit", "# Gates", "Area savings over TILOS", "Delay spec",
                "CPU (TILOS)", "CPU (OURS)", "TILOS area/min", "MFT area/min"});
+  BenchJson json;
 
   std::printf("Table 1: MINFLOTRANSIT vs TILOS at calibrated delay specs\n");
   std::printf("(paper: UltraSPARC-10 seconds; here: this machine)\n\n");
@@ -42,8 +43,17 @@ int main() {
                    strf("%.2f", r.initial.area / min_area),
                    strf("%.2f", r.area / min_area)});
     std::fflush(stdout);
+    json.add("table1/" + name, r.total_seconds,
+             {{"gates", static_cast<double>(nl.num_logic_gates())},
+              {"tilos_seconds", r.tilos_seconds},
+              {"iterations", static_cast<double>(r.iterations.size())},
+              {"area_savings_pct", savings},
+              {"tilos_area_ratio", r.initial.area / min_area},
+              {"mft_area_ratio", r.area / min_area}});
   }
   std::printf("%s\n", table.to_text().c_str());
   std::printf("CSV:\n%s", table.to_csv().c_str());
+  if (!json.write("BENCH_table1.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_table1.json\n");
   return 0;
 }

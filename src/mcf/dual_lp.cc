@@ -29,67 +29,127 @@ void DualFlowLp::fix_zero(int v) {
   fixed_[static_cast<std::size_t>(v)] = true;
 }
 
-void DualFlowLp::add_constraint(int a, int b, double w) {
+int DualFlowLp::add_constraint(int a, int b, double w) {
   MFT_CHECK(a >= 0 && a < num_vars_ && b >= 0 && b < num_vars_);
   MFT_CHECK_MSG(std::isfinite(w), "constraint bound must be finite");
   cons_.push_back(Constraint{a, b, w});
+  return static_cast<int>(cons_.size()) - 1;
 }
 
-void DualFlowLp::add_objective_difference(int plus, int minus, double coeff) {
+int DualFlowLp::add_objective_difference(int plus, int minus, double coeff) {
   MFT_CHECK(plus >= 0 && plus < num_vars_ && minus >= 0 && minus < num_vars_);
   MFT_CHECK(std::isfinite(coeff));
   obj_.push_back(ObjTerm{plus, minus, coeff});
+  return static_cast<int>(obj_.size()) - 1;
+}
+
+void DualFlowLp::set_constraint_bound(int i, double w) {
+  MFT_CHECK(i >= 0 && i < num_constraints());
+  MFT_CHECK_MSG(std::isfinite(w), "constraint bound must be finite");
+  cons_[static_cast<std::size_t>(i)].w = w;
+}
+
+void DualFlowLp::set_objective_coeff(int i, double coeff) {
+  MFT_CHECK(i >= 0 && i < num_objective_terms());
+  MFT_CHECK(std::isfinite(coeff));
+  obj_[static_cast<std::size_t>(i)].coeff = coeff;
+}
+
+// FNV-1a over everything that determines the flow network's shape: the
+// variable count, the grounded set, and the endpoints (not bounds /
+// coefficients) of constraints and objective terms, in order.
+std::uint64_t DualFlowLp::structure_fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(num_vars_));
+  for (int v = 0; v < num_vars_; ++v)
+    if (fixed_[static_cast<std::size_t>(v)]) mix(static_cast<std::uint64_t>(v) + 1);
+  mix(cons_.size());
+  for (const Constraint& c : cons_) {
+    mix(static_cast<std::uint64_t>(c.a));
+    mix(static_cast<std::uint64_t>(c.b) << 32);
+  }
+  mix(obj_.size());
+  for (const ObjTerm& t : obj_) {
+    mix(static_cast<std::uint64_t>(t.plus));
+    mix(static_cast<std::uint64_t>(t.minus) << 32);
+  }
+  return h;
 }
 
 DualFlowLp::Result DualFlowLp::solve(FlowSolver solver, int cost_digits,
-                                     int supply_digits) const {
+                                     int supply_digits, Workspace* ws) const {
   MFT_CHECK(cost_digits >= 0 && cost_digits <= 9);
   MFT_CHECK(supply_digits >= 0 && supply_digits <= 9);
   const double cost_scale = std::pow(10.0, cost_digits);
   const double supply_scale = std::pow(10.0, supply_digits);
 
-  // Flow node per free variable; all fixed variables share one ground node.
-  std::vector<NodeId> node(static_cast<std::size_t>(num_vars_));
-  int next = 0;
-  for (int v = 0; v < num_vars_; ++v)
-    if (!fixed_[static_cast<std::size_t>(v)]) node[static_cast<std::size_t>(v)] = next++;
-  const NodeId ground = next;
-  for (int v = 0; v < num_vars_; ++v)
-    if (fixed_[static_cast<std::size_t>(v)]) node[static_cast<std::size_t>(v)] = ground;
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
 
-  McfProblem p(next + 1);
-  for (const Constraint& c : cons_) {
-    const NodeId na = node[static_cast<std::size_t>(c.a)];
-    const NodeId nb = node[static_cast<std::size_t>(c.b)];
-    if (na == nb) {
+  const std::uint64_t fp = structure_fingerprint();
+  if (w.problem_builds == 0 || w.fingerprint != fp) {
+    // (Re)build the structure: flow node per free variable; all fixed
+    // variables share one ground node.
+    w.node.assign(static_cast<std::size_t>(num_vars_), kInvalidNode);
+    int next = 0;
+    for (int v = 0; v < num_vars_; ++v)
+      if (!fixed_[static_cast<std::size_t>(v)])
+        w.node[static_cast<std::size_t>(v)] = next++;
+    w.ground = next;
+    for (int v = 0; v < num_vars_; ++v)
+      if (fixed_[static_cast<std::size_t>(v)])
+        w.node[static_cast<std::size_t>(v)] = w.ground;
+
+    w.problem = McfProblem(next + 1);
+    w.cons_arc.assign(cons_.size(), kInvalidArc);
+    for (std::size_t i = 0; i < cons_.size(); ++i) {
+      const Constraint& c = cons_[i];
+      const NodeId na = w.node[static_cast<std::size_t>(c.a)];
+      const NodeId nb = w.node[static_cast<std::size_t>(c.b)];
+      if (na == nb) continue;  // grounded-grounded: validated below
+      w.cons_arc[i] = w.problem.add_arc(na, nb, kInfFlow, 0);
+    }
+    w.fingerprint = fp;
+    ++w.problem_builds;
+  }
+
+  // Rewrite the integerized costs and supplies in place. Rounding *down*
+  // keeps every integerized constraint at least as tight as the real one,
+  // so the returned r never violates the true LP.
+  for (std::size_t i = 0; i < cons_.size(); ++i) {
+    const Constraint& c = cons_[i];
+    if (w.cons_arc[i] == kInvalidArc) {
       // Constraint between two grounded variables (or a variable and
       // itself): 0 <= w must hold or the LP is infeasible; the D-phase
       // never produces a violating one, so treat it as a hard error.
       MFT_CHECK_MSG(c.w >= -1e-12, "infeasible grounded constraint");
       continue;
     }
-    // Round *down*: the integerized constraint is then at least as tight as
-    // the real one, so the returned r never violates the true LP.
-    p.add_arc(na, nb, kInfFlow,
-              static_cast<Cost>(std::floor(c.w * cost_scale)));
+    w.problem.set_arc_cost(w.cons_arc[i],
+                           static_cast<Cost>(std::floor(c.w * cost_scale)));
   }
+  w.problem.clear_supplies();
   for (const ObjTerm& t : obj_) {
     const Flow s = std::llround(t.coeff * supply_scale);
     if (s == 0) continue;
-    p.add_supply(node[static_cast<std::size_t>(t.plus)], s);
-    p.add_supply(node[static_cast<std::size_t>(t.minus)], -s);
+    w.problem.add_supply(w.node[static_cast<std::size_t>(t.plus)], s);
+    w.problem.add_supply(w.node[static_cast<std::size_t>(t.minus)], -s);
   }
 
   McfSolution sol;
   switch (solver) {
     case FlowSolver::kNetworkSimplex:
-      sol = solve_network_simplex(p);
+      sol = solve_network_simplex(w.problem, {}, &w.mcf);
       break;
     case FlowSolver::kSsp:
-      sol = solve_ssp(p);
+      sol = solve_ssp(w.problem, w.mcf);
       break;
     case FlowSolver::kCycleCanceling:
-      sol = solve_cycle_canceling(p);
+      sol = solve_cycle_canceling(w.problem);
       break;
   }
 
@@ -100,10 +160,10 @@ DualFlowLp::Result DualFlowLp::solve(FlowSolver solver, int cost_digits,
   res.flow_cost = sol.total_cost;
 
   // Optimal r: shift potentials so ground sits at exactly 0, then unscale.
-  const Cost base = sol.potential[static_cast<std::size_t>(ground)];
+  const Cost base = sol.potential[static_cast<std::size_t>(w.ground)];
   res.r.assign(static_cast<std::size_t>(num_vars_), 0.0);
   for (int v = 0; v < num_vars_; ++v) {
-    const NodeId nv = node[static_cast<std::size_t>(v)];
+    const NodeId nv = w.node[static_cast<std::size_t>(v)];
     res.r[static_cast<std::size_t>(v)] =
         static_cast<double>(sol.potential[static_cast<std::size_t>(nv)] - base) /
         cost_scale;

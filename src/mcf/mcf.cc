@@ -1,5 +1,6 @@
 #include "mcf/mcf.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mft {
@@ -26,6 +27,15 @@ void McfProblem::set_supply(NodeId v, Flow s) {
 void McfProblem::add_supply(NodeId v, Flow s) {
   MFT_CHECK(v >= 0 && v < num_nodes());
   supply_[static_cast<std::size_t>(v)] += s;
+}
+
+void McfProblem::set_arc_cost(ArcId a, Cost cost) {
+  MFT_CHECK(a >= 0 && a < num_arcs());
+  arcs_[static_cast<std::size_t>(a)].cost = cost;
+}
+
+void McfProblem::clear_supplies() {
+  std::fill(supply_.begin(), supply_.end(), 0);
 }
 
 Flow McfProblem::total_supply() const {

@@ -54,6 +54,14 @@ class McfProblem {
   void set_supply(NodeId v, Flow s);
   void add_supply(NodeId v, Flow s);
 
+  /// Rewrite the cost of an existing arc (topology/capacity unchanged).
+  /// This is what lets a reused problem skeleton absorb fresh D-phase
+  /// bounds each iteration without reconstruction.
+  void set_arc_cost(ArcId a, Cost cost);
+
+  /// Reset every supply to zero, keeping all arcs.
+  void clear_supplies();
+
   int num_nodes() const { return static_cast<int>(supply_.size()); }
   int num_arcs() const { return static_cast<int>(arcs_.size()); }
   const McfArc& arc(ArcId a) const { return arcs_[static_cast<std::size_t>(a)]; }

@@ -17,62 +17,106 @@ enum Dir : int {
   kDirUp = 1,    // arc points node -> parent
 };
 
+// The solver proper. All state lives in the McfWorkspace so a caller that
+// keeps one across solves never reallocates; the class only binds
+// references and runs the algorithm.
 class Simplex {
  public:
-  Simplex(const McfProblem& p, const NetworkSimplexOptions& opt)
-      : p_(p), n_(p.num_nodes()), root_(p.num_nodes()) {
+  Simplex(const McfProblem& p, const NetworkSimplexOptions& opt,
+          McfWorkspace& ws)
+      : p_(p), ws_(ws), n_(p.num_nodes()), root_(p.num_nodes()) {
     const int m_user = p.num_arcs();
     m_ = m_user + n_;  // user arcs + one artificial arc per node
-    tail_.reserve(m_);
-    head_.reserve(m_);
-    cap_.reserve(m_);
-    cost_.reserve(m_);
-    for (const McfArc& a : p.arcs()) {
-      tail_.push_back(a.tail);
-      head_.push_back(a.head);
-      cap_.push_back(a.capacity);
-      cost_.push_back(a.cost);
+
+    ws_.tail.resize(static_cast<std::size_t>(m_));
+    ws_.head.resize(static_cast<std::size_t>(m_));
+    ws_.cap.resize(static_cast<std::size_t>(m_));
+    ws_.cost.resize(static_cast<std::size_t>(m_));
+    // Raw-pointer views of the workspace arrays: no vector sizes change
+    // after this point, and the pointers let the optimizer keep hot-loop
+    // loads in registers instead of re-reading through the vector headers.
+    tail_p_ = ws_.tail.data();
+    head_p_ = ws_.head.data();
+    cap_p_ = ws_.cap.data();
+    cost_p_ = ws_.cost.data();
+    for (ArcId a = 0; a < m_user; ++a) {
+      const McfArc& arc = p.arc(a);
+      tail_p_[static_cast<std::size_t>(a)] = arc.tail;
+      head_p_[static_cast<std::size_t>(a)] = arc.head;
+      cap_p_[static_cast<std::size_t>(a)] = arc.capacity;
+      cost_p_[static_cast<std::size_t>(a)] = arc.cost;
     }
     // Big-M exceeding any simple-path cost so artificial flow is driven out
     // whenever the instance is feasible.
     art_cost_ = (p.max_abs_cost() + 1) * static_cast<Cost>(n_ + 1);
 
-    flow_.assign(static_cast<std::size_t>(m_), 0);
-    state_.assign(static_cast<std::size_t>(m_), kStateLower);
-    pi_.assign(static_cast<std::size_t>(n_ + 1), 0);
-    parent_.assign(static_cast<std::size_t>(n_ + 1), kInvalidNode);
-    pred_.assign(static_cast<std::size_t>(n_ + 1), kInvalidArc);
-    pred_dir_.assign(static_cast<std::size_t>(n_ + 1), kDirDown);
-    tree_adj_.assign(static_cast<std::size_t>(n_ + 1), {});
+    ws_.flow.assign(static_cast<std::size_t>(m_), 0);
+    ws_.state.assign(static_cast<std::size_t>(m_), kStateLower);
+    ws_.pi.assign(static_cast<std::size_t>(n_ + 1), 0);
+    ws_.parent.assign(static_cast<std::size_t>(n_ + 1), kInvalidNode);
+    ws_.pred.assign(static_cast<std::size_t>(n_ + 1), kInvalidArc);
+    ws_.pred_dir.assign(static_cast<std::size_t>(n_ + 1), kDirDown);
+    ws_.depth.assign(static_cast<std::size_t>(n_ + 1), 0);
+    flow_p_ = ws_.flow.data();
+    state_p_ = ws_.state.data();
+    pi_p_ = ws_.pi.data();
+    parent_p_ = ws_.parent.data();
+    pred_p_ = ws_.pred.data();
+    pred_dir_p_ = ws_.pred_dir.data();
+    depth_p_ = ws_.depth.data();
+    // Reuse the inner adjacency vectors' capacity across solves.
+    if (static_cast<int>(ws_.tree_adj.size()) < n_ + 1)
+      ws_.tree_adj.resize(static_cast<std::size_t>(n_ + 1));
+    for (int v = 0; v <= n_; ++v)
+      ws_.tree_adj[static_cast<std::size_t>(v)].clear();
+    ws_.candidates.clear();
+    ws_.ns_pivots = 0;
 
+    // Initial basis: a star of artificial arcs around the virtual root,
+    // oriented so each carries |supply(v)| of nonnegative flow.
     for (NodeId v = 0; v < n_; ++v) {
       const Flow s = p.supply(v);
-      ArcId a;
+      const ArcId a = static_cast<ArcId>(m_user + v);
       if (s >= 0) {
-        a = add_internal_arc(v, root_, kInfFlow, art_cost_);
-        flow_[static_cast<std::size_t>(a)] = s;
-        pred_dir_[static_cast<std::size_t>(v)] = kDirUp;
-        pi_[static_cast<std::size_t>(v)] = art_cost_;
+        tail_p_[static_cast<std::size_t>(a)] = v;
+        head_p_[static_cast<std::size_t>(a)] = root_;
+        flow_p_[static_cast<std::size_t>(a)] = s;
+        pred_dir_p_[static_cast<std::size_t>(v)] = kDirUp;
+        pi_p_[static_cast<std::size_t>(v)] = art_cost_;
       } else {
-        a = add_internal_arc(root_, v, kInfFlow, art_cost_);
-        flow_[static_cast<std::size_t>(a)] = -s;
-        pred_dir_[static_cast<std::size_t>(v)] = kDirDown;
-        pi_[static_cast<std::size_t>(v)] = -art_cost_;
+        tail_p_[static_cast<std::size_t>(a)] = root_;
+        head_p_[static_cast<std::size_t>(a)] = v;
+        flow_p_[static_cast<std::size_t>(a)] = -s;
+        pred_dir_p_[static_cast<std::size_t>(v)] = kDirDown;
+        pi_p_[static_cast<std::size_t>(v)] = -art_cost_;
       }
-      state_[static_cast<std::size_t>(a)] = kStateTree;
-      parent_[static_cast<std::size_t>(v)] = root_;
-      pred_[static_cast<std::size_t>(v)] = a;
-      tree_adj_[static_cast<std::size_t>(v)].push_back(a);
-      tree_adj_[static_cast<std::size_t>(root_)].push_back(a);
+      cap_p_[static_cast<std::size_t>(a)] = kInfFlow;
+      cost_p_[static_cast<std::size_t>(a)] = art_cost_;
+      state_p_[static_cast<std::size_t>(a)] = kStateTree;
+      parent_p_[static_cast<std::size_t>(v)] = root_;
+      pred_p_[static_cast<std::size_t>(v)] = a;
+      depth_p_[static_cast<std::size_t>(v)] = 1;
+      ws_.tree_adj[static_cast<std::size_t>(v)].push_back(a);
+      ws_.tree_adj[static_cast<std::size_t>(root_)].push_back(a);
     }
 
+    pricing_ = opt.pricing;
     block_size_ = opt.block_size > 0
                       ? opt.block_size
                       : std::max(20, static_cast<int>(std::sqrt(
                                          static_cast<double>(m_))));
+    list_size_ =
+        opt.candidate_list_size > 0
+            ? opt.candidate_list_size
+            : std::max(30, static_cast<int>(
+                               1.25 * std::sqrt(static_cast<double>(m_))));
+    minor_limit_ = opt.minor_limit > 0 ? opt.minor_limit
+                                       : std::max(3, list_size_ / 10);
     max_pivots_ = opt.max_pivots > 0
                       ? opt.max_pivots
                       : 50 * static_cast<std::int64_t>(m_) + 1000;
+    next_arc_ = 0;
+    minor_count_ = 0;
   }
 
   McfSolution run() {
@@ -81,10 +125,9 @@ class Simplex {
       sol.status = McfStatus::kInfeasible;
       return sol;
     }
-    std::int64_t pivots = 0;
     ArcId in_arc;
     while ((in_arc = find_entering_arc()) != kInvalidArc) {
-      MFT_CHECK_MSG(++pivots <= max_pivots_,
+      MFT_CHECK_MSG(++ws_.ns_pivots <= max_pivots_,
                     "network simplex exceeded pivot safety cap");
       if (!pivot(in_arc)) {
         sol.status = McfStatus::kUnbounded;
@@ -93,48 +136,53 @@ class Simplex {
     }
     // Any residual artificial flow means the supplies cannot be routed.
     for (ArcId a = p_.num_arcs(); a < m_; ++a) {
-      if (flow_[static_cast<std::size_t>(a)] != 0) {
+      if (flow_p_[static_cast<std::size_t>(a)] != 0) {
         sol.status = McfStatus::kInfeasible;
         return sol;
       }
     }
     sol.status = McfStatus::kOptimal;
-    sol.flow.assign(flow_.begin(), flow_.begin() + p_.num_arcs());
-    sol.potential.assign(pi_.begin(), pi_.begin() + n_);
+    sol.flow.assign(ws_.flow.begin(), ws_.flow.begin() + p_.num_arcs());
+    sol.potential.assign(ws_.pi.begin(), ws_.pi.begin() + n_);
     sol.total_cost = flow_cost(p_, sol.flow);
     return sol;
   }
 
  private:
-  ArcId add_internal_arc(NodeId t, NodeId h, Flow cap, Cost cost) {
-    tail_.push_back(t);
-    head_.push_back(h);
-    cap_.push_back(cap);
-    cost_.push_back(cost);
-    return static_cast<ArcId>(tail_.size() - 1);
-  }
-
   // Reduced cost under the dual contract of mcf.h.
   Cost reduced_cost(ArcId a) const {
-    return cost_[static_cast<std::size_t>(a)] -
-           pi_[static_cast<std::size_t>(tail_[static_cast<std::size_t>(a)])] +
-           pi_[static_cast<std::size_t>(head_[static_cast<std::size_t>(a)])];
+    return cost_p_[static_cast<std::size_t>(a)] -
+           pi_p_[static_cast<std::size_t>(
+               tail_p_[static_cast<std::size_t>(a)])] +
+           pi_p_[static_cast<std::size_t>(
+               head_p_[static_cast<std::size_t>(a)])];
+  }
+
+  // state * reduced_cost < 0 means the arc profitably enters the basis.
+  Cost violation(ArcId a) const {
+    return -static_cast<Cost>(state_p_[static_cast<std::size_t>(a)]) *
+           reduced_cost(a);
+  }
+
+  ArcId find_entering_arc() {
+    return pricing_ == NetworkSimplexOptions::Pricing::kCandidateList
+               ? candidate_list_pivot()
+               : block_search_pivot();
   }
 
   // Block pivot search: scan arcs cyclically, return the most violating arc
   // within the first block that contains any violation.
-  ArcId find_entering_arc() {
+  ArcId block_search_pivot() {
     Cost best_violation = 0;
     ArcId best = kInvalidArc;
     int counted = 0;
     for (int scanned = 0; scanned < m_; ++scanned) {
       const ArcId a = next_arc_;
       next_arc_ = (next_arc_ + 1 == m_) ? 0 : next_arc_ + 1;
-      const int s = state_[static_cast<std::size_t>(a)];
-      if (s == kStateTree) continue;
-      const Cost violation = -static_cast<Cost>(s) * reduced_cost(a);
-      if (violation > best_violation) {
-        best_violation = violation;
+      if (state_p_[static_cast<std::size_t>(a)] == kStateTree) continue;
+      const Cost v = violation(a);
+      if (v > best_violation) {
+        best_violation = v;
         best = a;
       }
       if (++counted == block_size_) {
@@ -145,66 +193,126 @@ class Simplex {
     return best;
   }
 
-  NodeId find_join(NodeId u, NodeId v) {
-    // Mark the path u -> root, then walk from v until a marked node.
-    for (NodeId w = u; w != kInvalidNode; w = parent_[static_cast<std::size_t>(w)])
-      mark_[static_cast<std::size_t>(w)] = true;
-    NodeId join = v;
-    while (!mark_[static_cast<std::size_t>(join)])
-      join = parent_[static_cast<std::size_t>(join)];
-    for (NodeId w = u; w != kInvalidNode; w = parent_[static_cast<std::size_t>(w)])
-      mark_[static_cast<std::size_t>(w)] = false;
-    return join;
+  // Candidate-list pricing: serve pivots from a shortlist of violating
+  // arcs, dropping entries whose violation was cured by earlier pivots;
+  // rebuild the shortlist with a full cyclic scan when it runs dry or
+  // after `minor_limit_` minor pivots.
+  ArcId candidate_list_pivot() {
+    auto& list = ws_.candidates;
+    Cost best_violation = 0;
+    ArcId best = kInvalidArc;
+    if (minor_count_ < minor_limit_ && !list.empty()) {
+      ++minor_count_;
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const ArcId a = list[i];
+        const Cost v = violation(a);
+        if (v <= 0) continue;  // cured; drop from the shortlist
+        list[keep++] = a;
+        if (v > best_violation) {
+          best_violation = v;
+          best = a;
+        }
+      }
+      list.resize(keep);
+      if (best != kInvalidArc) return best;
+    }
+    // Major iteration: rebuild the shortlist from a full cyclic scan.
+    minor_count_ = 1;
+    list.clear();
+    for (int scanned = 0; scanned < m_; ++scanned) {
+      const ArcId a = next_arc_;
+      next_arc_ = (next_arc_ + 1 == m_) ? 0 : next_arc_ + 1;
+      const Cost v = violation(a);
+      if (v <= 0) continue;
+      list.push_back(a);
+      if (v > best_violation) {
+        best_violation = v;
+        best = a;
+      }
+      if (static_cast<int>(list.size()) == list_size_) break;
+    }
+    return best;
+  }
+
+  // Two-pointer walk to the lowest common ancestor of u and v in the basis
+  // tree: equalize depths, then climb in lockstep. No marking, no full
+  // path-to-root traversal. Records the nodes strictly below the join on
+  // each side (in walk order) so the leaving-arc search and the flow update
+  // replay linear arrays instead of chasing parent pointers again.
+  void collect_cycle(NodeId u, NodeId v) {
+    auto& a = ws_.path_first;
+    auto& b = ws_.path_second;
+    a.clear();
+    b.clear();
+    while (depth_p_[static_cast<std::size_t>(u)] >
+           depth_p_[static_cast<std::size_t>(v)]) {
+      a.push_back(u);
+      u = parent_p_[static_cast<std::size_t>(u)];
+    }
+    while (depth_p_[static_cast<std::size_t>(v)] >
+           depth_p_[static_cast<std::size_t>(u)]) {
+      b.push_back(v);
+      v = parent_p_[static_cast<std::size_t>(v)];
+    }
+    while (u != v) {
+      a.push_back(u);
+      u = parent_p_[static_cast<std::size_t>(u)];
+      b.push_back(v);
+      v = parent_p_[static_cast<std::size_t>(v)];
+    }
   }
 
   // Executes one pivot on `in_arc`. Returns false if the cycle is
   // cost-reducing and uncapacitated (unbounded problem).
   bool pivot(ArcId in_arc) {
-    if (mark_.empty()) mark_.assign(static_cast<std::size_t>(n_ + 1), false);
-
     // Cycle orientation: `delta` units travel join -> first -> (in_arc
     // residual) -> second -> join.
     NodeId first, second;
-    if (state_[static_cast<std::size_t>(in_arc)] == kStateLower) {
-      first = tail_[static_cast<std::size_t>(in_arc)];
-      second = head_[static_cast<std::size_t>(in_arc)];
+    if (state_p_[static_cast<std::size_t>(in_arc)] == kStateLower) {
+      first = tail_p_[static_cast<std::size_t>(in_arc)];
+      second = head_p_[static_cast<std::size_t>(in_arc)];
     } else {
-      first = head_[static_cast<std::size_t>(in_arc)];
-      second = tail_[static_cast<std::size_t>(in_arc)];
+      first = head_p_[static_cast<std::size_t>(in_arc)];
+      second = tail_p_[static_cast<std::size_t>(in_arc)];
     }
-    const NodeId join = find_join(first, second);
+    collect_cycle(first, second);
+    const auto& path_first = ws_.path_first;
+    const auto& path_second = ws_.path_second;
 
     // Residual of the entering arc itself.
-    Flow delta =
-        state_[static_cast<std::size_t>(in_arc)] == kStateLower
-            ? cap_[static_cast<std::size_t>(in_arc)] -
-                  flow_[static_cast<std::size_t>(in_arc)]
-            : flow_[static_cast<std::size_t>(in_arc)];
+    Flow delta = state_p_[static_cast<std::size_t>(in_arc)] == kStateLower
+                     ? cap_p_[static_cast<std::size_t>(in_arc)] -
+                           flow_p_[static_cast<std::size_t>(in_arc)]
+                     : flow_p_[static_cast<std::size_t>(in_arc)];
     int result = 0;  // 0: in_arc leaves; 1/2: a tree arc on either path
     NodeId u_out = kInvalidNode;
 
     // First-side path: cycle direction is parent -> child (toward `first`).
-    for (NodeId u = first; u != join; u = parent_[static_cast<std::size_t>(u)]) {
-      const ArcId e = pred_[static_cast<std::size_t>(u)];
-      const Flow f = flow_[static_cast<std::size_t>(e)];
-      const Flow residual = pred_dir_[static_cast<std::size_t>(u)] == kDirDown
-                                ? cap_[static_cast<std::size_t>(e)] - f
-                                : f;
+    for (const NodeId u : path_first) {
+      const ArcId e = pred_p_[static_cast<std::size_t>(u)];
+      const Flow f = flow_p_[static_cast<std::size_t>(e)];
+      const Flow residual =
+          pred_dir_p_[static_cast<std::size_t>(u)] == kDirDown
+              ? cap_p_[static_cast<std::size_t>(e)] - f
+              : f;
       if (residual < delta) {
         delta = residual;
         u_out = u;
         result = 1;
       }
     }
-    // Second-side path: cycle direction is child -> parent. `<=` implements
-    // the strongly-feasible tie-break (leave the arc closest to join on the
-    // second side).
-    for (NodeId u = second; u != join; u = parent_[static_cast<std::size_t>(u)]) {
-      const ArcId e = pred_[static_cast<std::size_t>(u)];
-      const Flow f = flow_[static_cast<std::size_t>(e)];
-      const Flow residual = pred_dir_[static_cast<std::size_t>(u)] == kDirUp
-                                ? cap_[static_cast<std::size_t>(e)] - f
-                                : f;
+    // Second-side path: cycle direction is child -> parent. The recorded
+    // path is in decreasing-depth order, so `<=` implements the strongly-
+    // feasible tie-break: among equal residuals the lowest-depth arc (the
+    // one closest to the join) leaves.
+    for (const NodeId u : path_second) {
+      const ArcId e = pred_p_[static_cast<std::size_t>(u)];
+      const Flow f = flow_p_[static_cast<std::size_t>(e)];
+      const Flow residual =
+          pred_dir_p_[static_cast<std::size_t>(u)] == kDirUp
+              ? cap_p_[static_cast<std::size_t>(e)] - f
+              : f;
       if (residual <= delta) {
         delta = residual;
         u_out = u;
@@ -220,54 +328,56 @@ class Simplex {
     // Apply the flow change around the cycle.
     if (delta != 0) {
       const Flow signed_delta =
-          state_[static_cast<std::size_t>(in_arc)] == kStateLower ? delta
+          state_p_[static_cast<std::size_t>(in_arc)] == kStateLower ? delta
+                                                                     : -delta;
+      flow_p_[static_cast<std::size_t>(in_arc)] += signed_delta;
+      for (const NodeId u : path_first) {
+        const ArcId e = pred_p_[static_cast<std::size_t>(u)];
+        flow_p_[static_cast<std::size_t>(e)] +=
+            pred_dir_p_[static_cast<std::size_t>(u)] == kDirDown ? delta
                                                                   : -delta;
-      flow_[static_cast<std::size_t>(in_arc)] += signed_delta;
-      for (NodeId u = first; u != join;
-           u = parent_[static_cast<std::size_t>(u)]) {
-        const ArcId e = pred_[static_cast<std::size_t>(u)];
-        flow_[static_cast<std::size_t>(e)] +=
-            pred_dir_[static_cast<std::size_t>(u)] == kDirDown ? delta : -delta;
       }
-      for (NodeId u = second; u != join;
-           u = parent_[static_cast<std::size_t>(u)]) {
-        const ArcId e = pred_[static_cast<std::size_t>(u)];
-        flow_[static_cast<std::size_t>(e)] +=
-            pred_dir_[static_cast<std::size_t>(u)] == kDirUp ? delta : -delta;
+      for (const NodeId u : path_second) {
+        const ArcId e = pred_p_[static_cast<std::size_t>(u)];
+        flow_p_[static_cast<std::size_t>(e)] +=
+            pred_dir_p_[static_cast<std::size_t>(u)] == kDirUp ? delta
+                                                                : -delta;
       }
     }
 
     if (result == 0) {
       // The entering arc saturates without displacing a tree arc.
-      state_[static_cast<std::size_t>(in_arc)] =
-          state_[static_cast<std::size_t>(in_arc)] == kStateLower ? kStateUpper
-                                                                  : kStateLower;
+      state_p_[static_cast<std::size_t>(in_arc)] =
+          state_p_[static_cast<std::size_t>(in_arc)] == kStateLower
+              ? kStateUpper
+              : kStateLower;
       return true;
     }
 
     // Swap the basis: `out_arc` (pred of u_out) leaves, in_arc enters.
-    const ArcId out_arc = pred_[static_cast<std::size_t>(u_out)];
-    const NodeId p_out = parent_[static_cast<std::size_t>(u_out)];
+    const ArcId out_arc = pred_p_[static_cast<std::size_t>(u_out)];
+    const NodeId p_out = parent_p_[static_cast<std::size_t>(u_out)];
     detach_tree_arc(u_out, out_arc);
     detach_tree_arc(p_out, out_arc);
-    state_[static_cast<std::size_t>(out_arc)] =
-        flow_[static_cast<std::size_t>(out_arc)] == 0 ? kStateLower
-                                                      : kStateUpper;
+    state_p_[static_cast<std::size_t>(out_arc)] =
+        flow_p_[static_cast<std::size_t>(out_arc)] == 0 ? kStateLower
+                                                         : kStateUpper;
 
     const NodeId attach = result == 1 ? first : second;  // endpoint inside
-    const NodeId outside = attach == tail_[static_cast<std::size_t>(in_arc)]
-                               ? head_[static_cast<std::size_t>(in_arc)]
-                               : tail_[static_cast<std::size_t>(in_arc)];
-    tree_adj_[static_cast<std::size_t>(attach)].push_back(in_arc);
-    tree_adj_[static_cast<std::size_t>(outside)].push_back(in_arc);
-    state_[static_cast<std::size_t>(in_arc)] = kStateTree;
+    const NodeId outside =
+        attach == tail_p_[static_cast<std::size_t>(in_arc)]
+            ? head_p_[static_cast<std::size_t>(in_arc)]
+            : tail_p_[static_cast<std::size_t>(in_arc)];
+    ws_.tree_adj[static_cast<std::size_t>(attach)].push_back(in_arc);
+    ws_.tree_adj[static_cast<std::size_t>(outside)].push_back(in_arc);
+    state_p_[static_cast<std::size_t>(in_arc)] = kStateTree;
 
     reroot_subtree(attach, outside, in_arc);
     return true;
   }
 
   void detach_tree_arc(NodeId v, ArcId a) {
-    auto& adj = tree_adj_[static_cast<std::size_t>(v)];
+    auto& adj = ws_.tree_adj[static_cast<std::size_t>(v)];
     for (std::size_t i = 0; i < adj.size(); ++i) {
       if (adj[i] == a) {
         adj[i] = adj.back();
@@ -279,78 +389,88 @@ class Simplex {
   }
 
   // Re-roots the detached subtree at `q`, now hanging from `q_parent` via
-  // tree arc `via`, recomputing parent/pred/pi for every subtree node.
+  // tree arc `via`. The tree arcs *inside* the subtree are unchanged, so
+  // every subtree dual shifts by the same constant; one DFS rewrites
+  // parent/pred/pred_dir/depth and applies that single pi delta — no
+  // per-node cost arithmetic.
   void reroot_subtree(NodeId q, NodeId q_parent, ArcId via) {
-    stack_.clear();
+    const Cost new_pi_q =
+        tail_p_[static_cast<std::size_t>(via)] == q_parent
+            ? pi_p_[static_cast<std::size_t>(q_parent)] -
+                  cost_p_[static_cast<std::size_t>(via)]
+            : pi_p_[static_cast<std::size_t>(q_parent)] +
+                  cost_p_[static_cast<std::size_t>(via)];
+    const Cost dpi = new_pi_q - pi_p_[static_cast<std::size_t>(q)];
+
+    auto& stack = ws_.stack;
+    stack.clear();
     attach_node(q, q_parent, via);
-    stack_.push_back(q);
-    while (!stack_.empty()) {
-      const NodeId w = stack_.back();
-      stack_.pop_back();
-      for (const ArcId a : tree_adj_[static_cast<std::size_t>(w)]) {
-        if (a == pred_[static_cast<std::size_t>(w)]) continue;
-        const NodeId z = tail_[static_cast<std::size_t>(a)] == w
-                             ? head_[static_cast<std::size_t>(a)]
-                             : tail_[static_cast<std::size_t>(a)];
+    pi_p_[static_cast<std::size_t>(q)] += dpi;
+    stack.push_back(q);
+    while (!stack.empty()) {
+      const NodeId w = stack.back();
+      stack.pop_back();
+      for (const ArcId a : ws_.tree_adj[static_cast<std::size_t>(w)]) {
+        if (a == pred_p_[static_cast<std::size_t>(w)]) continue;
+        const NodeId z = tail_p_[static_cast<std::size_t>(a)] == w
+                             ? head_p_[static_cast<std::size_t>(a)]
+                             : tail_p_[static_cast<std::size_t>(a)];
         attach_node(z, w, a);
-        stack_.push_back(z);
+        pi_p_[static_cast<std::size_t>(z)] += dpi;
+        stack.push_back(z);
       }
     }
   }
 
   void attach_node(NodeId child, NodeId parent, ArcId a) {
-    parent_[static_cast<std::size_t>(child)] = parent;
-    pred_[static_cast<std::size_t>(child)] = a;
-    if (tail_[static_cast<std::size_t>(a)] == parent) {
-      // arc parent -> child: 0 = cost - pi(parent) + pi(child)
-      pred_dir_[static_cast<std::size_t>(child)] = kDirDown;
-      pi_[static_cast<std::size_t>(child)] =
-          pi_[static_cast<std::size_t>(parent)] -
-          cost_[static_cast<std::size_t>(a)];
-    } else {
-      // arc child -> parent: 0 = cost - pi(child) + pi(parent)
-      pred_dir_[static_cast<std::size_t>(child)] = kDirUp;
-      pi_[static_cast<std::size_t>(child)] =
-          pi_[static_cast<std::size_t>(parent)] +
-          cost_[static_cast<std::size_t>(a)];
-    }
+    parent_p_[static_cast<std::size_t>(child)] = parent;
+    pred_p_[static_cast<std::size_t>(child)] = a;
+    pred_dir_p_[static_cast<std::size_t>(child)] =
+        tail_p_[static_cast<std::size_t>(a)] == parent ? kDirDown : kDirUp;
+    depth_p_[static_cast<std::size_t>(child)] =
+        depth_p_[static_cast<std::size_t>(parent)] + 1;
   }
 
   const McfProblem& p_;
+  McfWorkspace& ws_;
+  NodeId* tail_p_ = nullptr;
+  NodeId* head_p_ = nullptr;
+  Flow* cap_p_ = nullptr;
+  Flow* flow_p_ = nullptr;
+  Cost* cost_p_ = nullptr;
+  int* state_p_ = nullptr;
+  Cost* pi_p_ = nullptr;
+  NodeId* parent_p_ = nullptr;
+  ArcId* pred_p_ = nullptr;
+  int* pred_dir_p_ = nullptr;
+  int* depth_p_ = nullptr;
   const int n_;
   const NodeId root_;
   int m_ = 0;
   Cost art_cost_ = 0;
+  NetworkSimplexOptions::Pricing pricing_ =
+      NetworkSimplexOptions::Pricing::kCandidateList;
   int block_size_ = 0;
+  int list_size_ = 0;
+  int minor_limit_ = 0;
+  int minor_count_ = 0;
   std::int64_t max_pivots_ = 0;
   ArcId next_arc_ = 0;
-
-  // Parallel arrays over user + artificial arcs.
-  std::vector<NodeId> tail_, head_;
-  std::vector<Flow> cap_, flow_;
-  std::vector<Cost> cost_;
-  std::vector<int> state_;
-
-  // Spanning-tree basis.
-  std::vector<Cost> pi_;
-  std::vector<NodeId> parent_;
-  std::vector<ArcId> pred_;
-  std::vector<int> pred_dir_;
-  std::vector<std::vector<ArcId>> tree_adj_;
-  std::vector<bool> mark_;
-  std::vector<NodeId> stack_;
 };
 
 }  // namespace
 
 McfSolution solve_network_simplex(const McfProblem& p,
-                                  const NetworkSimplexOptions& opt) {
+                                  const NetworkSimplexOptions& opt,
+                                  McfWorkspace* ws) {
   if (p.num_nodes() == 0) {
+    if (ws) ws->ns_pivots = 0;
     McfSolution sol;
     sol.status = McfStatus::kOptimal;
     return sol;
   }
-  return Simplex(p, opt).run();
+  McfWorkspace local;
+  return Simplex(p, opt, ws ? *ws : local).run();
 }
 
 }  // namespace mft

@@ -2,29 +2,53 @@
 //
 // This is the production solver used by the D-phase. The paper's complexity
 // citation [9] (Goldberg/Grigoriadis/Tarjan) is a network-simplex variant;
-// like LEMON's implementation we use a spanning-tree basis with a block
-// pivot search, big-M artificial arcs rooted at a virtual node, and the
-// "strongly feasible" leaving-arc tie-break that prevents cycling.
+// like LEMON's implementation we use a spanning-tree basis with big-M
+// artificial arcs rooted at a virtual node and the "strongly feasible"
+// leaving-arc tie-break that prevents cycling.
+//
+// Performance architecture:
+//  - The basis is depth-indexed: each node carries its tree depth, so the
+//    cycle join of a pivot is found by a two-pointer walk (no mark array)
+//    and subtree re-rooting updates duals with a single constant shift.
+//  - Two pricing rules: classic block search, and a candidate-list rule
+//    that keeps a shortlist of violating arcs between full scans (LEMON's
+//    CandidateListPivotRule) — the default, measurably faster on the deep
+//    chain-heavy networks the D-phase produces.
+//  - All solver state can live in a caller-owned McfWorkspace so repeated
+//    solves (100 D-phase iterations on one netlist) never reallocate.
 //
 // All arithmetic is exact int64 (the D-phase integerizes its costs by
 // power-of-ten scaling per §2.3.1 before calling this).
 #pragma once
 
 #include "mcf/mcf.h"
+#include "mcf/workspace.h"
 
 namespace mft {
 
 struct NetworkSimplexOptions {
-  /// Pivot block size as a fraction of sqrt(num arcs); 0 picks a default.
+  enum class Pricing {
+    kBlockSearch,    ///< cyclic block scan, best violating arc per block
+    kCandidateList,  ///< shortlist of violating arcs between full scans
+  };
+  Pricing pricing = Pricing::kCandidateList;
+  /// Pivot block size for kBlockSearch; 0 picks sqrt(num arcs).
   int block_size = 0;
+  /// Shortlist capacity for kCandidateList; 0 picks ~1.25*sqrt(num arcs).
+  int candidate_list_size = 0;
+  /// Pivots served from one shortlist before a rebuild; 0 picks size/10.
+  int minor_limit = 0;
   /// Hard safety cap on pivots (guards against a cycling bug, not expected
   /// to trigger). 0 picks 50*m + 1000.
   std::int64_t max_pivots = 0;
 };
 
 /// Solves `p` to optimality. Returns flows, total cost, and node potentials
-/// satisfying the contract documented in mcf.h.
+/// satisfying the contract documented in mcf.h. If `ws` is non-null, all
+/// solver arrays live in (and are reused from) the workspace, and
+/// `ws->ns_pivots` reports the pivot count of this run.
 McfSolution solve_network_simplex(const McfProblem& p,
-                                  const NetworkSimplexOptions& opt = {});
+                                  const NetworkSimplexOptions& opt = {},
+                                  McfWorkspace* ws = nullptr);
 
 }  // namespace mft

@@ -10,14 +10,22 @@ namespace {
 constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
 
 // Residual network with paired arcs: arc 2i is the forward image of user
-// arc i, arc 2i+1 its reverse. cap[] holds *residual* capacity.
+// arc i, arc 2i+1 its reverse. cap[] holds *residual* capacity. The arrays
+// are borrowed from an McfWorkspace so repeated solves reuse allocations.
 struct Residual {
-  std::vector<NodeId> to;
-  std::vector<Flow> cap;
-  std::vector<Cost> cost;
-  std::vector<std::vector<int>> adj;  // outgoing residual arc ids per node
+  std::vector<NodeId>& to;
+  std::vector<Flow>& cap;
+  std::vector<Cost>& cost;
+  std::vector<std::vector<int>>& adj;
 
-  explicit Residual(const McfProblem& p) : adj(p.num_nodes()) {
+  Residual(const McfProblem& p, McfWorkspace& ws)
+      : to(ws.res_to), cap(ws.res_cap), cost(ws.res_cost), adj(ws.res_adj) {
+    const std::size_t n = static_cast<std::size_t>(p.num_nodes());
+    to.clear();
+    cap.clear();
+    cost.clear();
+    if (adj.size() < n) adj.resize(n);
+    for (std::size_t v = 0; v < n; ++v) adj[v].clear();
     to.reserve(2 * p.arcs().size());
     for (const McfArc& a : p.arcs()) {
       adj[static_cast<std::size_t>(a.tail)].push_back(static_cast<int>(to.size()));
@@ -43,10 +51,11 @@ struct Residual {
 // source at distance 0 to every node. Returns true and a cycle (arc ids) if
 // a negative cycle is reachable; otherwise fills dist[].
 bool bellman_ford(const Residual& r, int n, std::vector<Cost>& dist,
-                  std::vector<int>* cycle_arcs) {
+                  std::vector<int>* cycle_arcs, McfWorkspace& ws) {
   dist.assign(static_cast<std::size_t>(n), 0);
   if (n == 0) return false;
-  std::vector<int> pred_arc(static_cast<std::size_t>(n), -1);
+  auto& pred_arc = ws.pred_arc;
+  pred_arc.assign(static_cast<std::size_t>(n), -1);
   NodeId updated = kInvalidNode;
   for (int round = 0; round < n; ++round) {
     updated = kInvalidNode;
@@ -81,10 +90,10 @@ bool bellman_ford(const Residual& r, int n, std::vector<Cost>& dist,
 
 // Cancels all Bellman–Ford-detectable negative cycles. Returns false if an
 // uncapacitated negative cycle makes the problem unbounded.
-bool cancel_negative_cycles(Residual& r, int n) {
+bool cancel_negative_cycles(Residual& r, int n, McfWorkspace& ws) {
   std::vector<Cost> dist;
   std::vector<int> cycle;
-  while (bellman_ford(r, n, dist, &cycle)) {
+  while (bellman_ford(r, n, dist, &cycle, ws)) {
     Flow delta = kInfFlow;
     for (int e : cycle)
       delta = std::min(delta, r.cap[static_cast<std::size_t>(e)]);
@@ -112,28 +121,31 @@ McfSolution extract(const McfProblem& p, const Residual& r,
   return sol;
 }
 
-}  // namespace
-
-McfSolution solve_ssp(const McfProblem& p) {
+McfSolution run_ssp(const McfProblem& p, McfWorkspace& ws) {
   McfSolution fail;
+  ws.ssp_augmentations = 0;
   if (p.total_supply() != 0) {
     fail.status = McfStatus::kInfeasible;
     return fail;
   }
   const int n = p.num_nodes();
-  Residual r(p);
+  Residual r(p, ws);
 
-  if (!cancel_negative_cycles(r, n)) {
+  if (!cancel_negative_cycles(r, n, ws)) {
     fail.status = McfStatus::kUnbounded;
     return fail;
   }
-  std::vector<Cost> pi;  // Johnson potentials (distance-like)
-  bellman_ford(r, n, pi, nullptr);
+  auto& pi = ws.johnson_pi;  // Johnson potentials (distance-like)
+  bellman_ford(r, n, pi, nullptr, ws);
 
-  std::vector<Flow> excess(p.supplies());
-  std::vector<Cost> dist(static_cast<std::size_t>(n));
-  std::vector<int> pred(static_cast<std::size_t>(n));
-  std::vector<char> settled(static_cast<std::size_t>(n));
+  auto& excess = ws.excess;
+  excess.assign(p.supplies().begin(), p.supplies().end());
+  auto& dist = ws.dist;
+  auto& pred = ws.pred_arc;
+  auto& settled = ws.settled;
+  dist.resize(static_cast<std::size_t>(n));
+  pred.resize(static_cast<std::size_t>(n));
+  settled.resize(static_cast<std::size_t>(n));
 
   for (NodeId s = 0; s < n; ++s) {
     while (excess[static_cast<std::size_t>(s)] > 0) {
@@ -188,9 +200,21 @@ McfSolution solve_ssp(const McfProblem& p) {
         r.push(pred[static_cast<std::size_t>(v)], delta);
       excess[static_cast<std::size_t>(s)] -= delta;
       excess[static_cast<std::size_t>(t)] += delta;
+      ++ws.ssp_augmentations;
     }
   }
   return extract(p, r, pi);
+}
+
+}  // namespace
+
+McfSolution solve_ssp(const McfProblem& p, McfWorkspace& ws) {
+  return run_ssp(p, ws);
+}
+
+McfSolution solve_ssp(const McfProblem& p) {
+  McfWorkspace ws;
+  return run_ssp(p, ws);
 }
 
 McfSolution solve_cycle_canceling(const McfProblem& p) {
@@ -209,15 +233,16 @@ McfSolution solve_cycle_canceling(const McfProblem& p) {
   // Phase 2: load the feasible flow into a residual network with the real
   // costs and cancel negative cycles.
   const int n = p.num_nodes();
-  Residual r(p);
+  McfWorkspace ws;
+  Residual r(p, ws);
   for (ArcId a = 0; a < p.num_arcs(); ++a)
     r.push(2 * a, feasible.flow[static_cast<std::size_t>(a)]);
-  if (!cancel_negative_cycles(r, n)) {
+  if (!cancel_negative_cycles(r, n, ws)) {
     fail.status = McfStatus::kUnbounded;
     return fail;
   }
   std::vector<Cost> pi;
-  bellman_ford(r, n, pi, nullptr);
+  bellman_ford(r, n, pi, nullptr, ws);
   return extract(p, r, pi);
 }
 

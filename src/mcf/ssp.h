@@ -3,7 +3,9 @@
 //
 //  - solve_ssp: successive shortest paths with Dijkstra + Johnson
 //    potentials; negative arc costs are handled by a Bellman–Ford
-//    negative-cycle-canceling preprocessing pass.
+//    negative-cycle-canceling preprocessing pass. Pass an McfWorkspace to
+//    reuse the residual-network and Dijkstra allocations across calls
+//    (ws->ssp_augmentations reports the augmentation count).
 //  - solve_cycle_canceling: Klein's algorithm — establish any feasible flow,
 //    then cancel Bellman–Ford negative cycles until optimal.
 //
@@ -12,10 +14,12 @@
 #pragma once
 
 #include "mcf/mcf.h"
+#include "mcf/workspace.h"
 
 namespace mft {
 
 McfSolution solve_ssp(const McfProblem& p);
+McfSolution solve_ssp(const McfProblem& p, McfWorkspace& ws);
 McfSolution solve_cycle_canceling(const McfProblem& p);
 
 }  // namespace mft

@@ -1,0 +1,57 @@
+// Reusable solver workspace for the min-cost-flow layer.
+//
+// Every D-phase call solves one flow instance; MINFLOTRANSIT runs up to 100
+// of them back to back on the same topology. Before this arena existed each
+// solve reallocated every parallel array (tail/head/cap/cost/flow/state and
+// the whole spanning-tree basis) from scratch — pure allocator churn on the
+// hot path. A caller that owns an McfWorkspace across calls pays the
+// allocation once; subsequent solves only overwrite.
+//
+// The workspace is plain data: no invariants survive between solves except
+// vector capacity (and the stats of the most recent run). Passing nullptr
+// everywhere keeps the old allocate-per-call behavior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mcf/mcf.h"
+
+namespace mft {
+
+struct McfWorkspace {
+  // --- Network simplex: parallel arrays over user + artificial arcs ------
+  std::vector<NodeId> tail, head;
+  std::vector<Flow> cap, flow;
+  std::vector<Cost> cost;
+  std::vector<int> state;
+
+  // Spanning-tree basis, depth-indexed (depth[root] == 0).
+  std::vector<Cost> pi;
+  std::vector<NodeId> parent;
+  std::vector<ArcId> pred;
+  std::vector<int> pred_dir;
+  std::vector<int> depth;
+  std::vector<std::vector<ArcId>> tree_adj;
+
+  // Pricing + pivot scratch.
+  std::vector<ArcId> candidates;  ///< candidate-list pricing shortlist
+  std::vector<NodeId> stack;      ///< reroot DFS stack
+  std::vector<NodeId> path_first, path_second;  ///< pivot cycle halves
+
+  // --- Successive shortest paths: residual network + Dijkstra scratch ----
+  std::vector<NodeId> res_to;
+  std::vector<Flow> res_cap;
+  std::vector<Cost> res_cost;
+  std::vector<std::vector<int>> res_adj;
+  std::vector<Flow> excess;
+  std::vector<Cost> dist, johnson_pi;
+  std::vector<int> pred_arc;
+  std::vector<char> settled;
+
+  // --- Stats of the most recent solve ------------------------------------
+  std::int64_t ns_pivots = 0;         ///< network-simplex pivots
+  std::int64_t ssp_augmentations = 0; ///< SSP shortest-path augmentations
+};
+
+}  // namespace mft

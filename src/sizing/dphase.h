@@ -45,8 +45,26 @@ struct DPhaseResult {
   int num_moved = 0;               ///< vertices with |δd_i| > 0
 };
 
+/// Reusable state for repeated D-phase calls on one netlist topology. The
+/// LP structure (constraint/objective endpoints) and the derived flow
+/// network are built on the first call and only their bounds/coefficients
+/// are rewritten afterwards; `problem_builds()` stays at 1 as long as the
+/// topology is unchanged (the tier-1 suite asserts this). The embedded
+/// TimingScratch makes the per-iteration STA incremental as well.
+struct DPhaseWorkspace {
+  DualFlowLp lp{0};
+  DualFlowLp::Workspace flow;
+  TimingScratch timing;
+  bool built = false;
+  std::uint64_t net_serial = 0;  ///< SizingNetwork::serial() of the build
+
+  /// How many times the underlying McfProblem was constructed.
+  int problem_builds() const { return flow.problem_builds; }
+};
+
 DPhaseResult run_dphase(const SizingNetwork& net,
                         const std::vector<double>& sizes,
-                        const DPhaseOptions& opt = {});
+                        const DPhaseOptions& opt = {},
+                        DPhaseWorkspace* ws = nullptr);
 
 }  // namespace mft

@@ -35,6 +35,12 @@ MinflotransitResult run_minflotransit(const SizingNetwork& net,
   std::vector<double> best_sizes = res.sizes;
   std::vector<double> cur = res.sizes;
 
+  // One workspace pair for the whole refinement loop: the D-phase builds
+  // its LP + flow network once and rewrites bounds per iteration, and the
+  // STA scratch re-delays only the vertices the W-phase actually moved.
+  DPhaseWorkspace dws;
+  TimingScratch sta;
+
   // Iteration 0: a W-phase pass at unchanged budgets. With budgets equal to
   // the achieved delays this is the identity on interior points (the
   // equality system (D−A)X = B has a unique solution), but it canonicalizes
@@ -42,11 +48,11 @@ MinflotransitResult run_minflotransit(const SizingNetwork& net,
   // linearizations start from a consistent point. All *area* improvement
   // comes from the D-phase budget moves — see bench_ablation_weights.
   {
-    const TimingReport t0 = run_sta(net, cur);
+    const TimingReport& t0 = run_sta(net, cur, sta);
     const WPhaseResult w0 = solve_wphase(net, t0.delay);
     if (w0.feasible) {
       const double area0 = net.area(w0.sizes);
-      if (run_sta(net, w0.sizes).critical_path <=
+      if (run_sta(net, w0.sizes, sta).critical_path <=
               target_delay * (1.0 + 1e-9) &&
           area0 <= best_area) {
         cur = w0.sizes;
@@ -60,10 +66,10 @@ MinflotransitResult run_minflotransit(const SizingNetwork& net,
   int stagnant = 0;
   int backoffs = 0;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
-    const DPhaseResult d = run_dphase(net, cur, dopt);
+    const DPhaseResult d = run_dphase(net, cur, dopt, &dws);
     if (!d.solved) break;
     const WPhaseResult w = solve_wphase(net, d.budget);
-    const TimingReport timing = run_sta(net, w.sizes);
+    const TimingReport& timing = run_sta(net, w.sizes, sta);
     const double area = net.area(w.sizes);
     const bool ok = w.feasible &&
                     timing.critical_path <= target_delay * (1.0 + 1e-9) &&
@@ -94,7 +100,7 @@ MinflotransitResult run_minflotransit(const SizingNetwork& net,
 
   res.sizes = std::move(best_sizes);
   res.area = best_area;
-  res.delay = run_sta(net, res.sizes).critical_path;
+  res.delay = run_sta(net, res.sizes, sta).critical_path;
   res.total_seconds = total.seconds();
   return res;
 }

@@ -21,8 +21,11 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
                                      std::max(1, net.num_sizeable()));
 
   std::vector<char> on_path(static_cast<std::size_t>(net.num_vertices()), 0);
+  // One vertex is bumped per iteration, so the incremental STA re-delays
+  // only that vertex and its loaders instead of the whole network.
+  TimingScratch sta;
   while (true) {
-    const TimingReport timing = run_sta(net, res.sizes);
+    const TimingReport& timing = run_sta(net, res.sizes, sta);
     res.achieved_delay = timing.critical_path;
     if (timing.critical_path <= target_delay) {
       res.met_target = true;

@@ -1,6 +1,7 @@
 #include "timing/sizing_network.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace mft {
 
@@ -39,6 +40,8 @@ void SizingNetwork::set_po(NodeId v, bool po) {
 }
 
 void SizingNetwork::freeze() {
+  static std::atomic<std::uint64_t> next_serial{1};
+  serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
   MFT_CHECK(num_vertices() == dag_.num_nodes());
   auto order = dag_.topological_order();
   MFT_CHECK_MSG(order.has_value(), "sizing network has a timing cycle");

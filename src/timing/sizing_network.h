@@ -17,6 +17,7 @@
 // the optimizer granularity-agnostic (paper feature 2).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,11 @@ class SizingNetwork {
   void freeze();
   bool frozen() const { return !topo_.empty() || num_vertices() == 0; }
 
+  /// Unique id assigned at freeze() (0 before). Workspaces that cache
+  /// per-topology state (TimingScratch, DPhaseWorkspace) key on it to
+  /// detect being handed a different network and fall back to a rebuild.
+  std::uint64_t serial() const { return serial_; }
+
   int num_vertices() const { return static_cast<int>(verts_.size()); }
   /// Number of sizeable (non-source) vertices.
   int num_sizeable() const { return num_sizeable_; }
@@ -110,6 +116,7 @@ class SizingNetwork {
   std::vector<NodeId> topo_;
   std::vector<std::vector<LoadTerm>> rev_loads_;
   int num_sizeable_ = 0;
+  std::uint64_t serial_ = 0;
 };
 
 }  // namespace mft

@@ -7,24 +7,29 @@ namespace mft {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
 
-TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes) {
-  MFT_CHECK(net.frozen());
-  MFT_CHECK(static_cast<int>(sizes.size()) == net.num_vertices());
-  const Digraph& g = net.dag();
+// Forward/backward sweeps over already-computed per-vertex delays. Shared
+// by the full and incremental paths so both produce identical reports.
+// Sizes the report and recomputes every per-vertex delay. Shared by the
+// two-arg run_sta and the scratch overload's first run so the full and
+// incremental paths cannot drift apart.
+void full_delay_init(const SizingNetwork& net, const std::vector<double>& sizes,
+                     TimingReport& r) {
   const std::size_t n = static_cast<std::size_t>(net.num_vertices());
-
-  TimingReport r;
   r.delay.resize(n);
   r.at.assign(n, 0.0);
   r.rt.assign(n, kInf);
   r.slack.resize(n);
-
   for (NodeId v = 0; v < net.num_vertices(); ++v)
     r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
+}
+
+void run_sweeps(const SizingNetwork& net, TimingReport& r) {
+  const Digraph& g = net.dag();
 
   // Forward: AT(v) = max over fanin j of AT(j) + delay(j); 0 at sources.
+  r.critical_path = 0.0;
+  r.cp_vertex = kInvalidNode;
   for (NodeId v : net.topological_order()) {
     double at = 0.0;
     for (ArcId a : g.in_arcs(v)) {
@@ -33,9 +38,11 @@ TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes)
                             r.delay[static_cast<std::size_t>(j)]);
     }
     r.at[static_cast<std::size_t>(v)] = at;
-    r.critical_path =
-        std::max(r.critical_path,
-                 at + r.delay[static_cast<std::size_t>(v)]);
+    const double end = at + r.delay[static_cast<std::size_t>(v)];
+    if (r.cp_vertex == kInvalidNode || end > r.critical_path) {
+      r.critical_path = end;
+      r.cp_vertex = v;
+    }
   }
 
   // Backward: RT(v) = CP − delay(v) at POs, min over fanouts elsewhere.
@@ -54,6 +61,67 @@ TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes)
     r.slack[static_cast<std::size_t>(v)] =
         rt - r.at[static_cast<std::size_t>(v)];
   }
+}
+}  // namespace
+
+TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes) {
+  MFT_CHECK(net.frozen());
+  MFT_CHECK(static_cast<int>(sizes.size()) == net.num_vertices());
+  TimingReport r;
+  full_delay_init(net, sizes, r);
+  run_sweeps(net, r);
+  return r;
+}
+
+const TimingReport& run_sta(const SizingNetwork& net,
+                            const std::vector<double>& sizes,
+                            TimingScratch& scratch) {
+  MFT_CHECK(net.frozen());
+  MFT_CHECK(static_cast<int>(sizes.size()) == net.num_vertices());
+  const std::size_t n = static_cast<std::size_t>(net.num_vertices());
+  TimingReport& r = scratch.report;
+
+  if (!scratch.valid || scratch.net_serial != net.serial()) {
+    // First run on this scratch (or a different network): full recompute.
+    full_delay_init(net, sizes, r);
+    scratch.is_dirty.assign(n, 0);
+    scratch.last_sizes = sizes;
+    scratch.valid = true;
+    scratch.net_serial = net.serial();
+    ++scratch.full_runs;
+    scratch.delays_recomputed += static_cast<std::int64_t>(n);
+  } else {
+    // Incremental: a vertex's delay depends on its own size and the sizes
+    // it loads, so the invalidated set is {changed} ∪ reverse_loads of the
+    // changed vertices.
+    auto& dirty = scratch.dirty;
+    dirty.clear();
+    const auto& rev = net.reverse_loads();
+    for (NodeId v = 0; v < net.num_vertices(); ++v) {
+      const std::size_t i = static_cast<std::size_t>(v);
+      if (sizes[i] == scratch.last_sizes[i]) continue;
+      if (!scratch.is_dirty[i]) {
+        scratch.is_dirty[i] = 1;
+        dirty.push_back(v);
+      }
+      for (const LoadTerm& t : rev[i]) {
+        const std::size_t j = static_cast<std::size_t>(t.vertex);
+        if (!scratch.is_dirty[j]) {
+          scratch.is_dirty[j] = 1;
+          dirty.push_back(t.vertex);
+        }
+      }
+    }
+    for (const NodeId v : dirty) {
+      r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
+      scratch.is_dirty[static_cast<std::size_t>(v)] = 0;
+    }
+    scratch.last_sizes = sizes;
+    ++scratch.incremental_runs;
+    scratch.delays_recomputed += static_cast<std::int64_t>(dirty.size());
+  }
+
+  run_sweeps(net, r);
   return r;
 }
 
@@ -67,32 +135,41 @@ double TimingReport::edge_slack(const SizingNetwork& net, ArcId a) const {
 
 std::vector<NodeId> TimingReport::critical_vertices(
     const SizingNetwork& net) const {
-  // Walk back from the vertex realizing CP along tight arcs.
   const Digraph& g = net.dag();
-  NodeId cur = kInvalidNode;
-  double best = -kInf;
-  for (NodeId v = 0; v < net.num_vertices(); ++v) {
-    const double end = at[static_cast<std::size_t>(v)] +
-                       delay[static_cast<std::size_t>(v)];
-    if (end > best) {
-      best = end;
-      cur = v;
+  // The CP endpoint is tracked during run_sta; fall back to an O(V) scan
+  // only for reports not produced by run_sta.
+  NodeId cur = cp_vertex;
+  if (cur == kInvalidNode) {
+    double best = -kInf;
+    for (NodeId v = 0; v < net.num_vertices(); ++v) {
+      const double end = at[static_cast<std::size_t>(v)] +
+                         delay[static_cast<std::size_t>(v)];
+      if (end > best) {
+        best = end;
+        cur = v;
+      }
     }
   }
   std::vector<NodeId> path;
   while (cur != kInvalidNode) {
     path.push_back(cur);
+    // Step to the max-(AT+delay) fanin: that maximum is exactly how AT(cur)
+    // was formed in the forward sweep, so the comparison is exact, and
+    // taking the argmax (lowest id on ties) makes the walk deterministic.
     NodeId next = kInvalidNode;
+    double best = -kInf;
     for (ArcId a : g.in_arcs(cur)) {
       const NodeId j = g.tail(a);
-      if (std::abs(at[static_cast<std::size_t>(j)] +
-                   delay[static_cast<std::size_t>(j)] -
-                   at[static_cast<std::size_t>(cur)]) <=
-          1e-9 * (1.0 + std::abs(at[static_cast<std::size_t>(cur)]))) {
+      const double end = at[static_cast<std::size_t>(j)] +
+                         delay[static_cast<std::size_t>(j)];
+      if (end > best || (end == best && next != kInvalidNode && j < next)) {
+        best = end;
         next = j;
-        break;
       }
     }
+    if (next != kInvalidNode &&
+        best != at[static_cast<std::size_t>(cur)])
+      next = kInvalidNode;  // AT came from the source floor, not a fanin
     cur = next;
   }
   std::reverse(path.begin(), path.end());

@@ -1,8 +1,19 @@
 // Static timing analysis over a SizingNetwork — the attributes of paper
 // eq. (8): arrival time AT, required time RT, slack, edge slack, and the
 // critical path CP(G).
+//
+// Two entry points:
+//  - run_sta(net, sizes): full recompute, allocates a fresh report.
+//  - run_sta(net, sizes, scratch): incremental. The scratch remembers the
+//    sizes of the previous call and only recomputes net.delay(v, ...) for
+//    vertices whose delay can actually have changed (the resized vertices
+//    plus everything loaded by them, via reverse_loads). The AT/RT sweeps
+//    are always full — they are cheap O(V+E) array passes — but reuse the
+//    scratch's allocations. Both paths produce bit-identical reports; the
+//    tier-1 suite asserts that equivalence on randomized size updates.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "timing/sizing_network.h"
@@ -15,18 +26,46 @@ struct TimingReport {
   std::vector<double> rt;      ///< required time
   std::vector<double> slack;   ///< rt - at
   double critical_path = 0.0;  ///< CP(G) = max_v (at + delay)
+  /// Endpoint realizing CP(G), tracked during the forward sweep (first
+  /// vertex in topological order attaining the max — deterministic).
+  NodeId cp_vertex = kInvalidNode;
 
   /// Edge slack esl(e_ij) = RT(j) − AT(i) − delay(i)  (eq. (8)).
   double edge_slack(const SizingNetwork& net, ArcId a) const;
 
-  /// Vertices on (a) critical path, source→sink order.
+  /// Vertices on the critical path, source→sink order. Deterministic: ends
+  /// at cp_vertex and walks back through the max-(AT+delay) fanin at every
+  /// step (ties broken by lowest vertex id).
   std::vector<NodeId> critical_vertices(const SizingNetwork& net) const;
 
   /// "Safe" per the paper: all vertex slacks and edge slacks >= -tol.
   bool safe(const SizingNetwork& net, double tol = 1e-9) const;
 };
 
+/// Reusable state for incremental STA. Owned by callers that re-run timing
+/// many times on one network (W-phase/backoff loop, D-phase workspace).
+struct TimingScratch {
+  TimingReport report;             ///< result storage, reused across calls
+  std::vector<double> last_sizes;  ///< sizes of the previous run
+  std::vector<NodeId> dirty;       ///< scratch: vertices to re-delay
+  std::vector<char> is_dirty;      ///< scratch: dedup mask for `dirty`
+  bool valid = false;              ///< false until the first (full) run
+  std::uint64_t net_serial = 0;    ///< SizingNetwork::serial() of the run
+
+  // Instrumentation for tests and benches.
+  std::int64_t full_runs = 0;
+  std::int64_t incremental_runs = 0;
+  std::int64_t delays_recomputed = 0;
+};
+
 /// Full forward/backward sweep. `sizes` indexed by vertex id.
 TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes);
+
+/// Incremental sweep: recomputes only the delays invalidated since the
+/// previous call on this scratch (full recompute on the first call).
+/// Returns scratch.report; the reference stays valid until the next call.
+const TimingReport& run_sta(const SizingNetwork& net,
+                            const std::vector<double>& sizes,
+                            TimingScratch& scratch);
 
 }  // namespace mft

@@ -1,9 +1,12 @@
 // Deterministic pseudo-random number generator for circuit generation.
 //
 // All generators in src/gen take an explicit seed so that every benchmark
-// circuit is bit-reproducible across runs and machines. We wrap a fixed
-// engine (splitmix64-seeded xoshiro-style via std::mt19937_64) rather than
-// std::default_random_engine, whose definition is implementation-defined.
+// circuit is bit-reproducible across runs and machines. The engine is
+// std::mt19937_64, whose output sequence the standard fully specifies —
+// but the std::*_distribution adaptors are implementation-defined, so all
+// sampling here is derived from raw engine output (Lemire multiply-shift
+// for bounded ints, a 53-bit mantissa scale for reals). The same seed
+// therefore yields the same circuit on every standard library.
 #pragma once
 
 #include <cstdint>
@@ -21,22 +24,27 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   int uniform_int(int lo, int hi) {
     MFT_DCHECK(lo <= hi);
-    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    const std::uint64_t range = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo) + 1);
+    return static_cast<int>(static_cast<std::int64_t>(lo) +
+                            static_cast<std::int64_t>(bounded(range)));
   }
 
   /// Uniform size_t index in [0, n). Requires n > 0.
   std::size_t index(std::size_t n) {
     MFT_DCHECK(n > 0);
-    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+    return static_cast<std::size_t>(bounded(n));
   }
 
   /// Uniform real in [lo, hi).
   double uniform(double lo, double hi) {
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    const double u =
+        static_cast<double>(engine_() >> 11) * 0x1.0p-53;  // [0, 1)
+    return lo + u * (hi - lo);
   }
 
   /// Bernoulli trial with probability p of returning true.
-  bool flip(double p) { return std::bernoulli_distribution(p)(engine_); }
+  bool flip(double p) { return uniform(0.0, 1.0) < p; }
 
   /// Geometric-ish fanin sampler: returns lo..hi with mass decaying by
   /// `decay` per step; used to mimic ISCAS fanin distributions.
@@ -49,6 +57,22 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  /// Unbiased uniform draw in [0, range) — Lemire's multiply-shift with
+  /// rejection, built on raw engine output only.
+  std::uint64_t bounded(std::uint64_t range) {
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(engine_()) * range;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < range) {
+      const std::uint64_t threshold = -range % range;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(engine_()) * range;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
   std::mt19937_64 engine_;
 };
 

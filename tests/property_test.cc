@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "gen/blocks.h"
+#include "lp/dense_simplex.h"
+#include "mcf/network_simplex.h"
+#include "mcf/ssp.h"
 #include "netlist/bench_io.h"
 #include "sizing/minflotransit.h"
 #include "timing/delay_balance.h"
@@ -151,6 +154,134 @@ TEST_P(SeededProperty, BenchRoundTripPreservesFunction) {
     for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.flip(0.5);
     EXPECT_EQ(nl.evaluate(in), back.evaluate(in)) << "vector " << vec;
   }
+}
+
+// Small random MCF instance, feasible by construction (supplies are the
+// imbalance of a random sub-capacity flow) and bounded (uncapacitated arcs
+// carry nonnegative cost, so no uncapacitated negative cycle exists).
+McfProblem random_mcf(std::uint64_t seed, int max_nodes) {
+  Rng rng(seed);
+  const int n = rng.uniform_int(2, max_nodes);
+  McfProblem p(n);
+  const int m = rng.uniform_int(n, 3 * n);
+  for (int i = 0; i < m; ++i) {
+    const NodeId t = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    NodeId h = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    if (h == t) h = (h + 1) % n;
+    const Flow cap = rng.flip(0.35) ? kInfFlow : rng.uniform_int(0, 30);
+    const Cost cost = rng.uniform_int(cap == kInfFlow ? 0 : -15, 40);
+    p.add_arc(t, h, cap, cost);
+  }
+  for (ArcId a = 0; a < p.num_arcs(); ++a) {
+    const McfArc& arc = p.arc(a);
+    if (arc.capacity == 0) continue;
+    const Flow f = arc.capacity == kInfFlow
+                       ? rng.uniform_int(0, 10)
+                       : rng.uniform_int(0, static_cast<int>(arc.capacity));
+    p.add_supply(arc.tail, f);
+    p.add_supply(arc.head, -f);
+  }
+  return p;
+}
+
+// Solves the LP dual of `p` with the dense simplex (a completely
+// independent algorithmic lineage):
+//     max Σ supply(v)·π(v) − Σ_{finite a} cap(a)·z(a)
+//     s.t. π(tail) − π(head) − [z(a)] ≤ cost(a),  z ≥ 0,  π(0) = 0
+// By strong duality its optimum equals the min-cost-flow optimum.
+double dense_dual_objective(const McfProblem& p, bool* solved) {
+  std::vector<int> zvar(static_cast<std::size_t>(p.num_arcs()), -1);
+  int nz = 0;
+  for (ArcId a = 0; a < p.num_arcs(); ++a)
+    if (p.arc(a).capacity != kInfFlow)
+      zvar[static_cast<std::size_t>(a)] = p.num_nodes() + nz++;
+  DenseLp lp(p.num_nodes() + nz);
+  for (NodeId v = 0; v < p.num_nodes(); ++v)
+    lp.set_objective(v, static_cast<double>(p.supply(v)));
+  lp.add_bounds(0, 0.0, 0.0);  // pin the dual's translation freedom
+  for (ArcId a = 0; a < p.num_arcs(); ++a) {
+    const McfArc& arc = p.arc(a);
+    std::vector<double> row(static_cast<std::size_t>(lp.num_vars()), 0.0);
+    row[static_cast<std::size_t>(arc.tail)] += 1.0;
+    row[static_cast<std::size_t>(arc.head)] -= 1.0;
+    const int z = zvar[static_cast<std::size_t>(a)];
+    if (z >= 0) {
+      row[static_cast<std::size_t>(z)] = -1.0;
+      lp.set_objective(z, -static_cast<double>(arc.capacity));
+      std::vector<double> pos(static_cast<std::size_t>(lp.num_vars()), 0.0);
+      pos[static_cast<std::size_t>(z)] = -1.0;
+      lp.add_row(pos, 0.0);  // z >= 0
+    }
+    lp.add_row(row, static_cast<double>(arc.cost));
+  }
+  const auto sol = lp.solve();
+  *solved = sol.has_value();
+  return sol ? sol->objective : 0.0;
+}
+
+TEST(CrossSolverAgreement, AllSolversAndTheDenseDualAgree) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const McfProblem p = random_mcf(seed, 12);
+    const McfSolution ns = solve_network_simplex(p);
+    const McfSolution ssp = solve_ssp(p);
+    const McfSolution cc = solve_cycle_canceling(p);
+    ASSERT_EQ(ns.status, McfStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(ssp.status, McfStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(cc.status, McfStatus::kOptimal) << "seed " << seed;
+    EXPECT_EQ(ns.total_cost, ssp.total_cost) << "seed " << seed;
+    EXPECT_EQ(ns.total_cost, cc.total_cost) << "seed " << seed;
+    std::string why;
+    EXPECT_TRUE(check_flow_optimal(p, ns, &why)) << "seed " << seed << ": " << why;
+
+    bool lp_solved = false;
+    const double dual = dense_dual_objective(p, &lp_solved);
+    ASSERT_TRUE(lp_solved) << "seed " << seed;
+    EXPECT_NEAR(dual, static_cast<double>(ns.total_cost), 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(CrossSolverAgreement, StatusClassificationMatchesTheSspOracle) {
+  // Larger random instances with arbitrary balanced supplies: routing may
+  // be impossible, and the simplex must classify exactly like SSP.
+  int non_optimal = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 131 + 7);
+    const int n = rng.uniform_int(3, 20);
+    McfProblem p(n);
+    const int m = rng.uniform_int(2, 2 * n);
+    for (int i = 0; i < m; ++i) {
+      const NodeId t = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+      NodeId h = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+      if (h == t) h = (h + 1) % n;
+      p.add_arc(t, h, rng.flip(0.5) ? kInfFlow : rng.uniform_int(0, 25),
+                rng.uniform_int(0, 30));
+    }
+    Flow pushed = 0;
+    for (NodeId v = 0; v + 1 < n; ++v) {
+      const Flow s = rng.uniform_int(-8, 8);
+      p.add_supply(v, s);
+      pushed += s;
+    }
+    p.add_supply(n - 1, -pushed);
+    const McfSolution ns = solve_network_simplex(p);
+    const McfSolution ssp = solve_ssp(p);
+    EXPECT_EQ(ns.status, ssp.status) << "seed " << seed;
+    if (ns.status != McfStatus::kOptimal) ++non_optimal;
+    if (ns.status == McfStatus::kOptimal) {
+      EXPECT_EQ(ns.total_cost, ssp.total_cost) << "seed " << seed;
+    }
+  }
+  // The sweep must actually exercise the non-optimal classifications.
+  EXPECT_GT(non_optimal, 0);
+
+  // Unboundedness: an uncapacitated negative cycle.
+  McfProblem cyc(3);
+  cyc.add_arc(0, 1, kInfFlow, -5);
+  cyc.add_arc(1, 2, kInfFlow, 1);
+  cyc.add_arc(2, 0, kInfFlow, 1);
+  EXPECT_EQ(solve_network_simplex(cyc).status, McfStatus::kUnbounded);
+  EXPECT_EQ(solve_ssp(cyc).status, McfStatus::kUnbounded);
 }
 
 TEST_P(SeededProperty, TransistorLoweringConservesStructure) {

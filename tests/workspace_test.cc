@@ -1,0 +1,246 @@
+// Tests for the reusable solver workspaces: solver results must be
+// identical with and without a workspace, repeated D-phase calls on one
+// topology must not reconstruct the flow problem (the acceptance counter),
+// and the incremental STA must agree bit-for-bit with the full recompute.
+#include <gtest/gtest.h>
+
+#include "gen/blocks.h"
+#include "mcf/network_simplex.h"
+#include "mcf/ssp.h"
+#include "sizing/dphase.h"
+#include "sizing/tilos.h"
+#include "timing/lowering.h"
+#include "util/rng.h"
+
+namespace mft {
+namespace {
+
+McfProblem random_problem(std::uint64_t seed) {
+  Rng rng(seed);
+  const int n = rng.uniform_int(2, 30);
+  McfProblem p(n);
+  const int m = rng.uniform_int(n, 4 * n);
+  for (int i = 0; i < m; ++i) {
+    const NodeId t = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    NodeId h = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    if (h == t) h = (h + 1) % n;
+    const Flow cap = rng.flip(0.3) ? kInfFlow : rng.uniform_int(0, 40);
+    const Cost cost = rng.uniform_int(cap == kInfFlow ? 0 : -20, 60);
+    p.add_arc(t, h, cap, cost);
+  }
+  // Feasible by construction: supplies are the imbalance of a random
+  // sub-capacity flow.
+  for (ArcId a = 0; a < p.num_arcs(); ++a) {
+    const McfArc& arc = p.arc(a);
+    if (arc.capacity == 0) continue;
+    const Flow f = arc.capacity == kInfFlow
+                       ? rng.uniform_int(0, 15)
+                       : rng.uniform_int(0, static_cast<int>(arc.capacity));
+    p.add_supply(arc.tail, f);
+    p.add_supply(arc.head, -f);
+  }
+  return p;
+}
+
+TEST(McfWorkspace, ReusedWorkspaceMatchesFreshSolves) {
+  McfWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const McfProblem p = random_problem(seed);
+    const McfSolution fresh = solve_network_simplex(p);
+    const McfSolution reused = solve_network_simplex(p, {}, &ws);
+    ASSERT_EQ(fresh.status, reused.status) << "seed " << seed;
+    if (fresh.status != McfStatus::kOptimal) continue;
+    EXPECT_EQ(fresh.total_cost, reused.total_cost) << "seed " << seed;
+    std::string why;
+    EXPECT_TRUE(check_flow_optimal(p, reused, &why)) << "seed " << seed
+                                                     << ": " << why;
+    EXPECT_GT(ws.ns_pivots, 0) << "seed " << seed;
+  }
+}
+
+TEST(McfWorkspace, SspWorkspaceMatchesFreshSolves) {
+  McfWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const McfProblem p = random_problem(seed ^ 0xBEEF);
+    const McfSolution fresh = solve_ssp(p);
+    const McfSolution reused = solve_ssp(p, ws);
+    ASSERT_EQ(fresh.status, reused.status) << "seed " << seed;
+    if (fresh.status != McfStatus::kOptimal) continue;
+    EXPECT_EQ(fresh.total_cost, reused.total_cost) << "seed " << seed;
+    std::string why;
+    EXPECT_TRUE(check_flow_optimal(p, reused, &why)) << "seed " << seed
+                                                     << ": " << why;
+  }
+}
+
+TEST(McfWorkspace, PivotStatsReported) {
+  McfWorkspace ws;
+  McfProblem p(2);
+  p.add_arc(0, 1, 10, 3);
+  p.set_supply(0, 7);
+  p.set_supply(1, -7);
+  ASSERT_EQ(solve_network_simplex(p, {}, &ws).status, McfStatus::kOptimal);
+  EXPECT_GT(ws.ns_pivots, 0);
+  ASSERT_EQ(solve_ssp(p, ws).status, McfStatus::kOptimal);
+  EXPECT_EQ(ws.ssp_augmentations, 1);
+}
+
+TEST(NetworkSimplexPricing, BothRulesAgree) {
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    const McfProblem p = random_problem(seed);
+    NetworkSimplexOptions block;
+    block.pricing = NetworkSimplexOptions::Pricing::kBlockSearch;
+    NetworkSimplexOptions cand;
+    cand.pricing = NetworkSimplexOptions::Pricing::kCandidateList;
+    const McfSolution a = solve_network_simplex(p, block);
+    const McfSolution b = solve_network_simplex(p, cand);
+    ASSERT_EQ(a.status, b.status) << "seed " << seed;
+    if (a.status == McfStatus::kOptimal) {
+      EXPECT_EQ(a.total_cost, b.total_cost) << "seed " << seed;
+    }
+  }
+}
+
+class DPhaseWorkspaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomLogicParams prm;
+    prm.num_inputs = 10;
+    prm.num_gates = 120;
+    prm.seed = 7;
+    lc_ = lower_gate_level(make_random_logic(prm), Tech{});
+    const double dmin = min_sized_delay(lc_.net);
+    tilos_ = run_tilos(lc_.net, 0.75 * dmin);
+    ASSERT_TRUE(tilos_.met_target);
+  }
+  LoweredCircuit lc_{Tech{}};
+  TilosResult tilos_;
+};
+
+TEST_F(DPhaseWorkspaceTest, RepeatedCallsBuildTheProblemOnce) {
+  DPhaseWorkspace ws;
+  Rng rng(99);
+  std::vector<double> sizes = tilos_.sizes;
+  for (int iter = 0; iter < 8; ++iter) {
+    const DPhaseResult with_ws = run_dphase(lc_.net, sizes, {}, &ws);
+    const DPhaseResult fresh = run_dphase(lc_.net, sizes);
+    ASSERT_TRUE(with_ws.solved);
+    ASSERT_TRUE(fresh.solved);
+    EXPECT_EQ(with_ws.num_constraints, fresh.num_constraints);
+    EXPECT_NEAR(with_ws.objective, fresh.objective, 1e-9);
+    ASSERT_EQ(with_ws.budget.size(), fresh.budget.size());
+    for (std::size_t v = 0; v < fresh.budget.size(); ++v)
+      EXPECT_NEAR(with_ws.budget[v], fresh.budget[v], 1e-12) << "vertex " << v;
+    // Perturb some sizes so the next iteration solves a different LP on
+    // the same structure.
+    for (int k = 0; k < 10; ++k) {
+      const NodeId v = static_cast<NodeId>(
+          rng.index(static_cast<std::size_t>(lc_.net.num_vertices())));
+      if (!lc_.net.is_source(v))
+        sizes[static_cast<std::size_t>(v)] *= rng.uniform(1.0, 1.2);
+    }
+  }
+  // The acceptance counter: one construction, then pure reuse.
+  EXPECT_EQ(ws.problem_builds(), 1);
+  EXPECT_EQ(ws.timing.full_runs, 1);
+  EXPECT_EQ(ws.timing.incremental_runs, 7);
+}
+
+TEST_F(DPhaseWorkspaceTest, TopologyChangeTriggersRebuild) {
+  DPhaseWorkspace ws;
+  ASSERT_TRUE(run_dphase(lc_.net, tilos_.sizes, {}, &ws).solved);
+  EXPECT_EQ(ws.problem_builds(), 1);
+
+  RandomLogicParams prm;
+  prm.num_inputs = 8;
+  prm.num_gates = 60;
+  prm.seed = 8;
+  LoweredCircuit other = lower_gate_level(make_random_logic(prm), Tech{});
+  const TilosResult t2 = run_tilos(other.net, 0.8 * min_sized_delay(other.net));
+  ASSERT_TRUE(t2.met_target);
+  ASSERT_TRUE(run_dphase(other.net, t2.sizes, {}, &ws).solved);
+  EXPECT_EQ(ws.problem_builds(), 1);  // reset + one rebuild for the new net
+}
+
+TEST(IncrementalSta, MatchesFullRecomputeUnderRandomUpdates) {
+  RandomLogicParams prm;
+  prm.num_inputs = 12;
+  prm.num_gates = 150;
+  prm.seed = 21;
+  LoweredCircuit lc = lower_gate_level(make_random_logic(prm), Tech{});
+  Rng rng(5);
+  std::vector<double> sizes = lc.net.min_sizes();
+
+  TimingScratch scratch;
+  for (int iter = 0; iter < 20; ++iter) {
+    const TimingReport& inc = run_sta(lc.net, sizes, scratch);
+    const TimingReport full = run_sta(lc.net, sizes);
+    ASSERT_EQ(inc.cp_vertex, full.cp_vertex) << "iter " << iter;
+    EXPECT_EQ(inc.critical_path, full.critical_path) << "iter " << iter;
+    for (NodeId v = 0; v < lc.net.num_vertices(); ++v) {
+      const std::size_t i = static_cast<std::size_t>(v);
+      EXPECT_EQ(inc.delay[i], full.delay[i]) << "iter " << iter << " v " << v;
+      EXPECT_EQ(inc.at[i], full.at[i]) << "iter " << iter << " v " << v;
+      EXPECT_EQ(inc.rt[i], full.rt[i]) << "iter " << iter << " v " << v;
+    }
+    EXPECT_EQ(inc.critical_vertices(lc.net), full.critical_vertices(lc.net));
+    // Random sparse update for the next round (sometimes none at all).
+    const int moves = rng.uniform_int(0, 6);
+    for (int k = 0; k < moves; ++k) {
+      const NodeId v = static_cast<NodeId>(
+          rng.index(static_cast<std::size_t>(lc.net.num_vertices())));
+      if (!lc.net.is_source(v))
+        sizes[static_cast<std::size_t>(v)] *= rng.uniform(1.0, 1.5);
+    }
+  }
+  EXPECT_EQ(scratch.full_runs, 1);
+  EXPECT_EQ(scratch.incremental_runs, 19);
+  // The dirty-set path must actually be sparse: far fewer delay recomputes
+  // than 20 full sweeps would need.
+  EXPECT_LT(scratch.delays_recomputed,
+            20 * static_cast<std::int64_t>(lc.net.num_vertices()));
+}
+
+TEST(IncrementalSta, ScratchReusedAcrossNetworksFallsBackToFullRecompute) {
+  // Two different networks (regardless of matching vertex counts) must not
+  // mix delays: the scratch keys on SizingNetwork::serial().
+  RandomLogicParams prm;
+  prm.num_inputs = 10;
+  prm.num_gates = 80;
+  prm.seed = 41;
+  LoweredCircuit a = lower_gate_level(make_random_logic(prm), Tech{});
+  prm.seed = 42;
+  LoweredCircuit b = lower_gate_level(make_random_logic(prm), Tech{});
+
+  TimingScratch scratch;
+  run_sta(a.net, a.net.min_sizes(), scratch);
+  const TimingReport& inc = run_sta(b.net, b.net.min_sizes(), scratch);
+  const TimingReport full = run_sta(b.net, b.net.min_sizes());
+  EXPECT_EQ(scratch.full_runs, 2);
+  EXPECT_EQ(scratch.incremental_runs, 0);
+  ASSERT_EQ(inc.delay.size(), full.delay.size());
+  for (std::size_t v = 0; v < full.delay.size(); ++v)
+    EXPECT_EQ(inc.delay[v], full.delay[v]) << "vertex " << v;
+  EXPECT_EQ(inc.critical_path, full.critical_path);
+}
+
+TEST(IncrementalSta, CriticalPathWalkIsDeterministicAndExact) {
+  RandomLogicParams prm;
+  prm.num_inputs = 9;
+  prm.num_gates = 90;
+  prm.seed = 31;
+  LoweredCircuit lc = lower_gate_level(make_random_logic(prm), Tech{});
+  const TimingReport t = run_sta(lc.net, lc.net.min_sizes());
+  ASSERT_NE(t.cp_vertex, kInvalidNode);
+  const std::vector<NodeId> path = t.critical_vertices(lc.net);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.back(), t.cp_vertex);
+  double sum = 0.0;
+  for (NodeId v : path) sum += t.delay[static_cast<std::size_t>(v)];
+  EXPECT_NEAR(sum, t.critical_path, 1e-12);
+  // Walking twice gives the identical path.
+  EXPECT_EQ(path, t.critical_vertices(lc.net));
+}
+
+}  // namespace
+}  // namespace mft
