@@ -9,16 +9,63 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "engine/runner.h"
 #include "gen/blocks.h"
 #include "gen/iscas_analog.h"
 #include "sizing/minflotransit.h"
 #include "timing/lowering.h"
 
 namespace mft::bench {
+
+/// Engine thread count for a bench binary: `--threads N` / `--threads=N`
+/// on the command line, else the MFT_BENCH_THREADS environment variable,
+/// else 0 (= hardware concurrency, resolved by JobRunner). A malformed or
+/// missing value is a hard error — a silently wrong pool size would label
+/// the emitted throughput numbers with the wrong thread count.
+inline int bench_threads(int argc, char** argv) {
+  auto parse = [](const char* s) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "error: bad --threads value '%s'\n", s);
+      std::exit(2);
+    }
+    return static_cast<int>(v);
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threads needs a value\n");
+        std::exit(2);
+      }
+      return parse(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      return parse(argv[i] + 10);
+  }
+  if (const char* env = std::getenv("MFT_BENCH_THREADS")) return parse(env);
+  return 0;
+}
+
+/// Shared progress line for bench batches.
+inline void print_progress(const JobResult& r, int done, int total) {
+  std::printf("  [%d/%d] %-20s %6.2fs%s\n", done, total, r.label.c_str(),
+              r.wall_seconds, r.ok ? "" : "  FAILED");
+  std::fflush(stdout);
+}
+
+/// Shared trailer line for bench batches.
+inline void print_engine_summary(const BatchResult& batch) {
+  std::printf("engine: %d threads, %d jobs in %.1fs (%.2f jobs/s)\n",
+              batch.threads_used, static_cast<int>(batch.results.size()),
+              batch.wall_seconds, batch.jobs_per_second);
+}
 
 /// Machine-readable benchmark record sink. Each entry is one benchmark run
 /// (name, wall seconds, and free-form numeric metrics such as pivot counts

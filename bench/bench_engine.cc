@@ -1,0 +1,103 @@
+// Engine batch-throughput benchmark: the same 8-job area-delay sweep of
+// c3540 executed sequentially (1 thread) and on a multi-thread pool, plus a
+// bit-exactness cross-check between the two runs (the engine's determinism
+// contract: scheduling must never change results).
+//
+// Emits BENCH_engine.json with jobs/sec at each thread count and the
+// parallel speedup. The speedup is hardware-bound — `hw_concurrency` is
+// recorded alongside so a 1-core CI container reading ~1.0x is
+// interpretable; on >= 4 real cores the batch is embarrassingly parallel
+// and scales accordingly. Override the pool size with --threads or
+// MFT_BENCH_THREADS.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "util/str.h"
+
+using namespace mft;
+using namespace mft::bench;
+
+namespace {
+
+bool identical(const BatchResult& a, const BatchResult& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const JobResult& x = a.results[i];
+    const JobResult& y = b.results[i];
+    if (x.ok != y.ok || x.seed != y.seed) return false;
+    if (x.result.sizes != y.result.sizes) return false;  // bit-exact
+    if (x.result.area != y.result.area) return false;
+    if (x.result.delay != y.result.delay) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // c3540 gives ~0.5 s/job at these targets: heavy enough that pool
+  // startup and measurement noise are negligible, light enough that the
+  // bench stays under ~10 s sequential.
+  const Netlist nl = load_circuit("c3540");
+  const LoweredCircuit lc = lower_gate_level(nl, Tech{});
+
+  std::vector<SizingJob> jobs;
+  for (double ratio : {0.8, 0.7, 0.65, 0.6, 0.55, 0.5, 0.45, 0.4}) {
+    SizingJob job;
+    job.target_ratio = ratio;
+    job.label = strf("c3540@%.2f", ratio);
+    jobs.push_back(std::move(job));
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  int par_threads = bench_threads(argc, argv);
+  if (par_threads <= 0) par_threads = std::max(4u, hw ? hw : 1u);
+
+  std::printf("engine throughput: %d-job c3540 sweep, hw concurrency %u\n\n",
+              static_cast<int>(jobs.size()), hw);
+
+  BenchJson json;
+  BatchResult runs[2];
+  const int thread_counts[2] = {1, par_threads};
+  for (int i = 0; i < 2; ++i) {
+    JobRunnerOptions ropt;
+    ropt.threads = thread_counts[i];
+    const JobRunner runner(ropt);
+    std::printf("%d thread%s:\n", thread_counts[i],
+                thread_counts[i] == 1 ? "" : "s");
+    runs[i] = runner.run({&lc.net}, jobs);
+    for (const JobResult& r : runs[i].results)
+      std::printf("  %-12s %6.2fs  thread %d\n", r.label.c_str(),
+                  r.wall_seconds, r.thread);
+    std::printf("  -> %d jobs in %.2fs (%.3f jobs/s)\n\n",
+                static_cast<int>(runs[i].results.size()), runs[i].wall_seconds,
+                runs[i].jobs_per_second);
+    json.add(strf("engine/sweep8_t%d", thread_counts[i]),
+             runs[i].wall_seconds,
+             {{"threads", static_cast<double>(runs[i].threads_used)},
+              {"jobs", static_cast<double>(runs[i].results.size())},
+              {"jobs_per_second", runs[i].jobs_per_second}});
+  }
+
+  const bool deterministic = identical(runs[0], runs[1]);
+  const double speedup = runs[1].wall_seconds > 0.0
+                             ? runs[0].wall_seconds / runs[1].wall_seconds
+                             : 0.0;
+  std::printf("speedup %d -> %d threads: %.2fx (hw concurrency %u)\n",
+              thread_counts[0], thread_counts[1], speedup, hw);
+  std::printf("determinism across thread counts: %s\n",
+              deterministic ? "bit-identical" : "MISMATCH");
+  json.add("engine/summary", runs[0].wall_seconds + runs[1].wall_seconds,
+           {{"speedup", speedup},
+            {"par_threads", static_cast<double>(par_threads)},
+            {"hw_concurrency", static_cast<double>(hw)},
+            {"deterministic", deterministic ? 1.0 : 0.0}});
+  if (!json.write("BENCH_engine.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_engine.json\n");
+  if (!write_batch_json("BENCH_engine_jobs.json", runs[1]))
+    std::fprintf(stderr, "warning: could not write BENCH_engine_jobs.json\n");
+  return deterministic ? 0 : 1;
+}

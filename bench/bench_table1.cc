@@ -4,6 +4,11 @@
 // 1.5–1.75× band (§3). Expected shape (not absolute numbers): savings ≈1%
 // on adders, 2–17% elsewhere, largest on c6288; MINFLOTRANSIT total time
 // within ~2–4× of TILOS.
+//
+// The per-circuit sizing runs are one engine batch (--threads /
+// MFT_BENCH_THREADS to fan them out); calibration stays sequential so the
+// delay specs are identical at any thread count, and results are collected
+// in job order so the table is too.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -13,7 +18,7 @@
 using namespace mft;
 using namespace mft::bench;
 
-int main() {
+int main(int argc, char** argv) {
   const std::vector<std::string> circuits = {
       "adder32", "adder256", "c432",  "c499",  "c880",  "c1355",
       "c1908",   "c2670",    "c3540", "c5315", "c6288", "c7552"};
@@ -24,35 +29,68 @@ int main() {
 
   std::printf("Table 1: MINFLOTRANSIT vs TILOS at calibrated delay specs\n");
   std::printf("(paper: UltraSPARC-10 seconds; here: this machine)\n\n");
-  for (const std::string& name : circuits) {
-    const Netlist nl = load_circuit(name);
-    const LoweredCircuit lc = lower_gate_level(nl, Tech{});
-    const double min_area = lc.net.area(lc.net.min_sizes());
-    const CalibratedTarget cal = calibrate_target(lc.net);
 
-    const MinflotransitResult r = run_minflotransit(lc.net, cal.target);
+  // Sequential prologue: build, lower, and calibrate every circuit.
+  std::vector<Netlist> netlists;
+  std::vector<LoweredCircuit> lowered;
+  std::vector<CalibratedTarget> cals;
+  for (const std::string& name : circuits) {
+    netlists.push_back(load_circuit(name));
+    lowered.push_back(lower_gate_level(netlists.back(), Tech{}));
+    cals.push_back(calibrate_target(lowered.back().net));
+  }
+
+  std::vector<const SizingNetwork*> networks;
+  for (const LoweredCircuit& lc : lowered) networks.push_back(&lc.net);
+  std::vector<SizingJob> jobs;
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
+    SizingJob job;
+    job.network = static_cast<int>(c);
+    job.target_delay = cals[c].target;  // absolute, calibrated
+    job.label = circuits[c];
+    jobs.push_back(std::move(job));
+  }
+
+  JobRunnerOptions ropt;
+  ropt.threads = bench_threads(argc, argv);
+  ropt.progress = print_progress;
+  const JobRunner runner(ropt);
+  std::printf("running %d circuits on %d threads...\n",
+              static_cast<int>(jobs.size()), runner.threads());
+  const BatchResult batch = runner.run(networks, jobs);
+
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
+    const JobResult& jr = batch.results[c];
+    if (!jr.ok) {
+      std::fprintf(stderr, "error: %s failed: %s\n", circuits[c].c_str(),
+                   jr.error.c_str());
+      continue;
+    }
+    const MinflotransitResult& r = jr.result;
+    const double min_area = jr.min_area;
     const double savings =
         r.initial.met_target && r.met_target
             ? 100.0 * (1.0 - r.area / r.initial.area)
             : 0.0;
-    table.add_row({name, std::to_string(nl.num_logic_gates()),
+    table.add_row({circuits[c], std::to_string(netlists[c].num_logic_gates()),
                    strf("%.1f%%", savings),
-                   strf("%.2f Dmin", cal.target / cal.dmin),
+                   strf("%.2f Dmin", jr.target / cals[c].dmin),
                    strf("%.2fs", r.tilos_seconds),
                    strf("%.2fs", r.total_seconds),
                    strf("%.2f", r.initial.area / min_area),
                    strf("%.2f", r.area / min_area)});
-    std::fflush(stdout);
-    json.add("table1/" + name, r.total_seconds,
-             {{"gates", static_cast<double>(nl.num_logic_gates())},
+    json.add("table1/" + circuits[c], r.total_seconds,
+             {{"gates", static_cast<double>(netlists[c].num_logic_gates())},
               {"tilos_seconds", r.tilos_seconds},
               {"iterations", static_cast<double>(r.iterations.size())},
               {"area_savings_pct", savings},
               {"tilos_area_ratio", r.initial.area / min_area},
-              {"mft_area_ratio", r.area / min_area}});
+              {"mft_area_ratio", r.area / min_area},
+              {"job_wall_seconds", jr.wall_seconds}});
   }
   std::printf("%s\n", table.to_text().c_str());
   std::printf("CSV:\n%s", table.to_csv().c_str());
+  print_engine_summary(batch);
   if (!json.write("BENCH_table1.json"))
     std::fprintf(stderr, "warning: could not write BENCH_table1.json\n");
   return 0;

@@ -1,9 +1,13 @@
 // mft_cli — the full command-line face of the sizer, the entry point a
-// downstream user would script against.
+// downstream user would script against. All sizing runs go through the
+// engine layer (engine/runner.h): even a single request is a one-job batch,
+// and --sweep fans a whole area-delay trade-off curve out across --threads
+// workers.
 //
 // Usage:
 //   mft_cli --circuit c6288 --target-ratio 0.7 [options]
 //   mft_cli --bench path/to/file.bench --target-ratio 0.6 --granularity transistor
+//   mft_cli --circuit c432 --sweep --threads 4 --json sweep.json
 //
 // Options:
 //   --circuit NAME        built-in circuit: c17, adderN, c432..c7552 analogs
@@ -14,14 +18,22 @@
 //   --tilos-only          stop after the TILOS baseline
 //   --beta B              D-phase trust bound (default 0.25)
 //   --bumpsize B          TILOS bump factor (default 1.1)
-//   --csv PATH            write the per-element sizing CSV
-//   --histogram           print the size histogram
+//   --sweep               run the full area-delay trade-off curve instead
+//                         of a single target
+//   --ratios R1,R2,...    sweep targets as fractions of Dmin
+//                         (default 1.0,0.9,0.8,0.7,0.6,0.5,0.4)
+//   --threads N           engine worker threads (default: hardware)
+//   --json PATH           write the engine batch results as JSON
+//   --csv PATH            write the per-element sizing CSV (single run)
+//   --histogram           print the size histogram (single run)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "engine/runner.h"
 #include "gen/blocks.h"
 #include "gen/iscas_analog.h"
 #include "netlist/bench_io.h"
@@ -29,6 +41,8 @@
 #include "netlist/stats.h"
 #include "sizing/report.h"
 #include "timing/lowering.h"
+#include "util/str.h"
+#include "util/table.h"
 
 using namespace mft;
 
@@ -38,10 +52,14 @@ struct Args {
   std::string circuit = "c17";
   std::string bench_path;
   std::string csv_path;
+  std::string json_path;
   std::string granularity = "gate";
+  std::vector<double> sweep_ratios = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
   double target_ratio = 0.6;
   double beta = 0.25;
   double bumpsize = 1.1;
+  int threads = 0;  // 0 = hardware concurrency
+  bool sweep = false;
   bool wires = false;
   bool tilos_only = false;
   bool histogram = false;
@@ -51,6 +69,25 @@ struct Args {
   std::fprintf(stderr, "error: %s\nsee the header of examples/mft_cli.cpp\n",
                msg);
   std::exit(2);
+}
+
+std::vector<double> parse_ratio_list(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (item.empty() || end == item.c_str() || *end != '\0' || v <= 0.0 ||
+        v > 2.0)
+      usage(("--ratios entry out of (0, 2]: '" + item + "'").c_str());
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  if (out.empty()) usage("--ratios needs at least one value");
+  return out;
 }
 
 Args parse(int argc, char** argv) {
@@ -69,6 +106,17 @@ Args parse(int argc, char** argv) {
     else if (f == "--tilos-only") a.tilos_only = true;
     else if (f == "--beta") a.beta = std::atof(value(i));
     else if (f == "--bumpsize") a.bumpsize = std::atof(value(i));
+    else if (f == "--sweep") a.sweep = true;
+    else if (f == "--ratios") a.sweep_ratios = parse_ratio_list(value(i));
+    else if (f == "--threads") {
+      const char* s = value(i);
+      char* end = nullptr;
+      const long v = std::strtol(s, &end, 10);
+      if (end == s || *end != '\0' || v < 0)
+        usage(("bad --threads value '" + std::string(s) + "'").c_str());
+      a.threads = static_cast<int>(v);
+    }
+    else if (f == "--json") a.json_path = value(i);
     else if (f == "--csv") a.csv_path = value(i);
     else if (f == "--histogram") a.histogram = true;
     else usage(("unknown flag " + f).c_str());
@@ -82,19 +130,168 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
+/// Builds the requested circuit, exiting with a clear diagnostic (never
+/// silent fallback behavior) when --bench is missing/unparsable or
+/// --circuit names no known generator.
 Netlist build_circuit(const Args& a) {
-  if (!a.bench_path.empty()) return read_bench_file(a.bench_path);
-  if (a.circuit == "c17") return make_c17();
-  if (a.circuit.rfind("adder", 0) == 0)
-    return make_ripple_adder(std::atoi(a.circuit.c_str() + 5));
-  return make_iscas_analog(a.circuit);
+  if (!a.bench_path.empty()) {
+    std::ifstream probe(a.bench_path);
+    if (!probe.good()) {
+      std::fprintf(stderr, "error: cannot open --bench file '%s'\n",
+                   a.bench_path.c_str());
+      std::exit(2);
+    }
+    try {
+      return read_bench_file(a.bench_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: failed to parse --bench file '%s':\n  %s\n",
+                   a.bench_path.c_str(), e.what());
+      std::exit(2);
+    }
+  }
+  try {
+    if (a.circuit == "c17") return make_c17();
+    if (a.circuit.rfind("adder", 0) == 0)
+      return make_ripple_adder(std::atoi(a.circuit.c_str() + 5));
+    return make_iscas_analog(a.circuit);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: unknown --circuit '%s':\n  %s\n",
+                 a.circuit.c_str(), e.what());
+    std::exit(2);
+  }
+}
+
+MinflotransitOptions make_options(const Args& args) {
+  MinflotransitOptions opt;
+  opt.dphase.beta = args.beta;
+  opt.tilos.bumpsize = args.bumpsize;
+  if (args.tilos_only) opt.max_iterations = 0;
+  return opt;
+}
+
+int run_single(const Args& args, const LoweredCircuit& lc, double dmin) {
+  const double target = args.target_ratio * dmin;
+  std::printf("%d sizeable elements, Dmin = %.3f, target = %.3f (%.2f Dmin)\n\n",
+              lc.net.num_sizeable(), dmin, target, args.target_ratio);
+
+  SizingJob job;
+  job.target_ratio = args.target_ratio;
+  job.options = make_options(args);
+  job.label = args.circuit + strf("@%.2f", args.target_ratio);
+
+  JobRunnerOptions ropt;
+  ropt.threads = args.threads;
+  const JobRunner runner(ropt);
+  const BatchResult batch = runner.run({&lc.net}, {job});
+  const JobResult& r = batch.results.front();
+  // Write the machine-readable record first: it carries ok/error fields,
+  // so scripted callers get it on failure too (as in --sweep mode).
+  if (!args.json_path.empty() && !write_batch_json(args.json_path, batch))
+    std::fprintf(stderr, "warning: cannot write %s\n", args.json_path.c_str());
+  if (!r.ok) {
+    std::fprintf(stderr, "error: sizing failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  if (!r.result.initial.met_target) {
+    std::printf("TARGET UNREACHABLE: best achievable delay %.4f (%.2f Dmin)\n",
+                r.result.initial.achieved_delay,
+                r.result.initial.achieved_delay / dmin);
+    return 1;
+  }
+  std::printf("%s\n%s", compare_report(lc.net, r.result).c_str(),
+              timing_summary(lc.net, r.result.sizes).c_str());
+  std::printf(
+      "\nengine     : %d thread%s; job wall time %.2fs (TILOS %.2fs, "
+      "%d D/W iterations)\n",
+      batch.threads_used, batch.threads_used == 1 ? "" : "s", r.wall_seconds,
+      r.result.tilos_seconds, static_cast<int>(r.result.iterations.size()));
+  if (args.histogram)
+    std::printf("\nsize histogram (xminimum size):\n%s",
+                size_histogram(lc.net, r.result.sizes).c_str());
+  if (!args.csv_path.empty()) {
+    std::ofstream f(args.csv_path);
+    if (!f.good()) {
+      std::fprintf(stderr, "cannot write %s\n", args.csv_path.c_str());
+      return 1;
+    }
+    f << sizing_csv(lc.net, r.result.sizes);
+    std::printf("\nwrote %s\n", args.csv_path.c_str());
+  }
+  return 0;
+}
+
+int run_sweep(const Args& args, const LoweredCircuit& lc, double dmin) {
+  const double min_area = lc.net.area(lc.net.min_sizes());
+  std::printf("%d sizeable elements, Dmin = %.3f; sweeping %d targets\n\n",
+              lc.net.num_sizeable(), dmin,
+              static_cast<int>(args.sweep_ratios.size()));
+
+  std::vector<SizingJob> jobs;
+  for (const double ratio : args.sweep_ratios) {
+    SizingJob job;
+    job.target_ratio = ratio;
+    job.options = make_options(args);
+    job.label = args.circuit + strf("@%.3f", ratio);
+    jobs.push_back(std::move(job));
+  }
+
+  JobRunnerOptions ropt;
+  ropt.threads = args.threads;
+  ropt.progress = [](const JobResult& r, int done, int total) {
+    std::printf("  [%d/%d] %-16s %.2fs on thread %d\n", done, total,
+                r.label.c_str(), r.wall_seconds, r.thread);
+    std::fflush(stdout);
+  };
+  const JobRunner runner(ropt);
+  const BatchResult batch = runner.run({&lc.net}, jobs);
+
+  Table t({"delay/Dmin", "TILOS area/min", "MFT area/min", "savings",
+           "job wall"});
+  bool any_failed = false;
+  bool any_met = false;
+  for (const JobResult& r : batch.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "error: job %s failed: %s\n", r.label.c_str(),
+                   r.error.c_str());
+      any_failed = true;
+      continue;
+    }
+    if (!r.result.initial.met_target) {
+      t.add_row({strf("%.3f", r.target / dmin), "unreachable", "-", "-",
+                 strf("%.2fs", r.wall_seconds)});
+      continue;
+    }
+    any_met = true;
+    const double savings = 100.0 * (1.0 - r.result.area / r.result.initial.area);
+    t.add_row({strf("%.3f", r.target / dmin),
+               strf("%.3f", r.result.initial.area / min_area),
+               strf("%.3f", r.result.area / min_area), strf("%.1f%%", savings),
+               strf("%.2fs", r.wall_seconds)});
+  }
+  std::printf("\n%s", t.to_text().c_str());
+  std::printf(
+      "\nengine     : %d thread%s; %d jobs in %.2fs (%.2f jobs/s)\n",
+      batch.threads_used, batch.threads_used == 1 ? "" : "s",
+      static_cast<int>(batch.results.size()), batch.wall_seconds,
+      batch.jobs_per_second);
+  if (!args.json_path.empty()) {
+    if (write_batch_json(args.json_path, batch))
+      std::printf("wrote %s\n", args.json_path.c_str());
+    else
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   args.json_path.c_str());
+  }
+  // Scriptable exit code, consistent with the single-run mode: nonzero
+  // when any job errored or no target on the curve was reachable.
+  return (any_failed || !any_met) ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
+  Args args = parse(argc, argv);
   Netlist nl = build_circuit(args);
+  if (!args.bench_path.empty()) args.circuit = nl.name();
   std::printf("circuit %s: %s\n", nl.name().c_str(),
               to_string(compute_stats(nl)).c_str());
 
@@ -109,34 +306,5 @@ int main(int argc, char** argv) {
                           ? lower_transistor_level(nl, Tech{})
                           : lower_gate_level(nl, Tech{}, gopt);
   const double dmin = min_sized_delay(lc.net);
-  const double target = args.target_ratio * dmin;
-  std::printf("%d sizeable elements, Dmin = %.3f, target = %.3f (%.2f Dmin)\n\n",
-              lc.net.num_sizeable(), dmin, target, args.target_ratio);
-
-  MinflotransitOptions opt;
-  opt.dphase.beta = args.beta;
-  opt.tilos.bumpsize = args.bumpsize;
-  if (args.tilos_only) opt.max_iterations = 0;
-
-  const MinflotransitResult r = run_minflotransit(lc.net, target, opt);
-  if (!r.initial.met_target) {
-    std::printf("TARGET UNREACHABLE: best achievable delay %.4f (%.2f Dmin)\n",
-                r.initial.achieved_delay, r.initial.achieved_delay / dmin);
-    return 1;
-  }
-  std::printf("%s\n%s", compare_report(lc.net, r).c_str(),
-              timing_summary(lc.net, r.sizes).c_str());
-  if (args.histogram)
-    std::printf("\nsize histogram (xminimum size):\n%s",
-                size_histogram(lc.net, r.sizes).c_str());
-  if (!args.csv_path.empty()) {
-    std::ofstream f(args.csv_path);
-    if (!f.good()) {
-      std::fprintf(stderr, "cannot write %s\n", args.csv_path.c_str());
-      return 1;
-    }
-    f << sizing_csv(lc.net, r.sizes);
-    std::printf("\nwrote %s\n", args.csv_path.c_str());
-  }
-  return 0;
+  return args.sweep ? run_sweep(args, lc, dmin) : run_single(args, lc, dmin);
 }

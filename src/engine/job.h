@@ -1,0 +1,52 @@
+// Engine layer, job types: one SizingJob is one independent sizing request
+// (network × delay target × optimizer options) and one JobResult is its
+// complete outcome, including per-job instrumentation. Jobs reference their
+// network by index into the batch's shared read-only network table — the
+// networks are frozen before the batch starts and never mutated, which is
+// what makes fanning jobs out across threads safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sizing/context.h"
+#include "sizing/minflotransit.h"
+
+namespace mft {
+
+struct SizingJob {
+  /// Index into the network table handed to JobRunner::run().
+  int network = 0;
+  /// Delay target as a fraction of the network's minimum-sized delay Dmin.
+  double target_ratio = 0.6;
+  /// Absolute delay target; when > 0 it overrides target_ratio (used by
+  /// benches whose targets are calibrated rather than ratio-derived).
+  double target_delay = 0.0;
+  /// Full optimizer configuration (TILOS bump, D-phase β/solver, stopping).
+  MinflotransitOptions options;
+  /// Free-form tag echoed into the result and the JSON emission.
+  std::string label;
+  /// Deterministic per-job seed; 0 means "derive from the runner's base
+  /// seed and the job index" (splitmix64), so a batch is reproducible
+  /// regardless of thread count or scheduling order.
+  std::uint64_t seed = 0;
+};
+
+struct JobResult {
+  int job = -1;  ///< index of the job in the submitted batch
+  std::string label;
+  bool ok = false;      ///< false => `error` describes the failure
+  std::string error;
+
+  double dmin = 0.0;      ///< minimum-sized delay of the job's network
+  double min_area = 0.0;  ///< minimum-sized area of the job's network
+  double target = 0.0;    ///< resolved absolute delay target
+  std::uint64_t seed = 0; ///< resolved per-job seed
+
+  MinflotransitResult result;  ///< TILOS seed + refined solution
+  double wall_seconds = 0.0;   ///< this job alone, on its worker
+  int thread = -1;             ///< worker that ran it (informational)
+  ContextStats stats;          ///< per-job STA/flow instrumentation
+};
+
+}  // namespace mft

@@ -1,0 +1,208 @@
+#include "engine/runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "sizing/tilos.h"
+#include "util/stopwatch.h"
+
+namespace mft {
+
+namespace {
+
+// splitmix64: the standard 64-bit mix used to derive independent per-job
+// seeds from (base_seed, job index) without correlation between neighbors.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Per-network facts every job on that network shares; computed once per
+/// batch (sequentially, before the pool starts) instead of once per job.
+struct NetworkInfo {
+  double dmin = 0.0;
+  double min_area = 0.0;
+};
+
+void execute_job(const SizingJob& job, int index, const NetworkInfo& info,
+                 SizingContext& ctx, std::uint64_t base_seed, JobResult& out) {
+  out.job = index;
+  out.label = job.label;
+  out.dmin = info.dmin;
+  out.min_area = info.min_area;
+  out.target =
+      job.target_delay > 0.0 ? job.target_delay : job.target_ratio * info.dmin;
+  out.seed = job.seed != 0
+                 ? job.seed
+                 : mix_seed(base_seed, static_cast<std::uint64_t>(index));
+  Stopwatch sw;
+  try {
+    ctx.begin_job();
+    // Thread the resolved per-job seed into the pipeline so a stochastic
+    // pass (none in the default pipeline) is reproducible at any thread
+    // count.
+    MinflotransitOptions options = job.options;
+    options.seed = out.seed;
+    out.result = run_minflotransit(ctx, out.target, options);
+    out.stats = ctx.stats();
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.wall_seconds = sw.seconds();
+}
+
+void json_escape(std::string& dst, const std::string& s) {
+  char buf[8];
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      dst.push_back('\\');
+      dst.push_back(c);
+    } else if (c == '\n') {
+      dst += "\\n";
+    } else if (c == '\t') {
+      dst += "\\t";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      dst += buf;
+    } else {
+      dst.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+JobRunner::JobRunner(JobRunnerOptions opt) : opt_(std::move(opt)) {
+  threads_ = opt_.threads;
+  if (threads_ <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+}
+
+BatchResult JobRunner::run(const std::vector<const SizingNetwork*>& networks,
+                           const std::vector<SizingJob>& jobs) const {
+  for (const SizingNetwork* net : networks) {
+    MFT_CHECK(net != nullptr);
+    MFT_CHECK(net->frozen());
+  }
+  for (const SizingJob& job : jobs)
+    MFT_CHECK_MSG(job.network >= 0 &&
+                      job.network < static_cast<int>(networks.size()),
+                  "SizingJob.network out of range");
+
+  Stopwatch total;
+  BatchResult batch;
+  const int n = static_cast<int>(jobs.size());
+  batch.results.resize(static_cast<std::size_t>(n));
+  batch.threads_used = std::max(1, std::min(threads_, n));
+
+  // Per-network Dmin / minimum area, shared by every job on that network;
+  // computed once up front instead of once per job.
+  std::vector<NetworkInfo> infos(networks.size());
+  for (std::size_t i = 0; i < networks.size(); ++i) {
+    infos[i].dmin = min_sized_delay(*networks[i]);
+    infos[i].min_area = networks[i]->area(networks[i]->min_sizes());
+  }
+
+  std::atomic<int> cursor{0};
+  std::mutex progress_mu;
+  int completed = 0;  // guarded by progress_mu
+
+  auto worker = [&](int thread_id) {
+    // One context per network this worker has touched, created lazily and
+    // re-entered across jobs (the reuse the context layer exists for).
+    std::vector<std::unique_ptr<SizingContext>> contexts(networks.size());
+    while (true) {
+      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      const SizingJob& job = jobs[static_cast<std::size_t>(i)];
+      const std::size_t ni = static_cast<std::size_t>(job.network);
+      if (!contexts[ni])
+        contexts[ni] = std::make_unique<SizingContext>(*networks[ni]);
+      JobResult& out = batch.results[static_cast<std::size_t>(i)];
+      execute_job(job, i, infos[ni], *contexts[ni], opt_.base_seed, out);
+      out.thread = thread_id;
+      if (opt_.progress) {
+        // The completion count is incremented under the same lock as the
+        // callback so observers see a strictly monotone 1..n sequence.
+        std::lock_guard<std::mutex> lock(progress_mu);
+        opt_.progress(out, ++completed, n);
+      }
+    }
+  };
+
+  if (batch.threads_used <= 1) {
+    worker(0);  // run inline: no pool overhead for the sequential case
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(batch.threads_used));
+    for (int t = 0; t < batch.threads_used; ++t)
+      pool.emplace_back(worker, t);
+    for (std::thread& th : pool) th.join();
+  }
+
+  batch.wall_seconds = total.seconds();
+  batch.jobs_per_second =
+      batch.wall_seconds > 0.0 ? n / batch.wall_seconds : 0.0;
+  return batch;
+}
+
+bool write_batch_json(const std::string& path, const BatchResult& batch) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f,
+               "{\n  \"threads\": %d,\n  \"wall_seconds\": %.9g,\n"
+               "  \"jobs_per_second\": %.9g,\n  \"jobs\": [\n",
+               batch.threads_used, batch.wall_seconds, batch.jobs_per_second);
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const JobResult& r = batch.results[i];
+    std::string label;
+    json_escape(label, r.label);
+    if (!r.ok) {
+      std::string error;
+      json_escape(error, r.error);
+      std::fprintf(f, "    {\"label\": \"%s\", \"ok\": false, \"error\": \"%s\"}",
+                   label.c_str(), error.c_str());
+    } else {
+      const double savings =
+          r.result.initial.met_target && r.result.met_target &&
+                  r.result.initial.area > 0.0
+              ? 100.0 * (1.0 - r.result.area / r.result.initial.area)
+              : 0.0;
+      std::fprintf(
+          f,
+          "    {\"label\": \"%s\", \"ok\": true, \"met_target\": %s,\n"
+          "     \"dmin\": %.17g, \"target\": %.17g, \"delay\": %.17g,\n"
+          "     \"tilos_area\": %.17g, \"area\": %.17g, "
+          "\"savings_pct\": %.9g,\n"
+          "     \"iterations\": %d, \"wall_seconds\": %.9g, "
+          "\"tilos_seconds\": %.9g,\n"
+          "     \"sta_full_runs\": %lld, \"sta_incremental_runs\": %lld, "
+          "\"sta_delays_recomputed\": %lld,\n"
+          "     \"seed\": %llu, \"thread\": %d}",
+          label.c_str(), r.result.met_target ? "true" : "false", r.dmin,
+          r.target, r.result.delay, r.result.initial.area, r.result.area,
+          savings, static_cast<int>(r.result.iterations.size()),
+          r.wall_seconds, r.result.tilos_seconds,
+          static_cast<long long>(r.stats.sta_full_runs),
+          static_cast<long long>(r.stats.sta_incremental_runs),
+          static_cast<long long>(r.stats.sta_delays_recomputed),
+          static_cast<unsigned long long>(r.seed), r.thread);
+    }
+    std::fprintf(f, "%s\n", i + 1 < batch.results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace mft

@@ -1,0 +1,72 @@
+// Engine layer, batch execution: a JobRunner owns a fixed pool of worker
+// threads and executes a batch of independent SizingJobs over a shared
+// read-only network table.
+//
+// Design:
+//  - Work stealing is a single atomic job cursor; each worker pulls the
+//    next unstarted job, so the batch load-balances regardless of per-job
+//    cost skew (a c6288 job next to a c17 job is fine).
+//  - Every worker keeps one SizingContext per network it has touched and
+//    re-enters it across jobs (begin_job() resets per-job instrumentation;
+//    the cached LP/flow/STA state is the point of the reuse).
+//  - Results are collected *ordered by job index* into a preallocated
+//    vector — no ordering dependence on scheduling — and each job's seed is
+//    derived deterministically from the base seed and the job index, so a
+//    batch is bit-reproducible at any thread count (asserted by
+//    tests/engine_test.cc).
+//  - An optional progress callback fires after every job completion,
+//    serialized under a mutex.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "engine/job.h"
+
+namespace mft {
+
+struct JobRunnerOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency() (min 1).
+  /// The pool never exceeds the batch size.
+  int threads = 0;
+  /// Base of the deterministic per-job seed derivation.
+  std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
+  /// Called after each job completes with (result, completed, total).
+  /// Serialized: at most one invocation runs at a time, but the calling
+  /// thread varies and completion order is nondeterministic.
+  std::function<void(const JobResult&, int completed, int total)> progress;
+};
+
+struct BatchResult {
+  std::vector<JobResult> results;  ///< results[i] is jobs[i]'s outcome
+  int threads_used = 0;
+  double wall_seconds = 0.0;      ///< whole batch, end to end
+  double jobs_per_second = 0.0;   ///< batch throughput
+};
+
+class JobRunner {
+ public:
+  explicit JobRunner(JobRunnerOptions opt = {});
+
+  /// The pool size run() will use for a batch of at least that many jobs.
+  int threads() const { return threads_; }
+
+  /// Executes the batch. `networks` is the table jobs index into; every
+  /// entry must be non-null, frozen, and unchanged for the duration of the
+  /// call. A job that throws (infeasible configuration, bad network index
+  /// caught up front) yields ok == false with the error message — it never
+  /// takes down the batch.
+  BatchResult run(const std::vector<const SizingNetwork*>& networks,
+                  const std::vector<SizingJob>& jobs) const;
+
+ private:
+  JobRunnerOptions opt_;
+  int threads_ = 1;
+};
+
+/// Writes a batch to `path` as a JSON object ({"threads", "wall_seconds",
+/// "jobs_per_second", "jobs": [...]}) for cross-PR perf diffing, in the
+/// same spirit as the BENCH_*.json files. Returns false on I/O failure.
+bool write_batch_json(const std::string& path, const BatchResult& batch);
+
+}  // namespace mft

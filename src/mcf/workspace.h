@@ -52,6 +52,13 @@ struct McfWorkspace {
   // --- Stats of the most recent solve ------------------------------------
   std::int64_t ns_pivots = 0;         ///< network-simplex pivots
   std::int64_t ssp_augmentations = 0; ///< SSP shortest-path augmentations
+
+  /// Zero the solve stats (capacity and cached arrays are kept). Called by
+  /// SizingContext between batch jobs so per-job stats start clean.
+  void reset_stats() {
+    ns_pivots = 0;
+    ssp_augmentations = 0;
+  }
 };
 
 }  // namespace mft

@@ -1,0 +1,82 @@
+// Context layer of the sizing engine: one SizingContext per network, owning
+// every piece of reusable solver state the optimizer passes need.
+//
+// The refinement loop re-runs STA, the D-phase LP, and the flow solver up
+// to 100 times per sizing request; a batch server runs many requests back
+// to back. A context bundles the incremental-STA scratch and the D-phase
+// workspace (LP structure + flow arena, built once per topology) so that
+//
+//  - no pass allocates per-iteration: everything hot lives here, and
+//  - nothing is rebuilt per job: the engine's JobRunner keeps one context
+//    per (worker thread, network) and re-enters it across jobs.
+//
+// Contexts are cheap to construct (all state is built lazily on first use)
+// and deliberately NOT thread-safe: one context belongs to one thread.
+// Parallelism happens one level up, in engine/runner.h, by giving every
+// worker its own contexts over the shared read-only SizingNetwork.
+#pragma once
+
+#include <cstdint>
+
+#include "sizing/dphase.h"
+#include "timing/sta.h"
+
+namespace mft {
+
+/// Per-context STA instrumentation, aggregated over both embedded
+/// scratches (the pass-level one and the one inside the D-phase
+/// workspace). Counters start at zero at context creation and after every
+/// begin_job().
+struct ContextStats {
+  std::int64_t sta_full_runs = 0;
+  std::int64_t sta_incremental_runs = 0;
+  std::int64_t sta_delays_recomputed = 0;
+  std::int64_t ns_pivots = 0;  ///< network-simplex pivots of the last solve
+};
+
+class SizingContext {
+ public:
+  /// Binds to `net` for the context's whole lifetime. The network must
+  /// outlive the context and must already be frozen. Instrumentation
+  /// counters start at zero.
+  explicit SizingContext(const SizingNetwork& net);
+
+  SizingContext(const SizingContext&) = delete;
+  SizingContext& operator=(const SizingContext&) = delete;
+  SizingContext(SizingContext&&) = default;
+  SizingContext& operator=(SizingContext&&) = default;
+
+  const SizingNetwork& net() const { return *net_; }
+
+  /// Shared incremental-STA scratch for the passes (TILOS keeps its own
+  /// internal scratch; the pipeline-level checks run through this one).
+  TimingScratch& timing() { return timing_; }
+
+  /// D-phase workspace: cached LP structure, flow arena, and its own
+  /// embedded TimingScratch.
+  DPhaseWorkspace& dphase() { return dphase_; }
+
+  /// Convenience: incremental STA through the context scratch.
+  const TimingReport& sta(const std::vector<double>& sizes) {
+    return run_sta(*net_, sizes, timing_);
+  }
+
+  /// Marks the start of a new job on a reused context: zeroes all
+  /// instrumentation so per-job stats are not polluted by earlier jobs.
+  /// Cached solver state (LP structure, flow arena, last-sizes vector) is
+  /// kept — that reuse is the point of pooling contexts.
+  void begin_job() { reset_instrumentation(); }
+
+  /// Zero the STA/flow instrumentation counters (see begin_job()).
+  void reset_instrumentation();
+
+  /// Snapshot of the counters accumulated since the last begin_job().
+  ContextStats stats() const;
+
+ private:
+  const SizingNetwork* net_;
+  TimingScratch timing_;
+  DPhaseWorkspace dphase_;
+};
+
+}  // namespace mft

@@ -1,108 +1,29 @@
 #include "sizing/minflotransit.h"
 
-#include <algorithm>
-
+#include "sizing/pass.h"
 #include "util/stopwatch.h"
 
 namespace mft {
 
+// The D/W alternation itself lives in sizing/pass.cc as the default pass
+// pipeline; these wrappers are the stable public API. engine_test.cc pins
+// them bit-identically against a verbatim copy of the pre-refactor loop.
+
+MinflotransitResult run_minflotransit(SizingContext& ctx, double target_delay,
+                                      const MinflotransitOptions& opt) {
+  Stopwatch total;
+  const Pipeline pipeline = make_minflotransit_pipeline(opt);
+  MinflotransitResult res =
+      to_minflotransit_result(ctx, pipeline.run(ctx, target_delay, opt.seed));
+  res.total_seconds = total.seconds();
+  return res;
+}
+
 MinflotransitResult run_minflotransit(const SizingNetwork& net,
                                       double target_delay,
                                       const MinflotransitOptions& opt) {
-  Stopwatch total;
-  MinflotransitResult res;
-
-  // Step 1: TILOS initial solution (§2.4).
-  {
-    Stopwatch sw;
-    res.initial = run_tilos(net, target_delay, opt.tilos);
-    res.tilos_seconds = sw.seconds();
-  }
-  res.sizes = res.initial.sizes;
-  res.met_target = res.initial.met_target;
-  res.area = res.initial.area;
-  res.delay = res.initial.achieved_delay;
-  if (!res.met_target) {
-    // Target unreachable: report the TILOS attempt unrefined.
-    res.total_seconds = total.seconds();
-    return res;
-  }
-
-  // The W-phase can only certify budgets it derived from a *feasible*
-  // schedule, so timing is pinned at the TILOS CP (<= target, Corollary 1
-  // keeps it there).
-  double best_area = res.area;
-  std::vector<double> best_sizes = res.sizes;
-  std::vector<double> cur = res.sizes;
-
-  // One workspace pair for the whole refinement loop: the D-phase builds
-  // its LP + flow network once and rewrites bounds per iteration, and the
-  // STA scratch re-delays only the vertices the W-phase actually moved.
-  DPhaseWorkspace dws;
-  TimingScratch sta;
-
-  // Iteration 0: a W-phase pass at unchanged budgets. With budgets equal to
-  // the achieved delays this is the identity on interior points (the
-  // equality system (D−A)X = B has a unique solution), but it canonicalizes
-  // min-clamped vertices onto the SMP fixpoint so later D-phase
-  // linearizations start from a consistent point. All *area* improvement
-  // comes from the D-phase budget moves — see bench_ablation_weights.
-  {
-    const TimingReport& t0 = run_sta(net, cur, sta);
-    const WPhaseResult w0 = solve_wphase(net, t0.delay);
-    if (w0.feasible) {
-      const double area0 = net.area(w0.sizes);
-      if (run_sta(net, w0.sizes, sta).critical_path <=
-              target_delay * (1.0 + 1e-9) &&
-          area0 <= best_area) {
-        cur = w0.sizes;
-        best_sizes = cur;
-        best_area = area0;
-      }
-    }
-  }
-
-  DPhaseOptions dopt = opt.dphase;
-  int stagnant = 0;
-  int backoffs = 0;
-  for (int iter = 0; iter < opt.max_iterations; ++iter) {
-    const DPhaseResult d = run_dphase(net, cur, dopt, &dws);
-    if (!d.solved) break;
-    const WPhaseResult w = solve_wphase(net, d.budget);
-    const TimingReport& timing = run_sta(net, w.sizes, sta);
-    const double area = net.area(w.sizes);
-    const bool ok = w.feasible &&
-                    timing.critical_path <= target_delay * (1.0 + 1e-9) &&
-                    area <= best_area * (1.0 + 1e-9);
-    if (!ok) {
-      // Linearization overstepped (timing broke or area regressed):
-      // re-anchor at the best solution, shrink the trust region, retry.
-      if (++backoffs > opt.max_beta_backoffs) break;
-      dopt.beta *= 0.5;
-      cur = best_sizes;
-      continue;
-    }
-    backoffs = 0;
-    cur = w.sizes;
-    res.iterations.push_back(
-        IterationLog{area, timing.critical_path, d.objective, dopt.beta});
-    const double improvement = (best_area - area) / best_area;
-    if (area < best_area) {
-      best_area = area;
-      best_sizes = cur;
-    }
-    if (improvement < opt.rel_improvement_stop) {
-      if (++stagnant >= opt.patience) break;
-    } else {
-      stagnant = 0;
-    }
-  }
-
-  res.sizes = std::move(best_sizes);
-  res.area = best_area;
-  res.delay = run_sta(net, res.sizes, sta).critical_path;
-  res.total_seconds = total.seconds();
-  return res;
+  SizingContext ctx(net);
+  return run_minflotransit(ctx, target_delay, opt);
 }
 
 }  // namespace mft

@@ -1,6 +1,12 @@
 // MINFLOTRANSIT (paper §2.4): TILOS initial solution, then alternating
 // D-phase (min-cost-flow delay-budget redistribution) and W-phase (SMP
 // minimum-area re-sizing) until the area improvement becomes negligible.
+//
+// Since the pass-pipeline refactor these entry points are thin wrappers
+// over sizing/pass.h (make_minflotransit_pipeline) — kept as the stable
+// public API. Callers that run many sizings on one network should hold a
+// SizingContext and use the context overload so no solver state is rebuilt
+// per call; the engine layer (engine/runner.h) does exactly that.
 #pragma once
 
 #include "sizing/dphase.h"
@@ -20,6 +26,11 @@ struct MinflotransitOptions {
   /// On W-phase infeasibility or timing regression, the trust bound β is
   /// halved and the iteration retried, at most this many times in a row.
   int max_beta_backoffs = 4;
+  /// Seed forwarded into PipelineState for stochastic passes. The default
+  /// passes are fully deterministic and ignore it; the engine layer sets
+  /// it per job (derived from the batch base seed) so any future
+  /// randomized pass stays reproducible at every thread count.
+  std::uint64_t seed = 0;
 };
 
 struct IterationLog {
@@ -42,6 +53,15 @@ struct MinflotransitResult {
 
 MinflotransitResult run_minflotransit(const SizingNetwork& net,
                                       double target_delay,
+                                      const MinflotransitOptions& opt = {});
+
+class SizingContext;
+
+/// Same algorithm through a caller-owned context: reuses the context's
+/// incremental-STA scratch and D-phase workspace across calls instead of
+/// building them per invocation. Bit-identical results to the overload
+/// above (the workspaces only change *where* work happens, not its values).
+MinflotransitResult run_minflotransit(SizingContext& ctx, double target_delay,
                                       const MinflotransitOptions& opt = {});
 
 }  // namespace mft

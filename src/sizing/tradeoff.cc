@@ -1,6 +1,6 @@
 #include "sizing/tradeoff.h"
 
-#include "util/stopwatch.h"
+#include "sizing/context.h"
 
 namespace mft {
 
@@ -10,11 +10,15 @@ TradeoffCurve area_delay_sweep(const SizingNetwork& net,
   TradeoffCurve curve;
   curve.dmin = min_sized_delay(net);
   curve.min_area = net.area(net.min_sizes());
+  // One context for the whole sweep: the D-phase LP structure and flow
+  // arena are built at the first point and only rewritten afterwards.
+  SizingContext ctx(net);
   for (const double ratio : target_ratios) {
     TradeoffPoint p;
     p.target_ratio = ratio;
     const double target = ratio * curve.dmin;
-    const MinflotransitResult r = run_minflotransit(net, target, opt);
+    ctx.begin_job();
+    const MinflotransitResult r = run_minflotransit(ctx, target, opt);
     p.tilos_met = r.initial.met_target;
     p.mft_met = r.met_target;
     p.tilos_area_ratio = r.initial.area / curve.min_area;

@@ -56,6 +56,15 @@ struct TimingScratch {
   std::int64_t full_runs = 0;
   std::int64_t incremental_runs = 0;
   std::int64_t delays_recomputed = 0;
+
+  /// Zero the instrumentation counters without touching the cached timing
+  /// state (the next run stays incremental). SizingContext calls this at
+  /// creation and between batch jobs so per-job stats start from zero.
+  void reset_instrumentation() {
+    full_runs = 0;
+    incremental_runs = 0;
+    delays_recomputed = 0;
+  }
 };
 
 /// Full forward/backward sweep. `sizes` indexed by vertex id.

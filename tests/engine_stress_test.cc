@@ -1,0 +1,75 @@
+// Heavier engine runs, labeled "slow" in CMake so the sanitizer CI job
+// (tier-1 labels only) skips them: a Table-1-sized circuit at gate
+// granularity plus a transistor-granularity adder, batched at several
+// thread counts, all required to be bit-identical to the sequential run.
+#include <gtest/gtest.h>
+
+#include "engine/runner.h"
+#include "gen/blocks.h"
+#include "gen/iscas_analog.h"
+#include "timing/lowering.h"
+
+namespace mft {
+namespace {
+
+TEST(EngineStress, MixedGranularityBatchDeterministicAcrossThreadCounts) {
+  // c6288 (the array-multiplier analog) is the heaviest Table-1 circuit;
+  // pairing it with a transistor-granularity adder exercises both
+  // lowerings under the pool.
+  Netlist c6288 = make_iscas_analog("c6288");
+  Netlist adder = make_ripple_adder(16);
+  LoweredCircuit gate_lc = lower_gate_level(c6288, Tech{});
+  LoweredCircuit tran_lc = lower_transistor_level(adder, Tech{});
+  const std::vector<const SizingNetwork*> networks = {&gate_lc.net,
+                                                      &tran_lc.net};
+
+  std::vector<SizingJob> jobs;
+  for (double ratio : {0.7, 0.6}) {
+    SizingJob g;
+    g.network = 0;
+    g.target_ratio = ratio;
+    g.label = "c6288/gate@" + std::to_string(ratio);
+    jobs.push_back(std::move(g));
+  }
+  for (double ratio : {0.8, 0.6, 0.5, 0.45}) {
+    SizingJob t;
+    t.network = 1;
+    t.target_ratio = ratio;
+    t.label = "adder16/tran@" + std::to_string(ratio);
+    jobs.push_back(std::move(t));
+  }
+
+  JobRunnerOptions seq;
+  seq.threads = 1;
+  const BatchResult reference = JobRunner(seq).run(networks, jobs);
+  for (const JobResult& r : reference.results) {
+    SCOPED_TRACE(r.label);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.result.met_target);
+  }
+
+  for (int threads : {4}) {
+    JobRunnerOptions par;
+    par.threads = threads;
+    const BatchResult batch = JobRunner(par).run(networks, jobs);
+    ASSERT_EQ(batch.results.size(), reference.results.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      SCOPED_TRACE(jobs[i].label + " @" + std::to_string(threads) +
+                   " threads");
+      const JobResult& x = reference.results[i];
+      const JobResult& y = batch.results[i];
+      ASSERT_TRUE(y.ok) << y.error;
+      EXPECT_EQ(x.seed, y.seed);
+      EXPECT_EQ(x.target, y.target);
+      ASSERT_EQ(x.result.sizes.size(), y.result.sizes.size());
+      for (std::size_t v = 0; v < x.result.sizes.size(); ++v)
+        ASSERT_EQ(x.result.sizes[v], y.result.sizes[v]) << "vertex " << v;
+      EXPECT_EQ(x.result.area, y.result.area);
+      EXPECT_EQ(x.result.delay, y.result.delay);
+      EXPECT_EQ(x.result.iterations.size(), y.result.iterations.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mft

@@ -1,0 +1,524 @@
+// Tests for the sizing engine's three layers:
+//
+//  - Pass layer: the default pipeline must reproduce the pre-refactor
+//    run_minflotransit loop *bit-identically*. The reference here is a
+//    verbatim copy of the legacy driver (legacy_minflotransit below),
+//    frozen at the PR that introduced the pipeline.
+//  - Context layer: per-job instrumentation resets at begin_job() while
+//    cached solver state (LP build, STA sizes) survives.
+//  - Engine layer: a multi-thread batch is bit-identical to the same batch
+//    run sequentially, results come back in job order, failures are
+//    per-job, and seeding is deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/runner.h"
+#include "gen/blocks.h"
+#include "sizing/context.h"
+#include "sizing/pass.h"
+#include "sizing/tradeoff.h"
+#include "timing/lowering.h"
+#include "util/stopwatch.h"
+
+namespace mft {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference: the pre-pipeline run_minflotransit, copied verbatim (only
+// renamed). Any change in the pass layer's arithmetic or control flow will
+// show up as a size/area/delay mismatch against this.
+// ---------------------------------------------------------------------------
+MinflotransitResult legacy_minflotransit(const SizingNetwork& net,
+                                         double target_delay,
+                                         const MinflotransitOptions& opt = {}) {
+  Stopwatch total;
+  MinflotransitResult res;
+
+  {
+    Stopwatch sw;
+    res.initial = run_tilos(net, target_delay, opt.tilos);
+    res.tilos_seconds = sw.seconds();
+  }
+  res.sizes = res.initial.sizes;
+  res.met_target = res.initial.met_target;
+  res.area = res.initial.area;
+  res.delay = res.initial.achieved_delay;
+  if (!res.met_target) {
+    res.total_seconds = total.seconds();
+    return res;
+  }
+
+  double best_area = res.area;
+  std::vector<double> best_sizes = res.sizes;
+  std::vector<double> cur = res.sizes;
+
+  DPhaseWorkspace dws;
+  TimingScratch sta;
+
+  {
+    const TimingReport& t0 = run_sta(net, cur, sta);
+    const WPhaseResult w0 = solve_wphase(net, t0.delay);
+    if (w0.feasible) {
+      const double area0 = net.area(w0.sizes);
+      if (run_sta(net, w0.sizes, sta).critical_path <=
+              target_delay * (1.0 + 1e-9) &&
+          area0 <= best_area) {
+        cur = w0.sizes;
+        best_sizes = cur;
+        best_area = area0;
+      }
+    }
+  }
+
+  DPhaseOptions dopt = opt.dphase;
+  int stagnant = 0;
+  int backoffs = 0;
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    const DPhaseResult d = run_dphase(net, cur, dopt, &dws);
+    if (!d.solved) break;
+    const WPhaseResult w = solve_wphase(net, d.budget);
+    const TimingReport& timing = run_sta(net, w.sizes, sta);
+    const double area = net.area(w.sizes);
+    const bool ok = w.feasible &&
+                    timing.critical_path <= target_delay * (1.0 + 1e-9) &&
+                    area <= best_area * (1.0 + 1e-9);
+    if (!ok) {
+      if (++backoffs > opt.max_beta_backoffs) break;
+      dopt.beta *= 0.5;
+      cur = best_sizes;
+      continue;
+    }
+    backoffs = 0;
+    cur = w.sizes;
+    res.iterations.push_back(
+        IterationLog{area, timing.critical_path, d.objective, dopt.beta});
+    const double improvement = (best_area - area) / best_area;
+    if (area < best_area) {
+      best_area = area;
+      best_sizes = cur;
+    }
+    if (improvement < opt.rel_improvement_stop) {
+      if (++stagnant >= opt.patience) break;
+    } else {
+      stagnant = 0;
+    }
+  }
+
+  res.sizes = std::move(best_sizes);
+  res.area = best_area;
+  res.delay = run_sta(net, res.sizes, sta).critical_path;
+  res.total_seconds = total.seconds();
+  return res;
+}
+
+LoweredCircuit lower(const Netlist& nl) { return lower_gate_level(nl, Tech{}); }
+
+void expect_bit_identical(const MinflotransitResult& a,
+                          const MinflotransitResult& b) {
+  EXPECT_EQ(a.met_target, b.met_target);
+  ASSERT_EQ(a.sizes.size(), b.sizes.size());
+  for (std::size_t i = 0; i < a.sizes.size(); ++i)
+    EXPECT_EQ(a.sizes[i], b.sizes[i]) << "size mismatch at vertex " << i;
+  EXPECT_EQ(a.area, b.area);
+  EXPECT_EQ(a.delay, b.delay);
+  EXPECT_EQ(a.initial.met_target, b.initial.met_target);
+  EXPECT_EQ(a.initial.area, b.initial.area);
+  EXPECT_EQ(a.initial.bumps, b.initial.bumps);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].area, b.iterations[i].area);
+    EXPECT_EQ(a.iterations[i].critical_path, b.iterations[i].critical_path);
+    EXPECT_EQ(a.iterations[i].dphase_objective,
+              b.iterations[i].dphase_objective);
+    EXPECT_EQ(a.iterations[i].beta, b.iterations[i].beta);
+  }
+}
+
+struct NamedCircuit {
+  const char* name;
+  Netlist (*build)();
+};
+
+Netlist build_c17() { return make_c17(); }
+Netlist build_adder8() { return make_ripple_adder(8); }
+Netlist build_mux16() { return make_mux_tree(4); }
+Netlist build_cmp8() { return make_comparator(8); }
+Netlist build_parity() { return tech_map_to_primitives(make_parity_sec(8)); }
+
+class PipelineOnCircuit : public ::testing::TestWithParam<NamedCircuit> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Circuits, PipelineOnCircuit,
+    ::testing::Values(NamedCircuit{"c17", build_c17},
+                      NamedCircuit{"adder8", build_adder8},
+                      NamedCircuit{"mux16", build_mux16},
+                      NamedCircuit{"cmp8", build_cmp8},
+                      NamedCircuit{"parity8", build_parity}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// The acceptance gate of the pipeline refactor: on the seed circuits the
+// new pass pipeline (via the run_minflotransit wrapper) must match the
+// legacy loop bit for bit, at a moderate and a steep target.
+TEST_P(PipelineOnCircuit, BitIdenticalToLegacyDriver) {
+  Netlist nl = GetParam().build();
+  LoweredCircuit lc = lower(nl);
+  const double dmin = min_sized_delay(lc.net);
+  const double floor = run_tilos(lc.net, 0.05 * dmin).achieved_delay;
+  for (double lambda : {0.5, 0.15}) {
+    const double target = floor + lambda * (dmin - floor);
+    const MinflotransitResult legacy = legacy_minflotransit(lc.net, target);
+    const MinflotransitResult now = run_minflotransit(lc.net, target);
+    SCOPED_TRACE(lambda);
+    expect_bit_identical(legacy, now);
+  }
+}
+
+TEST(Pipeline, BitIdenticalToLegacyOnTransistorGranularity) {
+  Netlist nl = make_ripple_adder(2);
+  LoweredCircuit lc = lower_transistor_level(nl, Tech{});
+  const double dmin = min_sized_delay(lc.net);
+  const MinflotransitResult legacy =
+      legacy_minflotransit(lc.net, 0.6 * dmin);
+  const MinflotransitResult now = run_minflotransit(lc.net, 0.6 * dmin);
+  expect_bit_identical(legacy, now);
+}
+
+TEST(Pipeline, UnreachableTargetMatchesLegacy) {
+  Netlist nl = make_c17();
+  LoweredCircuit lc = lower(nl);
+  const MinflotransitResult legacy = legacy_minflotransit(lc.net, 1e-4);
+  const MinflotransitResult now = run_minflotransit(lc.net, 1e-4);
+  EXPECT_FALSE(now.met_target);
+  expect_bit_identical(legacy, now);
+}
+
+TEST(Pipeline, ZeroIterationsMatchesLegacyTilosOnly) {
+  // --tilos-only path: the W-phase canonicalization still runs, the D/W
+  // loop does not.
+  Netlist nl = make_ripple_adder(8);
+  LoweredCircuit lc = lower(nl);
+  const double dmin = min_sized_delay(lc.net);
+  MinflotransitOptions opt;
+  opt.max_iterations = 0;
+  const MinflotransitResult legacy =
+      legacy_minflotransit(lc.net, 0.5 * dmin, opt);
+  const MinflotransitResult now = run_minflotransit(lc.net, 0.5 * dmin, opt);
+  EXPECT_TRUE(now.met_target);
+  EXPECT_TRUE(now.iterations.empty());
+  expect_bit_identical(legacy, now);
+}
+
+TEST(Pipeline, ExplicitPipelineMatchesWrapperAndReportsPassStats) {
+  Netlist nl = make_ripple_adder(8);
+  LoweredCircuit lc = lower(nl);
+  const double dmin = min_sized_delay(lc.net);
+  const MinflotransitResult via_wrapper =
+      run_minflotransit(lc.net, 0.5 * dmin);
+
+  SizingContext ctx(lc.net);
+  const Pipeline pipeline = make_minflotransit_pipeline();
+  const PipelineResult pr = pipeline.run(ctx, 0.5 * dmin);
+  const MinflotransitResult via_pipeline = to_minflotransit_result(ctx, pr);
+  expect_bit_identical(via_wrapper, via_pipeline);
+
+  // Per-pass instrumentation: one entry per configured pass, in order.
+  ASSERT_EQ(pr.pass_stats.size(), 3u);
+  EXPECT_EQ(pr.pass_stats[0].name, "tilos");
+  EXPECT_EQ(pr.pass_stats[1].name, "wphase");
+  EXPECT_EQ(pr.pass_stats[2].name, "dphase");
+  EXPECT_EQ(pr.pass_stats[0].invocations, 1);
+  EXPECT_EQ(pr.pass_stats[1].invocations, 1);
+  // The D/W alternation ran at least the accepted iterations.
+  EXPECT_GE(pr.pass_stats[2].invocations,
+            static_cast<int>(pr.state.iterations.size()));
+}
+
+TEST(Pipeline, CustomPhaseOrderWithDownsizePass) {
+  // The point of the pass layer: compose a non-default pipeline. Appending
+  // a DownsizePass can only improve area and must keep timing feasible.
+  Netlist nl = make_ripple_adder(6);
+  LoweredCircuit lc = lower(nl);
+  const double dmin = min_sized_delay(lc.net);
+  const double target = 0.55 * dmin;
+
+  const MinflotransitResult plain = run_minflotransit(lc.net, target);
+  ASSERT_TRUE(plain.met_target);
+
+  MinflotransitOptions opt;
+  Pipeline pipeline;
+  pipeline.add(std::make_unique<TilosPass>(opt.tilos));
+  pipeline.add(std::make_unique<WPhasePass>());
+  pipeline.add(std::make_unique<DPhasePass>(opt.dphase,
+                                            opt.rel_improvement_stop,
+                                            opt.patience,
+                                            opt.max_beta_backoffs),
+               opt.max_iterations);
+  pipeline.add(std::make_unique<DownsizePass>());
+  SizingContext ctx(lc.net);
+  const MinflotransitResult polished =
+      to_minflotransit_result(ctx, pipeline.run(ctx, target));
+  ASSERT_TRUE(polished.met_target);
+  EXPECT_LE(polished.area, plain.area * (1 + 1e-9));
+  EXPECT_LE(polished.delay, target * (1 + 1e-9));
+  // Near-optimality (paper Theorem 3): the local search reclaims < 2%.
+  EXPECT_GE(polished.area, plain.area * 0.98);
+}
+
+TEST(Pipeline, ReusablePipelineObjectAcrossRuns) {
+  // A Pipeline holds no per-run state (DPhasePass::begin re-arms the trust
+  // region), so one object must serve many targets with clean results.
+  Netlist nl = make_ripple_adder(6);
+  LoweredCircuit lc = lower(nl);
+  const double dmin = min_sized_delay(lc.net);
+  const Pipeline pipeline = make_minflotransit_pipeline();
+  SizingContext ctx(lc.net);
+  for (double ratio : {0.7, 0.5, 0.7}) {
+    const double target = ratio * dmin;
+    ctx.begin_job();
+    const MinflotransitResult fresh = run_minflotransit(lc.net, target);
+    const MinflotransitResult reused =
+        to_minflotransit_result(ctx, pipeline.run(ctx, target));
+    SCOPED_TRACE(ratio);
+    expect_bit_identical(fresh, reused);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Context layer
+// ---------------------------------------------------------------------------
+
+TEST(Context, InstrumentationResetsPerJobWhileCachesSurvive) {
+  Netlist nl = make_ripple_adder(8);
+  LoweredCircuit lc = lower(nl);
+  const double dmin = min_sized_delay(lc.net);
+
+  SizingContext ctx(lc.net);
+  ContextStats fresh = ctx.stats();
+  EXPECT_EQ(fresh.sta_full_runs, 0);
+  EXPECT_EQ(fresh.sta_incremental_runs, 0);
+  EXPECT_EQ(fresh.sta_delays_recomputed, 0);
+
+  run_minflotransit(ctx, 0.5 * dmin);
+  const ContextStats job1 = ctx.stats();
+  EXPECT_GT(job1.sta_full_runs + job1.sta_incremental_runs, 0);
+  EXPECT_EQ(ctx.dphase().problem_builds(), 1);
+
+  // Second job on the reused context: stats start from zero again...
+  ctx.begin_job();
+  fresh = ctx.stats();
+  EXPECT_EQ(fresh.sta_full_runs, 0);
+  EXPECT_EQ(fresh.sta_incremental_runs, 0);
+  EXPECT_EQ(fresh.sta_delays_recomputed, 0);
+
+  run_minflotransit(ctx, 0.6 * dmin);
+  const ContextStats job2 = ctx.stats();
+  EXPECT_GT(job2.sta_full_runs + job2.sta_incremental_runs, 0);
+  // ...but the cached LP/flow build is NOT discarded: still one build.
+  EXPECT_EQ(ctx.dphase().problem_builds(), 1);
+}
+
+TEST(Context, ContextRunsAreBitIdenticalToFreshRuns) {
+  Netlist nl = make_mux_tree(4);
+  LoweredCircuit lc = lower(nl);
+  const double dmin = min_sized_delay(lc.net);
+  SizingContext ctx(lc.net);
+  for (double ratio : {0.8, 0.55}) {
+    ctx.begin_job();
+    const MinflotransitResult reused =
+        run_minflotransit(ctx, ratio * dmin);
+    const MinflotransitResult fresh = run_minflotransit(lc.net, ratio * dmin);
+    SCOPED_TRACE(ratio);
+    expect_bit_identical(fresh, reused);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine layer
+// ---------------------------------------------------------------------------
+
+std::vector<SizingJob> make_batch_jobs() {
+  // 8 jobs across 2 networks and mixed configurations (the determinism
+  // test from the issue: batch runs must not depend on scheduling).
+  std::vector<SizingJob> jobs;
+  const double ratios[4] = {0.8, 0.65, 0.5, 0.45};
+  for (int n = 0; n < 2; ++n) {
+    for (int k = 0; k < 4; ++k) {
+      SizingJob job;
+      job.network = n;
+      job.target_ratio = ratios[k];
+      job.label = (n == 0 ? "adder8@" : "cmp8@") + std::to_string(ratios[k]);
+      if (k == 3) job.options.dphase.solver = FlowSolver::kSsp;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+TEST(Engine, ParallelBatchBitIdenticalToSequential) {
+  Netlist a = make_ripple_adder(8);
+  Netlist b = make_comparator(8);
+  LoweredCircuit la = lower(a);
+  LoweredCircuit lb = lower(b);
+  const std::vector<const SizingNetwork*> networks = {&la.net, &lb.net};
+  const std::vector<SizingJob> jobs = make_batch_jobs();
+
+  JobRunnerOptions seq;
+  seq.threads = 1;
+  JobRunnerOptions par;
+  par.threads = 4;
+  const BatchResult s = JobRunner(seq).run(networks, jobs);
+  const BatchResult p = JobRunner(par).run(networks, jobs);
+
+  EXPECT_EQ(s.threads_used, 1);
+  EXPECT_EQ(p.threads_used, 4);
+  ASSERT_EQ(s.results.size(), jobs.size());
+  ASSERT_EQ(p.results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(jobs[i].label);
+    const JobResult& x = s.results[i];
+    const JobResult& y = p.results[i];
+    // Ordered collection: results[i] belongs to jobs[i] in both runs.
+    EXPECT_EQ(x.job, static_cast<int>(i));
+    EXPECT_EQ(y.job, static_cast<int>(i));
+    EXPECT_EQ(x.label, jobs[i].label);
+    EXPECT_EQ(y.label, jobs[i].label);
+    ASSERT_TRUE(x.ok);
+    ASSERT_TRUE(y.ok);
+    // Deterministic seeding: same derivation regardless of thread count.
+    EXPECT_EQ(x.seed, y.seed);
+    EXPECT_NE(x.seed, 0u);
+    // Bit-identical sizes/areas/delays.
+    expect_bit_identical(x.result, y.result);
+    EXPECT_EQ(x.dmin, y.dmin);
+    EXPECT_EQ(x.target, y.target);
+  }
+}
+
+TEST(Engine, MatchesDirectRunsAndTradeoffSweep) {
+  // Engine results must equal what a caller gets without the engine.
+  Netlist nl = make_ripple_adder(8);
+  LoweredCircuit lc = lower(nl);
+  const double dmin = min_sized_delay(lc.net);
+
+  std::vector<SizingJob> jobs;
+  for (double ratio : {1.0, 0.8, 0.6, 0.5}) {
+    SizingJob job;
+    job.target_ratio = ratio;
+    jobs.push_back(std::move(job));
+  }
+  JobRunnerOptions ropt;
+  ropt.threads = 2;
+  const BatchResult batch = JobRunner(ropt).run({&lc.net}, jobs);
+
+  const TradeoffCurve curve = area_delay_sweep(lc.net, {1.0, 0.8, 0.6, 0.5});
+  ASSERT_EQ(batch.results.size(), curve.points.size());
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    ASSERT_TRUE(batch.results[i].ok);
+    const MinflotransitResult& r = batch.results[i].result;
+    const MinflotransitResult direct =
+        run_minflotransit(lc.net, curve.points[i].target_ratio * dmin);
+    expect_bit_identical(direct, r);
+  }
+}
+
+TEST(Engine, ProgressCallbackFiresOncePerJobInCompletionOrder) {
+  Netlist nl = make_c17();
+  LoweredCircuit lc = lower(nl);
+  std::vector<SizingJob> jobs(5);
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    jobs[i].target_ratio = 0.9 - 0.05 * static_cast<double>(i);
+
+  int calls = 0;
+  int last_done = 0;
+  JobRunnerOptions ropt;
+  ropt.threads = 3;
+  ropt.progress = [&](const JobResult& r, int done, int total) {
+    ++calls;
+    EXPECT_EQ(total, 5);
+    EXPECT_EQ(done, last_done + 1);  // serialized, monotone completion count
+    last_done = done;
+    EXPECT_GE(r.job, 0);
+    EXPECT_LT(r.job, 5);
+  };
+  const BatchResult batch = JobRunner(ropt).run({&lc.net}, jobs);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(static_cast<int>(batch.results.size()), 5);
+  EXPECT_GT(batch.jobs_per_second, 0.0);
+}
+
+TEST(Engine, PerJobFailureDoesNotPoisonTheBatch) {
+  Netlist nl = make_c17();
+  LoweredCircuit lc = lower(nl);
+  std::vector<SizingJob> jobs(3);
+  jobs[0].target_ratio = 0.7;
+  jobs[1].target_ratio = 0.7;
+  jobs[1].options.dphase.beta = -1.0;  // invalid: run_dphase MFT_CHECKs
+  jobs[2].target_ratio = 0.6;
+
+  JobRunnerOptions ropt;
+  ropt.threads = 2;
+  const BatchResult batch = JobRunner(ropt).run({&lc.net}, jobs);
+  ASSERT_EQ(batch.results.size(), 3u);
+  EXPECT_TRUE(batch.results[0].ok);
+  EXPECT_FALSE(batch.results[1].ok);
+  EXPECT_FALSE(batch.results[1].error.empty());
+  EXPECT_TRUE(batch.results[2].ok);
+  // The healthy jobs match engine-free runs.
+  const double dmin = min_sized_delay(lc.net);
+  expect_bit_identical(run_minflotransit(lc.net, 0.7 * dmin),
+                       batch.results[0].result);
+  expect_bit_identical(run_minflotransit(lc.net, 0.6 * dmin),
+                       batch.results[2].result);
+}
+
+TEST(Engine, ExplicitJobSeedWinsOverDerivedSeed) {
+  Netlist nl = make_c17();
+  LoweredCircuit lc = lower(nl);
+  std::vector<SizingJob> jobs(2);
+  jobs[0].target_ratio = 0.8;
+  jobs[1].target_ratio = 0.8;
+  jobs[1].seed = 1234567;
+  const BatchResult batch = JobRunner().run({&lc.net}, jobs);
+  EXPECT_NE(batch.results[0].seed, 0u);
+  EXPECT_EQ(batch.results[1].seed, 1234567u);
+}
+
+TEST(Pipeline, SeedReachesPipelineState) {
+  // The engine threads the resolved job seed through
+  // MinflotransitOptions::seed; the pipeline must surface it to passes.
+  Netlist nl = make_c17();
+  LoweredCircuit lc = lower(nl);
+  SizingContext ctx(lc.net);
+  const Pipeline pipeline = make_minflotransit_pipeline();
+  const PipelineResult r =
+      pipeline.run(ctx, 0.8 * min_sized_delay(lc.net), 987654321u);
+  EXPECT_EQ(r.state.seed, 987654321u);
+}
+
+TEST(Engine, WritesBatchJson) {
+  Netlist nl = make_c17();
+  LoweredCircuit lc = lower(nl);
+  std::vector<SizingJob> jobs(2);
+  jobs[0].target_ratio = 0.8;
+  jobs[0].label = "a \"quoted\"\nlabel\\\x01";
+  jobs[1].target_ratio = 0.01;  // unreachable: met_target == false branch
+  const BatchResult batch = JobRunner().run({&lc.net}, jobs);
+  const std::string path = ::testing::TempDir() + "engine_batch.json";
+  ASSERT_TRUE(write_batch_json(path, batch));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 14, '\0');
+  const std::size_t n = std::fread(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  content.resize(n);
+  EXPECT_NE(content.find("\"jobs\":"), std::string::npos);
+  EXPECT_NE(content.find("\"jobs_per_second\""), std::string::npos);
+  // Escaping: quotes/backslashes escaped, control chars as \n / \uXXXX.
+  EXPECT_NE(content.find("\\\"quoted\\\"\\nlabel\\\\\\u0001"),
+            std::string::npos);
+  EXPECT_NE(content.find("\"met_target\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mft
