@@ -8,6 +8,7 @@
 // ratio lands near the middle of that band.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,37 +21,93 @@
 #include "gen/iscas_analog.h"
 #include "sizing/minflotransit.h"
 #include "timing/lowering.h"
+#include "util/stopwatch.h"
 
 namespace mft::bench {
 
-/// Engine thread count for a bench binary: `--threads N` / `--threads=N`
-/// on the command line, else the MFT_BENCH_THREADS environment variable,
-/// else 0 (= hardware concurrency, resolved by JobRunner). A malformed or
-/// missing value is a hard error — a silently wrong pool size would label
-/// the emitted throughput numbers with the wrong thread count.
-inline int bench_threads(int argc, char** argv) {
-  auto parse = [](const char* s) {
+/// Shared `--flag N` / `--flag=N` / environment-variable integer parsing
+/// for the bench binaries. A malformed value is a hard error — a silently
+/// wrong thread count would mislabel the emitted numbers.
+inline int bench_int_flag(int argc, char** argv, const char* flag,
+                          const char* env_name, int fallback) {
+  auto parse = [&](const char* s) {
     char* end = nullptr;
     const long v = std::strtol(s, &end, 10);
     if (end == s || *end != '\0' || v < 0) {
-      std::fprintf(stderr, "error: bad --threads value '%s'\n", s);
+      std::fprintf(stderr, "error: bad %s value '%s'\n", flag, s);
       std::exit(2);
     }
     return static_cast<int>(v);
   };
+  const std::size_t len = std::strlen(flag);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
+    if (std::strcmp(argv[i], flag) == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --threads needs a value\n");
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
         std::exit(2);
       }
       return parse(argv[i + 1]);
     }
-    if (std::strncmp(argv[i], "--threads=", 10) == 0)
-      return parse(argv[i] + 10);
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=')
+      return parse(argv[i] + len + 1);
   }
-  if (const char* env = std::getenv("MFT_BENCH_THREADS")) return parse(env);
-  return 0;
+  if (env_name != nullptr)
+    if (const char* env = std::getenv(env_name)) return parse(env);
+  return fallback;
+}
+
+/// Engine thread count for a bench binary: `--threads N` / `--threads=N`
+/// on the command line, else the MFT_BENCH_THREADS environment variable,
+/// else 0 (= hardware concurrency, resolved by JobRunner).
+inline int bench_threads(int argc, char** argv) {
+  return bench_int_flag(argc, argv, "--threads", "MFT_BENCH_THREADS", 0);
+}
+
+/// Inner-loop (level-parallel) thread count: `--inner-threads N`, else the
+/// MFT_BENCH_INNER_THREADS environment variable, else `fallback`.
+inline int bench_inner_threads(int argc, char** argv, int fallback = 0) {
+  return bench_int_flag(argc, argv, "--inner-threads",
+                        "MFT_BENCH_INNER_THREADS", fallback);
+}
+
+/// Wall times of repeated runs of one timed section. BENCH_*.json numbers
+/// derived from a single total are at the mercy of CI noise; `min` is the
+/// least-noise estimate of the true cost and `median` its robust central
+/// tendency — emit those alongside (or instead of) the total.
+struct RepeatTiming {
+  std::vector<double> seconds;
+
+  double total() const {
+    double t = 0.0;
+    for (const double s : seconds) t += s;
+    return t;
+  }
+  double min() const {
+    return seconds.empty()
+               ? 0.0
+               : *std::min_element(seconds.begin(), seconds.end());
+  }
+  double median() const {
+    if (seconds.empty()) return 0.0;
+    std::vector<double> sorted = seconds;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    return n % 2 == 1 ? sorted[n / 2]
+                      : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  }
+};
+
+/// Times `fn()` `repeats` times.
+template <typename F>
+RepeatTiming time_repeats(int repeats, F&& fn) {
+  RepeatTiming t;
+  t.seconds.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    Stopwatch sw;
+    fn();
+    t.seconds.push_back(sw.seconds());
+  }
+  return t;
 }
 
 /// Shared progress line for bench batches.

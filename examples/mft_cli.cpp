@@ -23,6 +23,9 @@
 //   --ratios R1,R2,...    sweep targets as fractions of Dmin
 //                         (default 1.0,0.9,0.8,0.7,0.6,0.5,0.4)
 //   --threads N           engine worker threads (default: hardware)
+//   --inner-threads N     level-parallel STA/W-phase threads per job
+//                         (default 0: leftover --threads capacity goes to
+//                         the widest jobs; results identical at any value)
 //   --json PATH           write the engine batch results as JSON
 //   --csv PATH            write the per-element sizing CSV (single run)
 //   --histogram           print the size histogram (single run)
@@ -58,7 +61,8 @@ struct Args {
   double target_ratio = 0.6;
   double beta = 0.25;
   double bumpsize = 1.1;
-  int threads = 0;  // 0 = hardware concurrency
+  int threads = 0;        // 0 = hardware concurrency
+  int inner_threads = 0;  // 0 = runner policy (leftover cores)
   bool sweep = false;
   bool wires = false;
   bool tilos_only = false;
@@ -108,13 +112,13 @@ Args parse(int argc, char** argv) {
     else if (f == "--bumpsize") a.bumpsize = std::atof(value(i));
     else if (f == "--sweep") a.sweep = true;
     else if (f == "--ratios") a.sweep_ratios = parse_ratio_list(value(i));
-    else if (f == "--threads") {
+    else if (f == "--threads" || f == "--inner-threads") {
       const char* s = value(i);
       char* end = nullptr;
       const long v = std::strtol(s, &end, 10);
       if (end == s || *end != '\0' || v < 0)
-        usage(("bad --threads value '" + std::string(s) + "'").c_str());
-      a.threads = static_cast<int>(v);
+        usage(("bad " + f + " value '" + std::string(s) + "'").c_str());
+      (f == "--threads" ? a.threads : a.inner_threads) = static_cast<int>(v);
     }
     else if (f == "--json") a.json_path = value(i);
     else if (f == "--csv") a.csv_path = value(i);
@@ -181,6 +185,7 @@ int run_single(const Args& args, const LoweredCircuit& lc, double dmin) {
 
   JobRunnerOptions ropt;
   ropt.threads = args.threads;
+  ropt.inner_threads = args.inner_threads;
   const JobRunner runner(ropt);
   const BatchResult batch = runner.run({&lc.net}, {job});
   const JobResult& r = batch.results.front();
@@ -201,10 +206,11 @@ int run_single(const Args& args, const LoweredCircuit& lc, double dmin) {
   std::printf("%s\n%s", compare_report(lc.net, r.result).c_str(),
               timing_summary(lc.net, r.result.sizes).c_str());
   std::printf(
-      "\nengine     : %d thread%s; job wall time %.2fs (TILOS %.2fs, "
-      "%d D/W iterations)\n",
-      batch.threads_used, batch.threads_used == 1 ? "" : "s", r.wall_seconds,
-      r.result.tilos_seconds, static_cast<int>(r.result.iterations.size()));
+      "\nengine     : %d thread%s (%d inner); job wall time %.2fs "
+      "(TILOS %.2fs, %d D/W iterations)\n",
+      batch.threads_used, batch.threads_used == 1 ? "" : "s", r.inner_threads,
+      r.wall_seconds, r.result.tilos_seconds,
+      static_cast<int>(r.result.iterations.size()));
   if (args.histogram)
     std::printf("\nsize histogram (xminimum size):\n%s",
                 size_histogram(lc.net, r.result.sizes).c_str());
@@ -237,6 +243,7 @@ int run_sweep(const Args& args, const LoweredCircuit& lc, double dmin) {
 
   JobRunnerOptions ropt;
   ropt.threads = args.threads;
+  ropt.inner_threads = args.inner_threads;
   ropt.progress = [](const JobResult& r, int done, int total) {
     std::printf("  [%d/%d] %-16s %.2fs on thread %d\n", done, total,
                 r.label.c_str(), r.wall_seconds, r.thread);

@@ -8,15 +8,23 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sizing/context.h"
 #include "sizing/minflotransit.h"
+#include "sizing/pass.h"
 
 namespace mft {
 
 struct SizingJob {
   /// Index into the network table handed to JobRunner::run().
   int network = 0;
+  /// Inner-loop threads for this job's level-parallel STA and W-phase
+  /// sweeps. 1 = sequential inner loop; 0 = let the runner decide
+  /// (JobRunnerOptions::inner_threads, else the core-budget policy: batch
+  /// width is served first and leftover pool capacity goes to the jobs
+  /// with the largest networks). Results are bit-identical at any value.
+  int inner_threads = 0;
   /// Delay target as a fraction of the network's minimum-sized delay Dmin.
   double target_ratio = 0.6;
   /// Absolute delay target; when > 0 it overrides target_ratio (used by
@@ -46,7 +54,11 @@ struct JobResult {
   MinflotransitResult result;  ///< TILOS seed + refined solution
   double wall_seconds = 0.0;   ///< this job alone, on its worker
   int thread = -1;             ///< worker that ran it (informational)
+  int inner_threads = 1;       ///< resolved inner-loop thread count
   ContextStats stats;          ///< per-job STA/flow instrumentation
+  /// Per-pass instrumentation of the job's pipeline run (invocations, wall
+  /// seconds, W-phase sweeps), in pipeline order.
+  std::vector<PassStats> pass_stats;
 };
 
 }  // namespace mft

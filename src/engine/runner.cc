@@ -1,13 +1,18 @@
 #include "engine/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
+#include "sizing/pass.h"
 #include "sizing/tilos.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace mft {
@@ -31,7 +36,8 @@ struct NetworkInfo {
 };
 
 void execute_job(const SizingJob& job, int index, const NetworkInfo& info,
-                 SizingContext& ctx, std::uint64_t base_seed, JobResult& out) {
+                 SizingContext& ctx, ThreadArena* arena,
+                 std::uint64_t base_seed, JobResult& out) {
   out.job = index;
   out.label = job.label;
   out.dmin = info.dmin;
@@ -41,21 +47,92 @@ void execute_job(const SizingJob& job, int index, const NetworkInfo& info,
   out.seed = job.seed != 0
                  ? job.seed
                  : mix_seed(base_seed, static_cast<std::uint64_t>(index));
+  out.inner_threads = arena != nullptr ? arena->threads() : 1;
   Stopwatch sw;
   try {
     ctx.begin_job();
+    ctx.set_arena(arena);
     // Thread the resolved per-job seed into the pipeline so a stochastic
     // pass (none in the default pipeline) is reproducible at any thread
-    // count.
+    // count. Running the pipeline directly (instead of through the
+    // run_minflotransit wrapper) surfaces the per-pass stats into the
+    // result and the batch JSON.
     MinflotransitOptions options = job.options;
     options.seed = out.seed;
-    out.result = run_minflotransit(ctx, out.target, options);
+    const Pipeline pipeline = make_minflotransit_pipeline(options);
+    PipelineResult pr = pipeline.run(ctx, out.target, options.seed);
+    out.result = to_minflotransit_result(ctx, pr);
+    out.result.total_seconds = pr.total_seconds;
+    out.pass_stats = std::move(pr.pass_stats);
     out.stats = ctx.stats();
     out.ok = true;
   } catch (const std::exception& e) {
     out.error = e.what();
   }
   out.wall_seconds = sw.seconds();
+}
+
+/// Resolved inner-loop thread count for every job (see JobRunnerOptions::
+/// inner_threads). Pure function of the batch — deterministic regardless
+/// of scheduling.
+std::vector<int> resolve_inner_threads(
+    const std::vector<const SizingNetwork*>& networks,
+    const std::vector<SizingJob>& jobs, int pool_threads,
+    int default_inner_threads) {
+  const int n = static_cast<int>(jobs.size());
+  int fallback = default_inner_threads;
+  if (fallback <= 0) {
+    if (const char* env = std::getenv("MFT_INNER_THREADS")) {
+      // A malformed value is a hard error, matching the bench flag policy:
+      // silently running at a thread count the operator didn't ask for
+      // would mislabel every emitted number.
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      MFT_CHECK_MSG(end != env && *end == '\0' && v >= 0,
+                    "bad MFT_INNER_THREADS value '" << env << "'");
+      if (v > 0) fallback = static_cast<int>(v);
+    }
+  }
+  std::vector<int> inner(static_cast<std::size_t>(n),
+                         fallback > 0 ? fallback : 1);
+  // Explicit per-job requests always win, and are charged against the core
+  // budget before the policy splits what remains.
+  int budget = pool_threads;
+  std::vector<int> policy_jobs;
+  for (int i = 0; i < n; ++i) {
+    const int forced = jobs[static_cast<std::size_t>(i)].inner_threads;
+    if (forced > 0) {
+      inner[static_cast<std::size_t>(i)] = forced;
+      budget -= forced;
+    } else {
+      policy_jobs.push_back(i);
+    }
+  }
+  if (fallback <= 0 && !policy_jobs.empty()) {
+    // Core-budget policy: the remaining pool serves one core per job
+    // first; capacity beyond that is round-robined onto the widest jobs
+    // (largest networks level-parallelize best).
+    int leftover = budget - static_cast<int>(policy_jobs.size());
+    if (leftover > 0) {
+      std::stable_sort(policy_jobs.begin(), policy_jobs.end(),
+                       [&](int a, int b) {
+                         const int wa = networks[static_cast<std::size_t>(
+                                            jobs[static_cast<std::size_t>(a)]
+                                                .network)]
+                                            ->num_vertices();
+                         const int wb = networks[static_cast<std::size_t>(
+                                            jobs[static_cast<std::size_t>(b)]
+                                                .network)]
+                                            ->num_vertices();
+                         return wa > wb;
+                       });
+      const int k = static_cast<int>(policy_jobs.size());
+      for (int i = 0; leftover > 0; i = (i + 1) % k, --leftover)
+        ++inner[static_cast<std::size_t>(
+            policy_jobs[static_cast<std::size_t>(i)])];
+    }
+  }
+  return inner;
 }
 
 void json_escape(std::string& dst, const std::string& s) {
@@ -113,13 +190,19 @@ BatchResult JobRunner::run(const std::vector<const SizingNetwork*>& networks,
     infos[i].min_area = networks[i]->area(networks[i]->min_sizes());
   }
 
+  const std::vector<int> inner_threads =
+      resolve_inner_threads(networks, jobs, threads_, opt_.inner_threads);
+
   std::atomic<int> cursor{0};
   std::mutex progress_mu;
   int completed = 0;  // guarded by progress_mu
 
   auto worker = [&](int thread_id) {
-    // One context per network this worker has touched, created lazily and
-    // re-entered across jobs (the reuse the context layer exists for).
+    // One inner-loop arena per worker, rebuilt only when the assigned
+    // width changes, and one context per network this worker has touched,
+    // created lazily and re-entered across jobs (the reuse the context
+    // layer exists for). The arena outlives the contexts that point at it.
+    std::unique_ptr<ThreadArena> arena;
     std::vector<std::unique_ptr<SizingContext>> contexts(networks.size());
     while (true) {
       const int i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -128,8 +211,12 @@ BatchResult JobRunner::run(const std::vector<const SizingNetwork*>& networks,
       const std::size_t ni = static_cast<std::size_t>(job.network);
       if (!contexts[ni])
         contexts[ni] = std::make_unique<SizingContext>(*networks[ni]);
+      const int inner = inner_threads[static_cast<std::size_t>(i)];
+      if (inner > 1 && (!arena || arena->threads() != inner))
+        arena = std::make_unique<ThreadArena>(inner);
       JobResult& out = batch.results[static_cast<std::size_t>(i)];
-      execute_job(job, i, infos[ni], *contexts[ni], opt_.base_seed, out);
+      execute_job(job, i, infos[ni], *contexts[ni],
+                  inner > 1 ? arena.get() : nullptr, opt_.base_seed, out);
       out.thread = thread_id;
       if (opt_.progress) {
         // The completion count is incremented under the same lock as the
@@ -187,16 +274,29 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
           "     \"iterations\": %d, \"wall_seconds\": %.9g, "
           "\"tilos_seconds\": %.9g,\n"
           "     \"sta_full_runs\": %lld, \"sta_incremental_runs\": %lld, "
-          "\"sta_delays_recomputed\": %lld,\n"
-          "     \"seed\": %llu, \"thread\": %d}",
+          "\"sta_hinted_runs\": %lld, \"sta_delays_recomputed\": %lld,\n"
+          "     \"seed\": %llu, \"thread\": %d, \"inner_threads\": %d,\n"
+          "     \"passes\": [",
           label.c_str(), r.result.met_target ? "true" : "false", r.dmin,
           r.target, r.result.delay, r.result.initial.area, r.result.area,
           savings, static_cast<int>(r.result.iterations.size()),
           r.wall_seconds, r.result.tilos_seconds,
           static_cast<long long>(r.stats.sta_full_runs),
           static_cast<long long>(r.stats.sta_incremental_runs),
+          static_cast<long long>(r.stats.sta_hinted_runs),
           static_cast<long long>(r.stats.sta_delays_recomputed),
-          static_cast<unsigned long long>(r.seed), r.thread);
+          static_cast<unsigned long long>(r.seed), r.thread, r.inner_threads);
+      for (std::size_t p = 0; p < r.pass_stats.size(); ++p) {
+        const PassStats& ps = r.pass_stats[p];
+        std::string pass_name;
+        json_escape(pass_name, ps.name);
+        std::fprintf(f,
+                     "%s{\"name\": \"%s\", \"invocations\": %d, "
+                     "\"seconds\": %.9g, \"sweeps\": %lld}",
+                     p == 0 ? "" : ", ", pass_name.c_str(), ps.invocations,
+                     ps.seconds, static_cast<long long>(ps.sweeps));
+      }
+      std::fprintf(f, "]}");
     }
     std::fprintf(f, "%s\n", i + 1 < batch.results.size() ? "," : "");
   }

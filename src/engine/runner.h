@@ -27,8 +27,18 @@ namespace mft {
 
 struct JobRunnerOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency() (min 1).
-  /// The pool never exceeds the batch size.
+  /// The pool never exceeds the batch size; pool capacity beyond the batch
+  /// size is handed to the jobs' inner loops (see inner_threads).
   int threads = 0;
+  /// Default inner-loop (level-parallel STA / W-phase) threads for jobs
+  /// that leave SizingJob::inner_threads at 0: > 0 forces that count; 0
+  /// consults the MFT_INNER_THREADS environment variable (ops/CI knob) and
+  /// otherwise applies the core-budget policy — explicit per-job requests
+  /// are charged against the pool first, the remaining jobs get one core
+  /// each, and whatever capacity is still left is round-robined onto the
+  /// jobs with the largest networks. Inner parallelism never changes
+  /// results (bit-identical).
+  int inner_threads = 0;
   /// Base of the deterministic per-job seed derivation.
   std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
   /// Called after each job completes with (result, completed, total).

@@ -10,6 +10,12 @@ SizingContext::SizingContext(const SizingNetwork& net) : net_(&net) {
   reset_instrumentation();
 }
 
+void SizingContext::set_arena(ThreadArena* arena) {
+  arena_ = arena;
+  timing_.arena = arena;
+  dphase_.timing.arena = arena;
+}
+
 void SizingContext::reset_instrumentation() {
   timing_.reset_instrumentation();
   dphase_.timing.reset_instrumentation();
@@ -21,6 +27,7 @@ ContextStats SizingContext::stats() const {
   s.sta_full_runs = timing_.full_runs + dphase_.timing.full_runs;
   s.sta_incremental_runs =
       timing_.incremental_runs + dphase_.timing.incremental_runs;
+  s.sta_hinted_runs = timing_.hinted_runs + dphase_.timing.hinted_runs;
   s.sta_delays_recomputed =
       timing_.delays_recomputed + dphase_.timing.delays_recomputed;
   s.ns_pivots = dphase_.flow.mcf.ns_pivots;

@@ -23,6 +23,8 @@
 
 namespace mft {
 
+class ThreadArena;
+
 /// Per-context STA instrumentation, aggregated over both embedded
 /// scratches (the pass-level one and the one inside the D-phase
 /// workspace). Counters start at zero at context creation and after every
@@ -30,6 +32,8 @@ namespace mft {
 struct ContextStats {
   std::int64_t sta_full_runs = 0;
   std::int64_t sta_incremental_runs = 0;
+  /// Incremental runs that took the changed-hint path (no size scan).
+  std::int64_t sta_hinted_runs = 0;
   std::int64_t sta_delays_recomputed = 0;
   std::int64_t ns_pivots = 0;  ///< network-simplex pivots of the last solve
 };
@@ -61,6 +65,14 @@ class SizingContext {
     return run_sta(*net_, sizes, timing_);
   }
 
+  /// Inner-loop parallelism: wires `arena` (may be nullptr for sequential)
+  /// into both embedded timing scratches and exposes it to the passes
+  /// (TILOS STA, W-phase sweeps). Not owned; the caller — the engine
+  /// worker, normally — keeps it alive while the context runs jobs.
+  /// Results are bit-identical with or without an arena.
+  void set_arena(ThreadArena* arena);
+  ThreadArena* arena() const { return arena_; }
+
   /// Marks the start of a new job on a reused context: zeroes all
   /// instrumentation so per-job stats are not polluted by earlier jobs.
   /// Cached solver state (LP structure, flow arena, last-sizes vector) is
@@ -75,6 +87,7 @@ class SizingContext {
 
  private:
   const SizingNetwork* net_;
+  ThreadArena* arena_ = nullptr;
   TimingScratch timing_;
   DPhaseWorkspace dphase_;
 };

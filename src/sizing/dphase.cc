@@ -7,7 +7,8 @@ namespace mft {
 
 DPhaseResult run_dphase(const SizingNetwork& net,
                         const std::vector<double>& sizes,
-                        const DPhaseOptions& opt, DPhaseWorkspace* ws) {
+                        const DPhaseOptions& opt, DPhaseWorkspace* ws,
+                        const std::vector<NodeId>* changed) {
   MFT_CHECK(net.frozen());
   MFT_CHECK(opt.beta > 0.0);
   const Digraph& g = net.dag();
@@ -20,7 +21,9 @@ DPhaseResult run_dphase(const SizingNetwork& net,
     w = DPhaseWorkspace{};
   }
 
-  const TimingReport& timing = run_sta(net, sizes, w.timing);
+  const TimingReport& timing = changed != nullptr
+                                   ? run_sta(net, sizes, w.timing, *changed)
+                                   : run_sta(net, sizes, w.timing);
   const DelayBalance bal = compute_delay_balance(net, timing, opt.balance);
   std::vector<double> weights;
   if (opt.uniform_weights) {

@@ -62,9 +62,16 @@ struct DPhaseWorkspace {
   int problem_builds() const { return flow.problem_builds; }
 };
 
+/// `changed` (optional) is a superset of the vertices whose size differs
+/// from the previous run_dphase call on the same workspace — forwarded to
+/// run_sta's changed-hint overload so the internal STA skips its O(n)
+/// size-diff scan. Pass nullptr whenever the diff is not known exactly
+/// (fresh workspace, re-anchored iterate); the scan fallback is always
+/// correct. Results are identical either way.
 DPhaseResult run_dphase(const SizingNetwork& net,
                         const std::vector<double>& sizes,
                         const DPhaseOptions& opt = {},
-                        DPhaseWorkspace* ws = nullptr);
+                        DPhaseWorkspace* ws = nullptr,
+                        const std::vector<NodeId>* changed = nullptr);
 
 }  // namespace mft

@@ -16,7 +16,7 @@ TilosPass::TilosPass(const TilosOptions& opt) : opt_(opt) {}
 
 PassStatus TilosPass::run(SizingContext& ctx, PipelineState& s) {
   Stopwatch sw;
-  s.initial = run_tilos(ctx.net(), s.target_delay, opt_);
+  s.initial = run_tilos(ctx.net(), s.target_delay, opt_, ctx.arena());
   s.tilos_seconds = sw.seconds();
   s.sizes = s.initial.sizes;
   s.best_sizes = s.initial.sizes;
@@ -35,9 +35,12 @@ PassStatus WPhasePass::run(SizingContext& ctx, PipelineState& s) {
   // W-phase at unchanged budgets: identity on interior points, but
   // canonicalizes min-clamped vertices onto the SMP fixpoint so later
   // D-phase linearizations start from a consistent point. All *area*
-  // improvement comes from the D-phase budget moves.
+  // improvement comes from the D-phase budget moves. Warm-started from the
+  // current iterate — which already satisfies these budgets, so the sweeps
+  // only have to settle the min-clamped vertices.
   const TimingReport& t0 = ctx.sta(s.sizes);
-  const WPhaseResult w0 = solve_wphase(net, t0.delay);
+  const WPhaseResult w0 = solve_wphase(net, t0.delay, s.sizes, ctx.arena());
+  s.wphase_sweeps += w0.sweeps;
   if (w0.feasible) {
     const double area0 = net.area(w0.sizes);
     if (ctx.sta(w0.sizes).critical_path <= s.target_delay * (1.0 + 1e-9) &&
@@ -65,15 +68,26 @@ void DPhasePass::begin(SizingContext&, PipelineState& s) {
   s.beta = opt_.beta;
   s.backoffs = 0;
   s.stagnant = 0;
+  // The context (and with it the D-phase timing scratch) may be reused from
+  // an earlier job; the first iteration must rediscover the diff by scan.
+  s.dphase_changed.clear();
+  s.dphase_changed_valid = false;
 }
 
 PassStatus DPhasePass::run(SizingContext& ctx, PipelineState& s) {
   const SizingNetwork& net = ctx.net();
   DPhaseOptions dopt = opt_;
   dopt.beta = s.beta;
-  const DPhaseResult d = run_dphase(net, s.sizes, dopt, &ctx.dphase());
+  const DPhaseResult d =
+      run_dphase(net, s.sizes, dopt, &ctx.dphase(),
+                 s.dphase_changed_valid ? &s.dphase_changed : nullptr);
+  // The D-phase scratch has now timed exactly s.sizes: restart the diff
+  // accumulation from here.
+  s.dphase_changed.clear();
+  s.dphase_changed_valid = true;
   if (!d.solved) return PassStatus::kDone;
-  const WPhaseResult w = solve_wphase(net, d.budget);
+  const WPhaseResult w = solve_wphase(net, d.budget, s.sizes, ctx.arena());
+  s.wphase_sweeps += w.sweeps;
   const TimingReport& timing = ctx.sta(w.sizes);
   const double area = net.area(w.sizes);
   const bool ok = w.feasible &&
@@ -82,13 +96,19 @@ PassStatus DPhasePass::run(SizingContext& ctx, PipelineState& s) {
   if (!ok) {
     // Linearization overstepped (timing broke or area regressed):
     // re-anchor at the best solution, shrink the trust region, retry.
+    // The jump to best_sizes has no tracked diff: invalidate the hint.
     if (++s.backoffs > max_beta_backoffs_) return PassStatus::kDone;
     s.beta *= 0.5;
     s.sizes = s.best_sizes;
+    s.dphase_changed_valid = false;
     return PassStatus::kRepeat;
   }
   s.backoffs = 0;
   s.sizes = w.sizes;
+  // Accepted move: s.sizes now differs from the last D-phase-timed iterate
+  // by exactly the W-phase change set.
+  s.dphase_changed.insert(s.dphase_changed.end(), w.changed.begin(),
+                          w.changed.end());
   s.iterations.push_back(
       IterationLog{area, timing.critical_path, d.objective, s.beta});
   const double improvement = (s.best_area - area) / s.best_area;
@@ -157,6 +177,8 @@ PipelineResult Pipeline::run(SizingContext& ctx, double target_delay,
         const PassStatus st = e.pass->run(ctx, s);
         stats.seconds += sw.seconds();
         ++stats.invocations;
+        stats.sweeps += s.wphase_sweeps;
+        s.wphase_sweeps = 0;
         if (st == PassStatus::kAbort) aborted = true;
         if (st != PassStatus::kRepeat) break;
       }

@@ -47,6 +47,20 @@ struct PipelineState {
   double beta = 0.0;
   int backoffs = 0;
   int stagnant = 0;
+
+  // Incremental-STA bookkeeping for the D-phase's internal timing scratch:
+  // a superset of the vertices whose size differs between `sizes` and the
+  // iterate that scratch last timed. Valid only along the straight accept
+  // path (cleared after every run_dphase, extended by the accepted W-phase
+  // move, invalidated when the trust region re-anchors at best_sizes); when
+  // invalid the D-phase falls back to its always-correct size scan.
+  std::vector<NodeId> dphase_changed;
+  bool dphase_changed_valid = false;
+
+  /// W-phase Gauss–Seidel sweeps since the Pipeline last harvested the
+  /// counter into the running entry's PassStats (pass implementations only
+  /// ever add to it).
+  std::int64_t wphase_sweeps = 0;
 };
 
 enum class PassStatus {
@@ -129,6 +143,9 @@ struct PassStats {
   std::string name;
   int invocations = 0;
   double seconds = 0.0;
+  /// W-phase Gauss–Seidel sweeps executed by this entry's invocations
+  /// (warm-started passes show how much cheaper repeated W-phases get).
+  std::int64_t sweeps = 0;
 };
 
 struct PipelineResult {

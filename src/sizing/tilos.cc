@@ -10,7 +10,7 @@ double min_sized_delay(const SizingNetwork& net) {
 }
 
 TilosResult run_tilos(const SizingNetwork& net, double target_delay,
-                      const TilosOptions& opt) {
+                      const TilosOptions& opt, ThreadArena* arena) {
   MFT_CHECK(opt.bumpsize > 1.0);
   const Tech& tech = net.tech();
   TilosResult res;
@@ -21,11 +21,16 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
                                      std::max(1, net.num_sizeable()));
 
   std::vector<char> on_path(static_cast<std::size_t>(net.num_vertices()), 0);
-  // One vertex is bumped per iteration, so the incremental STA re-delays
-  // only that vertex and its loaders instead of the whole network.
+  // One vertex is bumped per iteration: handing that vertex to the
+  // changed-hint overload makes the per-iteration delay recompute
+  // O(its loaders) with no size scan; the sweeps stay O(V+E).
   TimingScratch sta;
+  sta.arena = arena;
+  std::vector<NodeId> bumped;
   while (true) {
-    const TimingReport& timing = run_sta(net, res.sizes, sta);
+    const TimingReport& timing = bumped.empty()
+                                     ? run_sta(net, res.sizes, sta)
+                                     : run_sta(net, res.sizes, sta, bumped);
     res.achieved_delay = timing.critical_path;
     if (timing.critical_path <= target_delay) {
       res.met_target = true;
@@ -66,6 +71,7 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
     }
     if (best == kInvalidNode) break;  // nothing improves: infeasible target
     res.sizes[static_cast<std::size_t>(best)] *= opt.bumpsize;
+    bumped.assign(1, best);
     ++res.bumps;
   }
   res.area = net.area(res.sizes);

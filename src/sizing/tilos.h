@@ -29,10 +29,18 @@ struct TilosResult {
   std::int64_t bumps = 0;
 };
 
+class ThreadArena;
+
 /// Critical-path delay of the minimum-sized circuit (the paper's Dmin).
 double min_sized_delay(const SizingNetwork& net);
 
+/// `arena` (optional, multi-thread) parallelizes the per-iteration STA
+/// sweeps; results are bit-identical at any thread count. The per-iteration
+/// delay recompute itself is O(loaders-of-one-vertex): each bump passes the
+/// bumped vertex to run_sta's changed-hint overload instead of letting it
+/// rediscover the change by scanning all sizes.
 TilosResult run_tilos(const SizingNetwork& net, double target_delay,
-                      const TilosOptions& opt = {});
+                      const TilosOptions& opt = {},
+                      ThreadArena* arena = nullptr);
 
 }  // namespace mft

@@ -1,52 +1,127 @@
 #include "sizing/wphase.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/parallel.h"
 
 namespace mft {
 
-WPhaseResult solve_wphase(const SizingNetwork& net,
-                          const std::vector<double>& delay_budget) {
+namespace {
+
+/// Minimum vertices per arena chunk for a level sweep (cutoff below which
+/// dispatch overhead beats the per-vertex load fold; results unaffected).
+constexpr int kWPhaseGrain = 64;
+
+/// Per-sweep reduction state, one cache line per thread: max is exact under
+/// any association, and infeasibility is a sticky OR, so merging the
+/// per-thread values in thread-index order reproduces the sequential sweep
+/// bit for bit.
+struct alignas(64) SweepLocal {
+  double max_rel_change = 0.0;
+  char infeasible = 0;
+};
+
+WPhaseResult solve_wphase_impl(const SizingNetwork& net,
+                               const std::vector<double>& delay_budget,
+                               const std::vector<double>& start,
+                               ThreadArena* arena) {
   MFT_CHECK(net.frozen());
   MFT_CHECK(static_cast<int>(delay_budget.size()) == net.num_vertices());
+  MFT_CHECK(static_cast<int>(start.size()) == net.num_vertices());
   const Tech& tech = net.tech();
   WPhaseResult res;
-  res.sizes = net.min_sizes();
+  res.sizes = start;
 
+  // One Gauss–Seidel update of vertex v from the current res.sizes. Both
+  // the sequential and the level-parallel sweep run exactly this body.
+  auto update = [&](NodeId v, double& max_rel_change, char& infeasible) {
+    const SizingVertex& sv = net.vertex(v);
+    if (sv.kind == VertexKind::kSource) return;
+    const double d = delay_budget[static_cast<std::size_t>(v)];
+    if (d <= sv.a_self) {
+      // No finite size meets this budget (self-loading already exceeds
+      // it); clamp to max and report infeasibility.
+      infeasible = 1;
+      res.sizes[static_cast<std::size_t>(v)] = tech.max_size;
+      return;
+    }
+    double load = sv.b;
+    for (const LoadTerm& t : sv.loads)
+      load += t.coeff * res.sizes[static_cast<std::size_t>(t.vertex)];
+    double x = load / (d - sv.a_self);
+    if (x > tech.max_size) {
+      infeasible = 1;
+      x = tech.max_size;
+    }
+    x = std::max(x, tech.min_size);
+    const double old = res.sizes[static_cast<std::size_t>(v)];
+    max_rel_change = std::max(max_rel_change, std::abs(x - old) / old);
+    res.sizes[static_cast<std::size_t>(v)] = x;
+  };
+
+  const bool parallel = arena != nullptr && arena->threads() > 1;
+  std::vector<SweepLocal> locals(
+      parallel ? static_cast<std::size_t>(arena->threads()) : 0);
   const auto& topo = net.topological_order();
   const int max_sweeps = std::max(4, net.num_vertices());
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     ++res.sweeps;
     double max_rel_change = 0.0;
-    // Reverse topological order: fanout sizes settle before their drivers
-    // read them, making the first sweep exact in the triangular case.
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-      const NodeId v = *it;
-      const SizingVertex& sv = net.vertex(v);
-      if (sv.kind == VertexKind::kSource) continue;
-      const double d = delay_budget[static_cast<std::size_t>(v)];
-      if (d <= sv.a_self) {
-        // No finite size meets this budget (self-loading already exceeds
-        // it); clamp to max and report infeasibility.
-        res.feasible = false;
-        res.sizes[static_cast<std::size_t>(v)] = tech.max_size;
-        continue;
+    char infeasible = 0;
+    if (parallel) {
+      for (SweepLocal& l : locals) l = SweepLocal{};
+      // Levels settle top-down, each level concurrently; within a level no
+      // vertex loads another, so every update reads exactly the values the
+      // sequential reverse-topological sweep would read.
+      const auto& order = net.level_order();
+      const auto& off = net.level_offsets();
+      for (int l = net.num_levels() - 1; l >= 0; --l) {
+        const int base = off[static_cast<std::size_t>(l)];
+        const int width = off[static_cast<std::size_t>(l) + 1] - base;
+        arena->parallel_for(width, kWPhaseGrain,
+                            [&](int thread, int begin, int end) {
+                              SweepLocal& local =
+                                  locals[static_cast<std::size_t>(thread)];
+                              for (int i = end - 1; i >= begin; --i)
+                                update(order[static_cast<std::size_t>(base + i)],
+                                       local.max_rel_change, local.infeasible);
+                            });
       }
-      double load = sv.b;
-      for (const LoadTerm& t : sv.loads)
-        load += t.coeff * res.sizes[static_cast<std::size_t>(t.vertex)];
-      double x = load / (d - sv.a_self);
-      if (x > tech.max_size) {
-        res.feasible = false;
-        x = tech.max_size;
+      for (const SweepLocal& l : locals) {
+        max_rel_change = std::max(max_rel_change, l.max_rel_change);
+        infeasible |= l.infeasible;
       }
-      x = std::max(x, tech.min_size);
-      const double old = res.sizes[static_cast<std::size_t>(v)];
-      max_rel_change = std::max(max_rel_change, std::abs(x - old) / old);
-      res.sizes[static_cast<std::size_t>(v)] = x;
+    } else {
+      // Reverse topological order: fanout sizes settle before their drivers
+      // read them, making the first sweep exact in the triangular case.
+      for (auto it = topo.rbegin(); it != topo.rend(); ++it)
+        update(*it, max_rel_change, infeasible);
     }
+    if (infeasible) res.feasible = false;
     if (max_rel_change < 1e-12) break;
   }
+
+  for (NodeId v = 0; v < net.num_vertices(); ++v)
+    if (res.sizes[static_cast<std::size_t>(v)] !=
+        start[static_cast<std::size_t>(v)])
+      res.changed.push_back(v);
   return res;
+}
+
+}  // namespace
+
+WPhaseResult solve_wphase(const SizingNetwork& net,
+                          const std::vector<double>& delay_budget,
+                          ThreadArena* arena) {
+  return solve_wphase_impl(net, delay_budget, net.min_sizes(), arena);
+}
+
+WPhaseResult solve_wphase(const SizingNetwork& net,
+                          const std::vector<double>& delay_budget,
+                          const std::vector<double>& start,
+                          ThreadArena* arena) {
+  return solve_wphase_impl(net, delay_budget, start, arena);
 }
 
 }  // namespace mft

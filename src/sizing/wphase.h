@@ -6,18 +6,40 @@
 // equivalently x_i ≥ (Σ a_ij x_j + b_i)/(d_i − a_self_i), a Simple
 // Monotonic Program (ref [10]): the right-hand side is monotone increasing
 // in every x_j, so the unique minimum-area solution is the least fixpoint,
-// reached by Gauss–Seidel relaxation from all-minimum sizes. A single
-// reverse-topological pass is exact for gate sizing (loads point strictly
-// downstream); mutually-loading transistor blocks converge in a few extra
-// sweeps. Worst case O(|V||E|), matching the paper's bound.
+// reached by Gauss–Seidel relaxation. A single reverse-topological pass is
+// exact for gate sizing (loads point strictly downstream — the start point
+// is irrelevant); mutually-loading transistor blocks converge geometrically
+// (the coupling is the weak parasitic term), so any start in the basin
+// reaches the same fixpoint. Worst case O(|V||E|), matching the paper.
+//
+// Two starts:
+//  - solve_wphase(net, budget): cold, from all-minimum sizes (the paper's
+//    construction of the least fixpoint).
+//  - solve_wphase(net, budget, start): warm, from a previous iterate.
+//    Inside the D/W refinement consecutive budgets move only slightly, so
+//    warm sweeps converge in fewer passes; for triangular (gate) networks
+//    the result is bit-identical to cold.
+//
+// Parallelism: with a multi-thread ThreadArena the sweep runs one
+// levelization level at a time (SizingNetwork::level_order), concurrent
+// within a level. Same-level vertices share no load term and every load is
+// settled in the same sweep-relative order as the sequential
+// reverse-topological walk, so the result is bit-identical to sequential
+// at any thread count (asserted by tests/parallel_test.cc).
 #pragma once
 
 #include "timing/sizing_network.h"
 
 namespace mft {
 
+class ThreadArena;
+
 struct WPhaseResult {
   std::vector<double> sizes;
+  /// Vertices whose final size differs from the start point (min_sizes for
+  /// the cold overload). Exactly the change set of this W-phase move —
+  /// callers feed it to run_sta's changed-hint overload.
+  std::vector<NodeId> changed;
   /// False if some budget is unachievable: d_i ≤ a_self_i (no size works)
   /// or the required size exceeds maxsize. Sizes are still returned,
   /// clamped, so the caller can inspect how close the solution came.
@@ -25,7 +47,15 @@ struct WPhaseResult {
   int sweeps = 0;
 };
 
+/// Cold start from net.min_sizes().
 WPhaseResult solve_wphase(const SizingNetwork& net,
-                          const std::vector<double>& delay_budget);
+                          const std::vector<double>& delay_budget,
+                          ThreadArena* arena = nullptr);
+
+/// Warm start from `start` (one full per-vertex size vector, sources 0).
+WPhaseResult solve_wphase(const SizingNetwork& net,
+                          const std::vector<double>& delay_budget,
+                          const std::vector<double>& start,
+                          ThreadArena* arena = nullptr);
 
 }  // namespace mft

@@ -63,6 +63,51 @@ void SizingNetwork::freeze() {
                                            "degenerate (zero)");
     }
   }
+  compute_levels();
+}
+
+void SizingNetwork::compute_levels() {
+  const std::size_t n = static_cast<std::size_t>(num_vertices());
+  topo_pos_.assign(n, 0);
+  for (std::size_t i = 0; i < topo_.size(); ++i)
+    topo_pos_[static_cast<std::size_t>(topo_[i])] = static_cast<int>(i);
+
+  // Longest-path depth over the union of arcs and load terms, every load
+  // term oriented forward in topological order (see the header comment).
+  // All union edges then point forward in topo order, so one pass relaxing
+  // each vertex's outgoing union edges computes the depth exactly.
+  level_of_.assign(n, 0);
+  for (const NodeId v : topo_) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    const int next = level_of_[vi] + 1;
+    auto bump = [&](NodeId u) {
+      const std::size_t ui = static_cast<std::size_t>(u);
+      if (level_of_[ui] < next) level_of_[ui] = next;
+    };
+    for (const ArcId a : dag_.out_arcs(v)) bump(dag_.head(a));
+    for (const LoadTerm& t : verts_[vi].loads)
+      if (topo_pos_[static_cast<std::size_t>(t.vertex)] > topo_pos_[vi])
+        bump(t.vertex);
+    for (const LoadTerm& t : rev_loads_[vi])
+      if (topo_pos_[static_cast<std::size_t>(t.vertex)] > topo_pos_[vi])
+        bump(t.vertex);
+  }
+
+  int levels = 0;
+  for (const int l : level_of_) levels = std::max(levels, l + 1);
+  if (n == 0) levels = 0;
+  level_offsets_.assign(static_cast<std::size_t>(levels) + 1, 0);
+  for (const int l : level_of_) ++level_offsets_[static_cast<std::size_t>(l) + 1];
+  for (int l = 0; l < levels; ++l)
+    level_offsets_[static_cast<std::size_t>(l) + 1] +=
+        level_offsets_[static_cast<std::size_t>(l)];
+  // Appending in topo order sorts each level by topological position.
+  level_order_.resize(n);
+  std::vector<int> cursor(level_offsets_.begin(), level_offsets_.end() - 1);
+  for (const NodeId v : topo_)
+    level_order_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(
+            level_of_[static_cast<std::size_t>(v)])]++)] = v;
 }
 
 std::vector<double> SizingNetwork::min_sizes() const {

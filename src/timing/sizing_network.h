@@ -95,6 +95,50 @@ class SizingNetwork {
     return rev_loads_;
   }
 
+  // --- Levelization (cached at freeze) -----------------------------------
+  //
+  // level_of()[v] is the longest-path depth of v in the union graph of the
+  // timing arcs and the load terms, with every load term oriented to agree
+  // with the cached topological order. Consequences, which the parallel
+  // sweeps in sta.cc / wphase.cc rely on (asserted by tests/parallel_test):
+  //
+  //  - no two same-level vertices share an arc or a load term, so one level
+  //    can be updated by concurrent threads without a data race;
+  //  - for every load a_ij, x_j settles before (level ascending) exactly
+  //    when topological position j < i — i.e. a sweep that walks levels in
+  //    (reverse) order reads bit-for-bit the same neighbor values as the
+  //    sequential (reverse-)topological sweep.
+
+  /// Number of levels (0 for an empty network).
+  int num_levels() const {
+    MFT_CHECK(frozen());
+    return level_offsets_.empty()
+               ? 0
+               : static_cast<int>(level_offsets_.size()) - 1;
+  }
+  /// Per-vertex level index.
+  const std::vector<int>& level_of() const {
+    MFT_CHECK(frozen());
+    return level_of_;
+  }
+  /// All vertices grouped by level (ascending), ordered within a level by
+  /// topological position: level l is level_order()[level_offsets()[l] ..
+  /// level_offsets()[l+1]). This is itself a valid topological order.
+  const std::vector<NodeId>& level_order() const {
+    MFT_CHECK(frozen());
+    return level_order_;
+  }
+  const std::vector<int>& level_offsets() const {
+    MFT_CHECK(frozen());
+    return level_offsets_;
+  }
+  /// topo_position()[v] = index of v in topological_order(); the tie-break
+  /// key that keeps parallel argmax reductions identical to sequential.
+  const std::vector<int>& topo_position() const {
+    MFT_CHECK(frozen());
+    return topo_pos_;
+  }
+
   /// Uniform starting point: every sizeable vertex at min_size, sources 0.
   std::vector<double> min_sizes() const;
 
@@ -110,11 +154,17 @@ class SizingNetwork {
   std::vector<double> area_delay_weights(const std::vector<double>& sizes) const;
 
  private:
+  void compute_levels();
+
   Tech tech_;
   Digraph dag_;
   std::vector<SizingVertex> verts_;
   std::vector<NodeId> topo_;
   std::vector<std::vector<LoadTerm>> rev_loads_;
+  std::vector<int> topo_pos_;
+  std::vector<int> level_of_;
+  std::vector<NodeId> level_order_;
+  std::vector<int> level_offsets_;
   int num_sizeable_ = 0;
   std::uint64_t serial_ = 0;
 };

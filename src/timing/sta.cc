@@ -1,30 +1,52 @@
 #include "timing/sta.h"
 
 #include <algorithm>
+#include <climits>
 #include <limits>
+
+#include "util/parallel.h"
 
 namespace mft {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Forward/backward sweeps over already-computed per-vertex delays. Shared
-// by the full and incremental paths so both produce identical reports.
+// Minimum vertices per arena chunk. Below these the dispatch overhead beats
+// the work and parallel_for runs the body inline; tuning them only moves
+// where parallelism kicks in, never the results.
+constexpr int kDelayGrain = 96;  ///< delay recompute (load-term dot products)
+constexpr int kSweepGrain = 64;  ///< AT/RT level sweeps (arc min/max folds)
+
+bool multi_thread(const ThreadArena* arena) {
+  return arena != nullptr && arena->threads() > 1;
+}
+
 // Sizes the report and recomputes every per-vertex delay. Shared by the
 // two-arg run_sta and the scratch overload's first run so the full and
 // incremental paths cannot drift apart.
 void full_delay_init(const SizingNetwork& net, const std::vector<double>& sizes,
-                     TimingReport& r) {
+                     TimingReport& r, ThreadArena* arena) {
   const std::size_t n = static_cast<std::size_t>(net.num_vertices());
   r.delay.resize(n);
   r.at.assign(n, 0.0);
   r.rt.assign(n, kInf);
   r.slack.resize(n);
-  for (NodeId v = 0; v < net.num_vertices(); ++v)
-    r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
+  if (multi_thread(arena)) {
+    arena->parallel_for(net.num_vertices(), kDelayGrain,
+                        [&](int, int begin, int end) {
+                          for (NodeId v = begin; v < end; ++v)
+                            r.delay[static_cast<std::size_t>(v)] =
+                                net.delay(v, sizes);
+                        });
+  } else {
+    for (NodeId v = 0; v < net.num_vertices(); ++v)
+      r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
+  }
 }
 
-void run_sweeps(const SizingNetwork& net, TimingReport& r) {
+// Forward/backward sweeps over already-computed per-vertex delays. Shared
+// by the full and incremental paths so both produce identical reports.
+void run_sweeps_sequential(const SizingNetwork& net, TimingReport& r) {
   const Digraph& g = net.dag();
 
   // Forward: AT(v) = max over fanin j of AT(j) + delay(j); 0 at sources.
@@ -62,20 +84,97 @@ void run_sweeps(const SizingNetwork& net, TimingReport& r) {
         rt - r.at[static_cast<std::size_t>(v)];
   }
 }
-}  // namespace
 
-TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes) {
-  MFT_CHECK(net.frozen());
-  MFT_CHECK(static_cast<int>(sizes.size()) == net.num_vertices());
-  TimingReport r;
-  full_delay_init(net, sizes, r);
-  run_sweeps(net, r);
-  return r;
+// Level-parallel sweeps: within a level no two vertices share an arc, so
+// the per-vertex updates are the sequential ones verbatim, run concurrently
+// one level at a time. Bit-identical to run_sweeps_sequential: AT/RT read
+// only earlier/later levels, and the cp argmax is reduced per thread and
+// merged by (max end, lowest topological position on exact ties) — the
+// same winner as the sequential first-attaining-the-max rule.
+void run_sweeps_parallel(const SizingNetwork& net, TimingReport& r,
+                         ThreadArena& arena) {
+  const Digraph& g = net.dag();
+  const auto& order = net.level_order();
+  const auto& off = net.level_offsets();
+  const auto& pos = net.topo_position();
+  const int levels = net.num_levels();
+
+  struct alignas(64) CpLocal {
+    double end = -kInf;
+    int pos = INT_MAX;
+    NodeId v = kInvalidNode;
+  };
+  std::vector<CpLocal> cp(static_cast<std::size_t>(arena.threads()));
+
+  for (int l = 0; l < levels; ++l) {
+    const int base = off[static_cast<std::size_t>(l)];
+    const int width = off[static_cast<std::size_t>(l) + 1] - base;
+    arena.parallel_for(width, kSweepGrain, [&](int thread, int begin, int end) {
+      CpLocal& local = cp[static_cast<std::size_t>(thread)];
+      for (int i = begin; i < end; ++i) {
+        const NodeId v = order[static_cast<std::size_t>(base + i)];
+        double at = 0.0;
+        for (ArcId a : g.in_arcs(v)) {
+          const NodeId j = g.tail(a);
+          at = std::max(at, r.at[static_cast<std::size_t>(j)] +
+                                r.delay[static_cast<std::size_t>(j)]);
+        }
+        r.at[static_cast<std::size_t>(v)] = at;
+        const double vend = at + r.delay[static_cast<std::size_t>(v)];
+        const int vpos = pos[static_cast<std::size_t>(v)];
+        if (vend > local.end || (vend == local.end && vpos < local.pos)) {
+          local.end = vend;
+          local.pos = vpos;
+          local.v = v;
+        }
+      }
+    });
+  }
+
+  CpLocal best;
+  for (const CpLocal& local : cp) {
+    if (local.v == kInvalidNode) continue;
+    if (best.v == kInvalidNode || local.end > best.end ||
+        (local.end == best.end && local.pos < best.pos))
+      best = local;
+  }
+  r.critical_path = best.v == kInvalidNode ? 0.0 : best.end;
+  r.cp_vertex = best.v;
+
+  for (int l = levels - 1; l >= 0; --l) {
+    const int base = off[static_cast<std::size_t>(l)];
+    const int width = off[static_cast<std::size_t>(l) + 1] - base;
+    arena.parallel_for(width, kSweepGrain, [&](int, int begin, int end) {
+      for (int i = begin; i < end; ++i) {
+        const NodeId v = order[static_cast<std::size_t>(base + i)];
+        double rt = kInf;
+        if (net.vertex(v).is_po || g.out_degree(v) == 0)
+          rt = r.critical_path - r.delay[static_cast<std::size_t>(v)];
+        for (ArcId a : g.out_arcs(v)) {
+          const NodeId j = g.head(a);
+          rt = std::min(rt, r.rt[static_cast<std::size_t>(j)] -
+                                r.delay[static_cast<std::size_t>(v)]);
+        }
+        r.rt[static_cast<std::size_t>(v)] = rt;
+        r.slack[static_cast<std::size_t>(v)] =
+            rt - r.at[static_cast<std::size_t>(v)];
+      }
+    });
+  }
 }
 
-const TimingReport& run_sta(const SizingNetwork& net,
-                            const std::vector<double>& sizes,
-                            TimingScratch& scratch) {
+void run_sweeps(const SizingNetwork& net, TimingReport& r, ThreadArena* arena) {
+  if (multi_thread(arena))
+    run_sweeps_parallel(net, r, *arena);
+  else
+    run_sweeps_sequential(net, r);
+}
+
+// Shared incremental driver; `changed` selects the hinted or scanning path.
+const TimingReport& run_sta_incremental(const SizingNetwork& net,
+                                        const std::vector<double>& sizes,
+                                        TimingScratch& scratch,
+                                        const std::vector<NodeId>* changed) {
   MFT_CHECK(net.frozen());
   MFT_CHECK(static_cast<int>(sizes.size()) == net.num_vertices());
   const std::size_t n = static_cast<std::size_t>(net.num_vertices());
@@ -83,7 +182,7 @@ const TimingReport& run_sta(const SizingNetwork& net,
 
   if (!scratch.valid || scratch.net_serial != net.serial()) {
     // First run on this scratch (or a different network): full recompute.
-    full_delay_init(net, sizes, r);
+    full_delay_init(net, sizes, r, scratch.arena);
     scratch.is_dirty.assign(n, 0);
     scratch.last_sizes = sizes;
     scratch.valid = true;
@@ -97,32 +196,84 @@ const TimingReport& run_sta(const SizingNetwork& net,
     auto& dirty = scratch.dirty;
     dirty.clear();
     const auto& rev = net.reverse_loads();
-    for (NodeId v = 0; v < net.num_vertices(); ++v) {
+    auto mark = [&](NodeId v) {
       const std::size_t i = static_cast<std::size_t>(v);
-      if (sizes[i] == scratch.last_sizes[i]) continue;
       if (!scratch.is_dirty[i]) {
         scratch.is_dirty[i] = 1;
         dirty.push_back(v);
       }
-      for (const LoadTerm& t : rev[i]) {
-        const std::size_t j = static_cast<std::size_t>(t.vertex);
-        if (!scratch.is_dirty[j]) {
-          scratch.is_dirty[j] = 1;
-          dirty.push_back(t.vertex);
-        }
+    };
+    if (changed != nullptr) {
+      // Hinted path: trust the caller's change set, touch nothing else.
+      for (const NodeId v : *changed) {
+        const std::size_t i = static_cast<std::size_t>(v);
+        if (sizes[i] == scratch.last_sizes[i]) continue;
+        scratch.last_sizes[i] = sizes[i];
+        mark(v);
+        for (const LoadTerm& t : rev[i]) mark(t.vertex);
+      }
+#ifndef NDEBUG
+      // A hint that misses a resized vertex silently corrupts every later
+      // report; cross-check the whole contract in debug builds.
+      for (std::size_t i = 0; i < n; ++i)
+        MFT_CHECK_MSG(sizes[i] == scratch.last_sizes[i],
+                      "run_sta changed-hint missed resized vertex " << i);
+#endif
+      ++scratch.hinted_runs;
+    } else {
+      for (NodeId v = 0; v < net.num_vertices(); ++v) {
+        const std::size_t i = static_cast<std::size_t>(v);
+        if (sizes[i] == scratch.last_sizes[i]) continue;
+        mark(v);
+        for (const LoadTerm& t : rev[i]) mark(t.vertex);
+      }
+      scratch.last_sizes = sizes;
+    }
+    if (multi_thread(scratch.arena)) {
+      scratch.arena->parallel_for(
+          static_cast<int>(dirty.size()), kDelayGrain,
+          [&](int, int begin, int end) {
+            for (int i = begin; i < end; ++i) {
+              const NodeId v = dirty[static_cast<std::size_t>(i)];
+              r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
+              scratch.is_dirty[static_cast<std::size_t>(v)] = 0;
+            }
+          });
+    } else {
+      for (const NodeId v : dirty) {
+        r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
+        scratch.is_dirty[static_cast<std::size_t>(v)] = 0;
       }
     }
-    for (const NodeId v : dirty) {
-      r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
-      scratch.is_dirty[static_cast<std::size_t>(v)] = 0;
-    }
-    scratch.last_sizes = sizes;
     ++scratch.incremental_runs;
     scratch.delays_recomputed += static_cast<std::int64_t>(dirty.size());
   }
 
-  run_sweeps(net, r);
+  run_sweeps(net, r, scratch.arena);
   return r;
+}
+}  // namespace
+
+TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes) {
+  MFT_CHECK(net.frozen());
+  MFT_CHECK(static_cast<int>(sizes.size()) == net.num_vertices());
+  TimingReport r;
+  full_delay_init(net, sizes, r, nullptr);
+  run_sweeps_sequential(net, r);
+  return r;
+}
+
+const TimingReport& run_sta(const SizingNetwork& net,
+                            const std::vector<double>& sizes,
+                            TimingScratch& scratch) {
+  return run_sta_incremental(net, sizes, scratch, nullptr);
+}
+
+const TimingReport& run_sta(const SizingNetwork& net,
+                            const std::vector<double>& sizes,
+                            TimingScratch& scratch,
+                            const std::vector<NodeId>& changed) {
+  return run_sta_incremental(net, sizes, scratch, &changed);
 }
 
 double TimingReport::edge_slack(const SizingNetwork& net, ArcId a) const {

@@ -2,15 +2,29 @@
 // eq. (8): arrival time AT, required time RT, slack, edge slack, and the
 // critical path CP(G).
 //
-// Two entry points:
+// Entry points:
 //  - run_sta(net, sizes): full recompute, allocates a fresh report.
 //  - run_sta(net, sizes, scratch): incremental. The scratch remembers the
 //    sizes of the previous call and only recomputes net.delay(v, ...) for
 //    vertices whose delay can actually have changed (the resized vertices
-//    plus everything loaded by them, via reverse_loads). The AT/RT sweeps
-//    are always full — they are cheap O(V+E) array passes — but reuse the
-//    scratch's allocations. Both paths produce bit-identical reports; the
-//    tier-1 suite asserts that equivalence on randomized size updates.
+//    plus everything loaded by them, via reverse_loads), found by an O(n)
+//    scan against the remembered sizes.
+//  - run_sta(net, sizes, scratch, changed): same, but the caller names the
+//    resized vertices up front and the O(n) scan is skipped — the right
+//    form for callers that know their own update (TILOS bumps one vertex
+//    per iteration; the D-phase times the last accepted W-phase move).
+//    `changed` must be a superset of the truly-resized vertices (extra or
+//    duplicate entries cost nothing); an incomplete hint is corruption and
+//    is caught by a full cross-check in debug builds.
+// All paths produce bit-identical reports; the tier-1 suite asserts the
+// equivalences on randomized size updates.
+//
+// Parallelism: when scratch.arena points at a multi-thread ThreadArena,
+// the delay recompute runs partitioned over the vertices and the AT/RT
+// sweeps run level-parallel over SizingNetwork's cached levelization —
+// still bit-identical to the sequential sweeps (per-vertex arithmetic is
+// unchanged; the cp argmax is merged max-end-first, lowest-topological-
+// position-on-ties, exactly the sequential rule).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +33,8 @@
 #include "timing/sizing_network.h"
 
 namespace mft {
+
+class ThreadArena;
 
 struct TimingReport {
   std::vector<double> delay;   ///< per-vertex delay under the given sizes
@@ -51,10 +67,18 @@ struct TimingScratch {
   std::vector<char> is_dirty;      ///< scratch: dedup mask for `dirty`
   bool valid = false;              ///< false until the first (full) run
   std::uint64_t net_serial = 0;    ///< SizingNetwork::serial() of the run
+  /// Inner-loop parallelism: when set (and multi-thread), the delay
+  /// recompute and the AT/RT sweeps run on the arena. Not owned; the owner
+  /// (engine worker, bench) must keep it alive across runs. Results are
+  /// bit-identical at any thread count.
+  ThreadArena* arena = nullptr;
 
   // Instrumentation for tests and benches.
   std::int64_t full_runs = 0;
   std::int64_t incremental_runs = 0;
+  /// Subset of incremental_runs that used a caller-provided changed hint
+  /// (no O(n) size scan).
+  std::int64_t hinted_runs = 0;
   std::int64_t delays_recomputed = 0;
 
   /// Zero the instrumentation counters without touching the cached timing
@@ -63,6 +87,7 @@ struct TimingScratch {
   void reset_instrumentation() {
     full_runs = 0;
     incremental_runs = 0;
+    hinted_runs = 0;
     delays_recomputed = 0;
   }
 };
@@ -71,10 +96,20 @@ struct TimingScratch {
 TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes);
 
 /// Incremental sweep: recomputes only the delays invalidated since the
-/// previous call on this scratch (full recompute on the first call).
+/// previous call on this scratch (full recompute on the first call). The
+/// invalidated set is found by scanning `sizes` against the previous run.
 /// Returns scratch.report; the reference stays valid until the next call.
 const TimingReport& run_sta(const SizingNetwork& net,
                             const std::vector<double>& sizes,
                             TimingScratch& scratch);
+
+/// Incremental sweep with a caller-provided change hint: `changed` must
+/// contain every vertex whose size differs from the previous call on this
+/// scratch (supersets and duplicates are fine — entries whose size is
+/// unchanged are skipped). Skips the O(n) size-diff scan entirely.
+const TimingReport& run_sta(const SizingNetwork& net,
+                            const std::vector<double>& sizes,
+                            TimingScratch& scratch,
+                            const std::vector<NodeId>& changed);
 
 }  // namespace mft

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "engine/runner.h"
 #include "gen/blocks.h"
@@ -27,7 +28,12 @@ namespace {
 // ---------------------------------------------------------------------------
 // Reference: the pre-pipeline run_minflotransit, copied verbatim (only
 // renamed). Any change in the pass layer's arithmetic or control flow will
-// show up as a size/area/delay mismatch against this.
+// show up as a size/area/delay mismatch against this. One deliberate
+// amendment since the original freeze: the W-phase calls warm-start from
+// the current iterate, mirroring the same intentional algorithm change in
+// WPhasePass/DPhasePass (identical results on triangular/gate networks,
+// fewer sweeps — and a slightly different, equally-converged trajectory —
+// on mutually-loading transistor networks).
 // ---------------------------------------------------------------------------
 MinflotransitResult legacy_minflotransit(const SizingNetwork& net,
                                          double target_delay,
@@ -58,7 +64,7 @@ MinflotransitResult legacy_minflotransit(const SizingNetwork& net,
 
   {
     const TimingReport& t0 = run_sta(net, cur, sta);
-    const WPhaseResult w0 = solve_wphase(net, t0.delay);
+    const WPhaseResult w0 = solve_wphase(net, t0.delay, cur);
     if (w0.feasible) {
       const double area0 = net.area(w0.sizes);
       if (run_sta(net, w0.sizes, sta).critical_path <=
@@ -77,7 +83,7 @@ MinflotransitResult legacy_minflotransit(const SizingNetwork& net,
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
     const DPhaseResult d = run_dphase(net, cur, dopt, &dws);
     if (!d.solved) break;
-    const WPhaseResult w = solve_wphase(net, d.budget);
+    const WPhaseResult w = solve_wphase(net, d.budget, cur);
     const TimingReport& timing = run_sta(net, w.sizes, sta);
     const double area = net.area(w.sizes);
     const bool ok = w.feasible &&
@@ -518,6 +524,140 @@ TEST(Engine, WritesBatchJson) {
   EXPECT_NE(content.find("\\\"quoted\\\"\\nlabel\\\\\\u0001"),
             std::string::npos);
   EXPECT_NE(content.find("\"met_target\": false"), std::string::npos);
+  // The per-pass stats (including W-phase sweeps) reach the JSON.
+  EXPECT_NE(content.find("\"passes\": ["), std::string::npos);
+  EXPECT_NE(content.find("\"sweeps\":"), std::string::npos);
+  EXPECT_NE(content.find("\"inner_threads\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Inner-loop parallelism through the engine
+// ---------------------------------------------------------------------------
+
+TEST(Engine, InnerThreadsAreBitIdenticalAndReported) {
+  Netlist nl = make_comparator(8);
+  LoweredCircuit lc = lower(nl);
+  std::vector<SizingJob> jobs(3);
+  jobs[0].target_ratio = 0.85;
+  jobs[1].target_ratio = 0.7;
+  jobs[2].target_ratio = 0.45;  // TILOS-unreachable: aborted pipeline path
+
+  JobRunnerOptions seq;
+  seq.threads = 1;
+  seq.inner_threads = 1;
+  JobRunnerOptions par;
+  par.threads = 1;
+  par.inner_threads = 4;
+  const BatchResult s = JobRunner(seq).run({&lc.net}, jobs);
+  const BatchResult p = JobRunner(par).run({&lc.net}, jobs);
+  ASSERT_EQ(s.results.size(), p.results.size());
+  int refined = 0;
+  for (std::size_t i = 0; i < s.results.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(s.results[i].ok);
+    ASSERT_TRUE(p.results[i].ok);
+    EXPECT_EQ(s.results[i].inner_threads, 1);
+    EXPECT_EQ(p.results[i].inner_threads, 4);
+    // The whole point: level-parallel inner loops never change results.
+    expect_bit_identical(s.results[i].result, p.results[i].result);
+    ASSERT_EQ(p.results[i].pass_stats.size(), 3u);
+    EXPECT_EQ(p.results[i].pass_stats[1].name, "wphase");
+    if (!p.results[i].result.met_target) continue;  // pipeline aborted
+    ++refined;
+    // Per-pass stats came back, with the W-phase passes counting sweeps
+    // independent of the inner thread count.
+    EXPECT_GT(p.results[i].pass_stats[1].sweeps, 0);
+    EXPECT_EQ(p.results[i].pass_stats[1].sweeps,
+              s.results[i].pass_stats[1].sweeps);
+    // The D-phase runs hinted on every straight accepted iteration.
+    EXPECT_GT(p.results[i].stats.sta_hinted_runs, 0);
+  }
+  EXPECT_GE(refined, 2);  // the guarded assertions actually ran
+}
+
+TEST(Engine, InnerThreadPolicyGivesLeftoverCoresToWidestJobs) {
+  // 5-thread pool, 2 jobs: batch width is served first (1 core per job),
+  // the 3 leftover cores round-robin onto the widest network first.
+  // The env knob would override the policy under test: clear it for this
+  // test only and restore afterwards (CI runs the tier-1 suite a second
+  // time with MFT_INNER_THREADS=4 and later tests must still see it).
+  struct EnvGuard {
+    std::string saved;
+    bool was_set;
+    EnvGuard() {
+      const char* v = std::getenv("MFT_INNER_THREADS");
+      was_set = v != nullptr;
+      if (was_set) saved = v;
+      ::unsetenv("MFT_INNER_THREADS");
+    }
+    ~EnvGuard() {
+      if (was_set) ::setenv("MFT_INNER_THREADS", saved.c_str(), 1);
+    }
+  } env_guard;
+  Netlist small = make_c17();
+  Netlist big = make_ripple_adder(8);
+  LoweredCircuit ls = lower(small);
+  LoweredCircuit lb = lower(big);
+  ASSERT_GT(lb.net.num_vertices(), ls.net.num_vertices());
+
+  std::vector<SizingJob> jobs(2);
+  jobs[0].network = 0;  // small
+  jobs[1].network = 1;  // big
+  jobs[0].target_ratio = jobs[1].target_ratio = 0.7;
+  JobRunnerOptions ropt;
+  ropt.threads = 5;
+  const BatchResult batch = JobRunner(ropt).run({&ls.net, &lb.net}, jobs);
+  ASSERT_TRUE(batch.results[0].ok);
+  ASSERT_TRUE(batch.results[1].ok);
+  EXPECT_EQ(batch.results[1].inner_threads, 3);  // big: 1 + 2 leftover
+  EXPECT_EQ(batch.results[0].inner_threads, 2);  // small: 1 + 1 leftover
+
+  // A batch at least as wide as the pool gets sequential inner loops.
+  std::vector<SizingJob> wide(5);
+  for (auto& j : wide) j.target_ratio = 0.8;
+  const BatchResult flat = JobRunner(ropt).run({&ls.net, &lb.net}, wide);
+  for (const JobResult& r : flat.results) EXPECT_EQ(r.inner_threads, 1);
+
+  // An explicit per-job request overrides the policy.
+  jobs[0].inner_threads = 1;
+  jobs[1].inner_threads = 2;
+  const BatchResult forced = JobRunner(ropt).run({&ls.net, &lb.net}, jobs);
+  EXPECT_EQ(forced.results[0].inner_threads, 1);
+  EXPECT_EQ(forced.results[1].inner_threads, 2);
+
+  // Mixed: the forced job is charged against the budget first, the policy
+  // splits what remains — the free (big) job gets 5 - 1 = 4 cores.
+  jobs[0].inner_threads = 1;
+  jobs[1].inner_threads = 0;
+  const BatchResult mixed = JobRunner(ropt).run({&ls.net, &lb.net}, jobs);
+  EXPECT_EQ(mixed.results[0].inner_threads, 1);
+  EXPECT_EQ(mixed.results[1].inner_threads, 4);
+}
+
+TEST(Engine, OuterAndInnerParallelismComposeBitIdentically) {
+  // 2 outer workers × 2 inner threads vs fully sequential.
+  Netlist a = make_ripple_adder(8);
+  Netlist b = make_comparator(8);
+  LoweredCircuit la = lower(a);
+  LoweredCircuit lb = lower(b);
+  const std::vector<const SizingNetwork*> networks = {&la.net, &lb.net};
+  const std::vector<SizingJob> jobs = make_batch_jobs();
+
+  JobRunnerOptions seq;
+  seq.threads = 1;
+  seq.inner_threads = 1;
+  JobRunnerOptions par;
+  par.threads = 2;
+  par.inner_threads = 2;
+  const BatchResult s = JobRunner(seq).run(networks, jobs);
+  const BatchResult p = JobRunner(par).run(networks, jobs);
+  ASSERT_EQ(s.results.size(), p.results.size());
+  for (std::size_t i = 0; i < s.results.size(); ++i) {
+    SCOPED_TRACE(jobs[i].label);
+    ASSERT_TRUE(s.results[i].ok);
+    ASSERT_TRUE(p.results[i].ok);
+    expect_bit_identical(s.results[i].result, p.results[i].result);
+  }
 }
 
 }  // namespace
