@@ -5,10 +5,13 @@
 // on adders, 2–17% elsewhere, largest on c6288; MINFLOTRANSIT total time
 // within ~2–4× of TILOS.
 //
-// The per-circuit sizing runs are one engine batch (--threads /
-// MFT_BENCH_THREADS to fan them out); calibration stays sequential so the
-// delay specs are identical at any thread count, and results are collected
-// in job order so the table is too.
+// Both the calibration and the sizing runs go through the engine
+// (--threads / MFT_BENCH_THREADS to fan them out): the per-circuit TILOS
+// bisection runs in lock step, one batch of probe jobs per bisection step
+// (calibrate_targets in bench_common.h), and the sized circuits are one
+// final batch. Probe outcomes are bit-identical at any worker count, so
+// the delay specs are too; results are collected in job order so the
+// table is as well.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -30,18 +33,25 @@ int main(int argc, char** argv) {
   std::printf("Table 1: MINFLOTRANSIT vs TILOS at calibrated delay specs\n");
   std::printf("(paper: UltraSPARC-10 seconds; here: this machine)\n\n");
 
-  // Sequential prologue: build, lower, and calibrate every circuit.
+  // Build and lower every circuit, then calibrate all of them through the
+  // engine: each bisection step is one batch of TILOS probe jobs.
   std::vector<Netlist> netlists;
   std::vector<LoweredCircuit> lowered;
-  std::vector<CalibratedTarget> cals;
   for (const std::string& name : circuits) {
     netlists.push_back(load_circuit(name));
     lowered.push_back(lower_gate_level(netlists.back(), Tech{}));
-    cals.push_back(calibrate_target(lowered.back().net));
   }
-
   std::vector<const SizingNetwork*> networks;
   for (const LoweredCircuit& lc : lowered) networks.push_back(&lc.net);
+
+  JobRunnerOptions calopt;
+  calopt.threads = bench_threads(argc, argv);
+  calopt.inner_threads = bench_inner_threads(argc, argv);
+  std::printf("calibrating %d circuits through the engine...\n",
+              static_cast<int>(networks.size()));
+  const std::vector<CalibratedTarget> cals =
+      calibrate_targets(networks, calopt);
+
   std::vector<SizingJob> jobs;
   for (std::size_t c = 0; c < circuits.size(); ++c) {
     SizingJob job;

@@ -10,7 +10,9 @@
 //   mft_cli --circuit c432 --sweep --threads 4 --json sweep.json
 //
 // Options:
-//   --circuit NAME        built-in circuit: c17, adderN, c432..c7552 analogs
+//   --circuit NAME        built-in circuit: c17, adderN, c432..c7552
+//                         analogs, tiledLxSxB (see --list-circuits)
+//   --list-circuits       print every built-in circuit name and exit
 //   --bench PATH          read an ISCAS85 .bench file instead
 //   --target-ratio R      delay target as a fraction of Dmin (default 0.6)
 //   --granularity G       gate | transistor (default gate)
@@ -26,7 +28,12 @@
 //   --inner-threads N     level-parallel STA/W-phase threads per job
 //                         (default 0: leftover --threads capacity goes to
 //                         the widest jobs; results identical at any value)
-//   --json PATH           write the engine batch results as JSON
+//   --shards K            sharded large-netlist solve: cut the network into
+//                         K level bands, size them as parallel engine jobs,
+//                         reconcile boundary budgets (sizing/shard.h);
+//                         K=1 is bit-identical to the monolithic pipeline
+//   --json PATH           write machine-readable results as JSON (engine
+//                         batch shape; a shard-summary shape with --shards)
 //   --csv PATH            write the per-element sizing CSV (single run)
 //   --histogram           print the size histogram (single run)
 #include <cstdio>
@@ -39,10 +46,12 @@
 #include "engine/runner.h"
 #include "gen/blocks.h"
 #include "gen/iscas_analog.h"
+#include "gen/tiled.h"
 #include "netlist/bench_io.h"
 #include "netlist/netlist.h"
 #include "netlist/stats.h"
 #include "sizing/report.h"
+#include "sizing/shard.h"
 #include "timing/lowering.h"
 #include "util/str.h"
 #include "util/table.h"
@@ -63,6 +72,7 @@ struct Args {
   double bumpsize = 1.1;
   int threads = 0;        // 0 = hardware concurrency
   int inner_threads = 0;  // 0 = runner policy (leftover cores)
+  int shards = 0;         // 0 = monolithic solve
   bool sweep = false;
   bool wires = false;
   bool tilos_only = false;
@@ -73,6 +83,37 @@ struct Args {
   std::fprintf(stderr, "error: %s\nsee the header of examples/mft_cli.cpp\n",
                msg);
   std::exit(2);
+}
+
+/// Every built-in --circuit spelling, one per line (patterns shown with
+/// their parameter syntax). Shared by --list-circuits and the unknown
+/// circuit diagnostic.
+std::string circuit_listing() {
+  std::string out;
+  out += "  c17             the 6-NAND c17 benchmark\n";
+  out += "  adder<N>        N-bit ripple-carry adder, e.g. adder32\n";
+  out += "  tiled<L>x<S>x<B> L-lane S-stage B-bit tiled datapath mesh,\n";
+  out += "                  e.g. tiled64x48x4 (~110k gates)\n";
+  for (const IscasAnalogSpec& spec : iscas85_specs()) {
+    const std::size_t pad =
+        spec.name.size() < 16 ? 16 - spec.name.size() : 1;
+    out += "  " + spec.name + std::string(pad, ' ') + spec.function + "\n";
+  }
+  return out;
+}
+
+/// Parses "tiled<L>x<S>x<B>"; returns false if `name` is not of that form.
+bool parse_tiled_name(const std::string& name, TiledDatapathParams& p) {
+  int lanes = 0, stages = 0, bits = 0;
+  char tail = '\0';
+  if (std::sscanf(name.c_str(), "tiled%dx%dx%d%c", &lanes, &stages, &bits,
+                  &tail) != 3 ||
+      lanes < 1 || stages < 1 || bits < 1)
+    return false;
+  p.lanes = lanes;
+  p.stages = stages;
+  p.bits = bits;
+  return true;
 }
 
 std::vector<double> parse_ratio_list(const std::string& s) {
@@ -112,13 +153,20 @@ Args parse(int argc, char** argv) {
     else if (f == "--bumpsize") a.bumpsize = std::atof(value(i));
     else if (f == "--sweep") a.sweep = true;
     else if (f == "--ratios") a.sweep_ratios = parse_ratio_list(value(i));
-    else if (f == "--threads" || f == "--inner-threads") {
+    else if (f == "--threads" || f == "--inner-threads" || f == "--shards") {
       const char* s = value(i);
       char* end = nullptr;
       const long v = std::strtol(s, &end, 10);
       if (end == s || *end != '\0' || v < 0)
         usage(("bad " + f + " value '" + std::string(s) + "'").c_str());
-      (f == "--threads" ? a.threads : a.inner_threads) = static_cast<int>(v);
+      (f == "--threads"        ? a.threads
+       : f == "--inner-threads" ? a.inner_threads
+                                : a.shards) = static_cast<int>(v);
+    }
+    else if (f == "--list-circuits") {
+      std::printf("built-in circuits (--circuit NAME):\n%s",
+                  circuit_listing().c_str());
+      std::exit(0);
     }
     else if (f == "--json") a.json_path = value(i);
     else if (f == "--csv") a.csv_path = value(i);
@@ -131,6 +179,8 @@ Args parse(int argc, char** argv) {
     usage("--granularity must be gate or transistor");
   if (a.wires && a.granularity != "gate")
     usage("--wires needs --granularity gate");
+  if (a.shards > 0 && a.sweep)
+    usage("--shards is a single-target mode; drop --sweep");
   return a;
 }
 
@@ -157,10 +207,14 @@ Netlist build_circuit(const Args& a) {
     if (a.circuit == "c17") return make_c17();
     if (a.circuit.rfind("adder", 0) == 0)
       return make_ripple_adder(std::atoi(a.circuit.c_str() + 5));
+    TiledDatapathParams tp;
+    if (parse_tiled_name(a.circuit, tp)) return make_tiled_datapath(tp);
     return make_iscas_analog(a.circuit);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: unknown --circuit '%s':\n  %s\n",
-                 a.circuit.c_str(), e.what());
+    std::fprintf(stderr,
+                 "error: unknown --circuit '%s':\n  %s\n"
+                 "available circuits:\n%s",
+                 a.circuit.c_str(), e.what(), circuit_listing().c_str());
     std::exit(2);
   }
 }
@@ -171,6 +225,25 @@ MinflotransitOptions make_options(const Args& args) {
   opt.tilos.bumpsize = args.bumpsize;
   if (args.tilos_only) opt.max_iterations = 0;
   return opt;
+}
+
+/// Shared single-solution epilogue (--histogram / --csv), used by the
+/// single-target and sharded modes. Returns false on an I/O failure.
+bool write_solution_outputs(const Args& args, const LoweredCircuit& lc,
+                            const std::vector<double>& sizes) {
+  if (args.histogram)
+    std::printf("\nsize histogram (xminimum size):\n%s",
+                size_histogram(lc.net, sizes).c_str());
+  if (!args.csv_path.empty()) {
+    std::ofstream f(args.csv_path);
+    if (!f.good()) {
+      std::fprintf(stderr, "cannot write %s\n", args.csv_path.c_str());
+      return false;
+    }
+    f << sizing_csv(lc.net, sizes);
+    std::printf("\nwrote %s\n", args.csv_path.c_str());
+  }
+  return true;
 }
 
 int run_single(const Args& args, const LoweredCircuit& lc, double dmin) {
@@ -211,19 +284,88 @@ int run_single(const Args& args, const LoweredCircuit& lc, double dmin) {
       batch.threads_used, batch.threads_used == 1 ? "" : "s", r.inner_threads,
       r.wall_seconds, r.result.tilos_seconds,
       static_cast<int>(r.result.iterations.size()));
-  if (args.histogram)
-    std::printf("\nsize histogram (xminimum size):\n%s",
-                size_histogram(lc.net, r.result.sizes).c_str());
-  if (!args.csv_path.empty()) {
-    std::ofstream f(args.csv_path);
-    if (!f.good()) {
-      std::fprintf(stderr, "cannot write %s\n", args.csv_path.c_str());
-      return 1;
-    }
-    f << sizing_csv(lc.net, r.result.sizes);
-    std::printf("\nwrote %s\n", args.csv_path.c_str());
+  return write_solution_outputs(args, lc, r.result.sizes) ? 0 : 1;
+}
+
+int run_sharded(const Args& args, const LoweredCircuit& lc, double dmin) {
+  const double target = args.target_ratio * dmin;
+  std::printf(
+      "%d sizeable elements, Dmin = %.3f, target = %.3f (%.2f Dmin), "
+      "%d shards\n\n",
+      lc.net.num_sizeable(), dmin, target, args.target_ratio, args.shards);
+
+  ShardOptions opt;
+  opt.num_shards = args.shards;
+  opt.options = make_options(args);
+  opt.runner.threads = args.threads;
+  opt.runner.inner_threads = args.inner_threads;
+  opt.runner.progress = [](const JobResult& r, int done, int total) {
+    std::printf("  [%d/%d] %-16s %.2fs on thread %d\n", done, total,
+                r.label.c_str(), r.wall_seconds, r.thread);
+    std::fflush(stdout);
+  };
+  ShardSolveResult r;
+  try {
+    r = run_sharded_solve(lc.net, target, opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: sharded solve failed: %s\n", e.what());
+    return 1;
   }
-  return 0;
+  std::printf("\n");
+  // Machine-readable record first, like the single/sweep modes: scripted
+  // callers get it even when the target turns out unreachable.
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   args.json_path.c_str());
+    } else {
+      std::fprintf(
+          f,
+          "{\n  \"mode\": \"sharded\", \"shards\": %d, \"met_target\": %s,\n"
+          "  \"dmin\": %.17g, \"target\": %.17g, \"area\": %.17g, "
+          "\"delay\": %.17g,\n"
+          "  \"shard_jobs\": %d, \"converged\": %s, \"total_seconds\": %.9g,\n"
+          "  \"cut_levels\": [",
+          r.num_shards, r.result.met_target ? "true" : "false", dmin, target,
+          r.result.area, r.result.delay, r.shard_jobs,
+          r.converged ? "true" : "false", r.result.total_seconds);
+      for (std::size_t i = 0; i < r.cut_levels.size(); ++i)
+        std::fprintf(f, "%s%d", i ? ", " : "", r.cut_levels[i]);
+      std::fprintf(f, "],\n  \"rounds\": [\n");
+      for (std::size_t i = 0; i < r.rounds.size(); ++i) {
+        const ShardRound& rr = r.rounds[i];
+        std::fprintf(f,
+                     "    {\"critical_path\": %.17g, \"area\": %.17g, "
+                     "\"met_target\": %s, \"shards_solved\": %d, "
+                     "\"wall_seconds\": %.9g}%s\n",
+                     rr.critical_path, rr.area,
+                     rr.met_target ? "true" : "false", rr.shards_solved,
+                     rr.wall_seconds, i + 1 < r.rounds.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("wrote %s\n", args.json_path.c_str());
+    }
+  }
+  if (!r.result.met_target) {
+    std::printf("TARGET UNREACHABLE: best stitched delay %.4f (%.2f Dmin)\n",
+                r.result.initial.achieved_delay,
+                r.result.initial.achieved_delay / dmin);
+    return 1;
+  }
+  std::printf("%s\n%s", compare_report(lc.net, r.result).c_str(),
+              timing_summary(lc.net, r.result.sizes).c_str());
+  std::string cuts;
+  for (std::size_t i = 0; i < r.cut_levels.size(); ++i)
+    cuts += (i ? "," : "") + std::to_string(r.cut_levels[i]);
+  std::printf(
+      "\nsharding   : %d shards (cut levels %s); %d reconciliation "
+      "round%s, %d shard jobs, %sconverged; total %.2fs\n",
+      r.num_shards, cuts.c_str(), static_cast<int>(r.rounds.size()),
+      r.rounds.size() == 1 ? "" : "s", r.shard_jobs,
+      r.converged ? "" : "NOT ", r.result.total_seconds);
+  return write_solution_outputs(args, lc, r.result.sizes) ? 0 : 1;
 }
 
 int run_sweep(const Args& args, const LoweredCircuit& lc, double dmin) {
@@ -313,5 +455,7 @@ int main(int argc, char** argv) {
                           ? lower_transistor_level(nl, Tech{})
                           : lower_gate_level(nl, Tech{}, gopt);
   const double dmin = min_sized_delay(lc.net);
-  return args.sweep ? run_sweep(args, lc, dmin) : run_single(args, lc, dmin);
+  if (args.sweep) return run_sweep(args, lc, dmin);
+  if (args.shards > 0) return run_sharded(args, lc, dmin);
+  return run_single(args, lc, dmin);
 }

@@ -38,6 +38,12 @@ struct SizingJob {
   /// seed and the job index" (splitmix64), so a batch is reproducible
   /// regardless of thread count or scheduling order.
   std::uint64_t seed = 0;
+  /// Shard metadata (sizing/shard.h): which shard of a partitioned solve
+  /// this job is, and which reconciliation round submitted it. -1/0 for
+  /// ordinary (non-sharded) jobs. Echoed into the result and the batch
+  /// JSON; the runner itself treats sharded jobs like any other job.
+  int shard = -1;
+  int shard_round = 0;
 };
 
 struct JobResult {
@@ -55,6 +61,8 @@ struct JobResult {
   double wall_seconds = 0.0;   ///< this job alone, on its worker
   int thread = -1;             ///< worker that ran it (informational)
   int inner_threads = 1;       ///< resolved inner-loop thread count
+  int shard = -1;              ///< SizingJob::shard, echoed
+  int shard_round = 0;         ///< SizingJob::shard_round, echoed
   ContextStats stats;          ///< per-job STA/flow instrumentation
   /// Per-pass instrumentation of the job's pipeline run (invocations, wall
   /// seconds, W-phase sweeps), in pipeline order.

@@ -28,26 +28,21 @@ std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
   return z ^ (z >> 31);
 }
 
-/// Per-network facts every job on that network shares; computed once per
-/// batch (sequentially, before the pool starts) instead of once per job.
-struct NetworkInfo {
-  double dmin = 0.0;
-  double min_area = 0.0;
-};
-
-void execute_job(const SizingJob& job, int index, const NetworkInfo& info,
-                 SizingContext& ctx, ThreadArena* arena,
+void execute_job(const SizingJob& job, int index, double dmin,
+                 double min_area, SizingContext& ctx, ThreadArena* arena,
                  std::uint64_t base_seed, JobResult& out) {
   out.job = index;
   out.label = job.label;
-  out.dmin = info.dmin;
-  out.min_area = info.min_area;
+  out.dmin = dmin;
+  out.min_area = min_area;
   out.target =
-      job.target_delay > 0.0 ? job.target_delay : job.target_ratio * info.dmin;
+      job.target_delay > 0.0 ? job.target_delay : job.target_ratio * dmin;
   out.seed = job.seed != 0
                  ? job.seed
                  : mix_seed(base_seed, static_cast<std::uint64_t>(index));
   out.inner_threads = arena != nullptr ? arena->threads() : 1;
+  out.shard = job.shard;
+  out.shard_round = job.shard_round;
   Stopwatch sw;
   try {
     ctx.begin_job();
@@ -183,11 +178,22 @@ BatchResult JobRunner::run(const std::vector<const SizingNetwork*>& networks,
   batch.threads_used = std::max(1, std::min(threads_, n));
 
   // Per-network Dmin / minimum area, shared by every job on that network;
-  // computed once up front instead of once per job.
-  std::vector<NetworkInfo> infos(networks.size());
-  for (std::size_t i = 0; i < networks.size(); ++i) {
-    infos[i].dmin = min_sized_delay(*networks[i]);
-    infos[i].min_area = networks[i]->area(networks[i]->min_sizes());
+  // computed once per distinct network across *all* of this runner's
+  // batches (serial-keyed cache), not once per job or once per run().
+  std::vector<NetInfo> infos(networks.size());
+  {
+    std::lock_guard<std::mutex> lock(info_mu_);
+    for (std::size_t i = 0; i < networks.size(); ++i) {
+      const std::uint64_t serial = networks[i]->serial();
+      auto it = info_cache_.find(serial);
+      if (it == info_cache_.end()) {
+        NetInfo info;
+        info.dmin = min_sized_delay(*networks[i]);
+        info.min_area = networks[i]->area(networks[i]->min_sizes());
+        it = info_cache_.emplace(serial, info).first;
+      }
+      infos[i] = it->second;
+    }
   }
 
   const std::vector<int> inner_threads =
@@ -215,7 +221,7 @@ BatchResult JobRunner::run(const std::vector<const SizingNetwork*>& networks,
       if (inner > 1 && (!arena || arena->threads() != inner))
         arena = std::make_unique<ThreadArena>(inner);
       JobResult& out = batch.results[static_cast<std::size_t>(i)];
-      execute_job(job, i, infos[ni], *contexts[ni],
+      execute_job(job, i, infos[ni].dmin, infos[ni].min_area, *contexts[ni],
                   inner > 1 ? arena.get() : nullptr, opt_.base_seed, out);
       out.thread = thread_id;
       if (opt_.progress) {
@@ -276,6 +282,7 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
           "     \"sta_full_runs\": %lld, \"sta_incremental_runs\": %lld, "
           "\"sta_hinted_runs\": %lld, \"sta_delays_recomputed\": %lld,\n"
           "     \"seed\": %llu, \"thread\": %d, \"inner_threads\": %d,\n"
+          "     \"shard\": %d, \"shard_round\": %d,\n"
           "     \"passes\": [",
           label.c_str(), r.result.met_target ? "true" : "false", r.dmin,
           r.target, r.result.delay, r.result.initial.area, r.result.area,
@@ -285,7 +292,8 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
           static_cast<long long>(r.stats.sta_incremental_runs),
           static_cast<long long>(r.stats.sta_hinted_runs),
           static_cast<long long>(r.stats.sta_delays_recomputed),
-          static_cast<unsigned long long>(r.seed), r.thread, r.inner_threads);
+          static_cast<unsigned long long>(r.seed), r.thread, r.inner_threads,
+          r.shard, r.shard_round);
       for (std::size_t p = 0; p < r.pass_stats.size(); ++p) {
         const PassStats& ps = r.pass_stats[p];
         std::string pass_name;

@@ -18,7 +18,10 @@
 //    serialized under a mutex.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/job.h"
@@ -70,8 +73,23 @@ class JobRunner {
                   const std::vector<SizingJob>& jobs) const;
 
  private:
+  /// Per-network facts every job on that network shares (minimum-sized
+  /// delay and area). Cached across run() calls keyed by
+  /// SizingNetwork::serial(), so callers that submit many batches over
+  /// the *same frozen networks* — lock-step calibration, repeated sweeps —
+  /// don't pay a full STA per network per batch. (Shard reconciliation
+  /// rebuilds dirty shard networks with fresh serials, so those batches
+  /// miss by design.) A handful of doubles per distinct network —
+  /// unbounded growth only matters for workloads that freeze unbounded
+  /// networks (the streaming-API eviction item).
+  struct NetInfo {
+    double dmin = 0.0;
+    double min_area = 0.0;
+  };
   JobRunnerOptions opt_;
   int threads_ = 1;
+  mutable std::mutex info_mu_;
+  mutable std::unordered_map<std::uint64_t, NetInfo> info_cache_;
 };
 
 /// Writes a batch to `path` as a JSON object ({"threads", "wall_seconds",

@@ -1,0 +1,202 @@
+// Sharded large-netlist solve: level-cut partitioning, parallel shard
+// jobs, and boundary-budget (D-phase style) reconciliation.
+//
+// The monolithic pipeline walks the whole network on every TILOS bump and
+// every D/W iteration, so one huge netlist is one long sequential solve.
+// This module turns it into a batch the engine already knows how to run:
+//
+//  1. partition_levels() cuts the frozen network at level boundaries
+//     (reusing the levelization cached at freeze()). Every arc and every
+//     load term connects two different levels, so a level boundary is a
+//     clean timing cut: no intra-level coupling is ever severed, and every
+//     crossing points from a lower shard to a higher one. Cuts are placed
+//     near equal-vertex splits, choosing within a window the boundary with
+//     the fewest crossing arcs+loads — the crossings are exactly the
+//     couplings that must be frozen during shard solves, so a thin cut is
+//     a low-distortion cut.
+//
+//  2. build_shard_network() extracts one shard as a standalone
+//     SizingNetwork with frozen boundary budgets: crossing arcs into the
+//     shard become replica source vertices (arrival 0 — the shard is
+//     budgeted in its own time frame), crossing arcs out of the shard mark
+//     the driver is_po (frozen required time at the cut), and crossing
+//     load terms are folded into the constant b with the neighbor's size
+//     frozen at the current stitched solution. Shard-internal CP ≤ span
+//     then bounds every global path segment, so stitched solutions meeting
+//     Σ spans = target meet the global target (conservative: path skew at
+//     the cuts is slack the reconciliation pass wins back).
+//
+//  3. Each shard solve is an ordinary engine SizingJob (shard metadata on
+//     the job), so JobRunner's worker pool plus per-job inner_threads give
+//     two-level parallelism for free — and the per-sweep cost inside a
+//     shard is O(V/K) instead of O(V), which is a real algorithmic win
+//     even on one worker.
+//
+//  4. ShardReconcilePass (an OptimizerPass over the *full-network*
+//     context) stitches the shard solutions, runs one full STA, and
+//     re-budgets the cut boundaries on the stitched solution: infeasible
+//     stitches tighten every span proportionally; feasible ones
+//     redistribute the recovered path-skew slack weighted by the shards'
+//     eq. (7) area-delay sensitivities Σ C_i = Σ x_i·y_i — the D-phase
+//     linearization applied at shard granularity. Only shards whose span
+//     or frozen boundary sizes moved are re-solved; the pass repeats until
+//     no shard is dirty (boundary slacks converged) or the round budget is
+//     exhausted.
+//
+// Contract: run_sharded_solve with num_shards == 1 runs the monolithic
+// pipeline on the original network object — bit-identical to
+// run_minflotransit (asserted by tests/shard_test.cc). For K > 1 the
+// result is deterministic at any worker/inner-thread count, meets the
+// target whenever a round's stitch does, and trades a bounded area gap
+// (the frozen-boundary conservatism, measured by bench_shard) for the
+// parallel + incremental speedup.
+#pragma once
+
+#include <memory>
+
+#include "engine/runner.h"
+#include "sizing/pass.h"
+
+namespace mft {
+
+struct ShardOptions {
+  /// Number of level-contiguous shards. 1 = monolithic passthrough;
+  /// clamped to what the network's level count supports.
+  int num_shards = 4;
+  /// Reconciliation rounds (outer repeat budget of ShardReconcilePass).
+  int max_rounds = 4;
+  /// A shard is re-solved when its span budget or any frozen boundary
+  /// size moved by more than this relative tolerance.
+  double rebudget_tol = 0.01;
+  /// Floor on a shard's share of the delay target, as a fraction of the
+  /// target (protects degenerate shards from a zero budget).
+  double min_span_frac = 0.02;
+  /// Safety margin reserved at every cut: shards solve to span·(1−margin),
+  /// leaving headroom for the cross-boundary load drift of solving all
+  /// shards of a round against the previous round's frozen sizes. Not
+  /// applied at num_shards == 1 (the monolithic bit-identity contract).
+  double boundary_margin = 0.005;
+  /// Per-shard optimizer configuration (the usual pipeline options).
+  MinflotransitOptions options;
+  /// Worker pool for the per-round shard batches (threads, inner_threads,
+  /// base_seed, progress).
+  JobRunnerOptions runner;
+};
+
+/// A level-cut partition of a frozen network into contiguous level bands.
+struct ShardPartition {
+  /// num_shards+1 ascending entries with cut_levels.front() == 0 and
+  /// cut_levels.back() == net.num_levels(); shard s owns exactly the
+  /// vertices with cut_levels[s] <= level_of(v) < cut_levels[s+1].
+  std::vector<int> cut_levels;
+  /// Per global vertex: the owning shard.
+  std::vector<int> shard_of;
+  /// Per shard: owned global vertex ids, ascending (the local id order of
+  /// build_shard_network).
+  std::vector<std::vector<NodeId>> vertices;
+  /// Per interior cut (size num_shards-1): arcs + load terms crossing it.
+  std::vector<int> cut_width;
+
+  int num_shards() const { return static_cast<int>(vertices.size()); }
+};
+
+/// Cuts `net` into up to `num_shards` level bands (fewer when the network
+/// has too few levels, or when a band would own no sizeable vertex). Cuts
+/// sit near equal-vertex splits, locally minimizing crossing width.
+ShardPartition partition_levels(const SizingNetwork& net, int num_shards);
+
+/// One shard extracted as a standalone frozen SizingNetwork. Owned
+/// vertices come first (ascending global id), then one replica source per
+/// distinct boundary input.
+struct ShardNetwork {
+  std::unique_ptr<SizingNetwork> net;
+  /// Global id of every local vertex (owned, then replica sources).
+  std::vector<NodeId> global_of_local;
+  /// Global vertices whose sizes were frozen into b terms (the far ends of
+  /// crossing load terms), ascending; the reconciliation dirt check.
+  std::vector<NodeId> frozen_loads;
+  int num_owned = 0;
+};
+
+/// Builds shard `shard` of `part` with boundary load terms frozen at
+/// `frozen_sizes` (one full global size vector).
+ShardNetwork build_shard_network(const SizingNetwork& net,
+                                 const ShardPartition& part, int shard,
+                                 const std::vector<double>& frozen_sizes);
+
+/// One reconciliation round, for diagnostics and BENCH_shard.json.
+struct ShardRound {
+  double critical_path = 0.0;  ///< stitched full-network CP
+  double area = 0.0;           ///< stitched area
+  bool met_target = false;
+  int shards_solved = 0;       ///< dirty shards re-solved this round
+  double wall_seconds = 0.0;   ///< the round's shard batch
+  std::vector<double> spans;   ///< per-shard budget the round solved at
+};
+
+struct ShardSolveResult {
+  /// Stitched best solution in the familiar shape (sizes/area/delay/
+  /// met_target; `initial` is the first round's stitch — or, when the
+  /// target is never met, the closest stitched attempt, which is then
+  /// also what `result.sizes` reports).
+  MinflotransitResult result;
+  int num_shards = 0;
+  std::vector<int> cut_levels;
+  std::vector<ShardRound> rounds;
+  int shard_jobs = 0;          ///< shard jobs executed across all rounds
+  bool converged = false;      ///< no shard dirty when the pass stopped
+};
+
+/// The reconciliation driver as a PR-2 pipeline pass over the full-network
+/// context. begin() partitions and budgets; each run() executes one round
+/// (solve dirty shards as an engine batch, stitch, STA, re-budget) and
+/// returns kRepeat until the boundary budgets converge. Writes the
+/// stitched iterate/best into PipelineState, so to_minflotransit_result
+/// applies unchanged.
+class ShardReconcilePass : public OptimizerPass {
+ public:
+  explicit ShardReconcilePass(const ShardOptions& opt);
+  ~ShardReconcilePass() override;
+  const std::string& name() const override { return name_; }
+  void begin(SizingContext& ctx, PipelineState& s) override;
+  PassStatus run(SizingContext& ctx, PipelineState& s) override;
+
+  // Diagnostics harvested by run_sharded_solve after the pipeline run.
+  const std::vector<ShardRound>& rounds() const { return rounds_; }
+  const std::vector<int>& cut_levels() const { return cuts_; }
+  int num_shards() const { return part_.num_shards(); }
+  int shard_jobs() const { return shard_jobs_; }
+  bool converged() const { return converged_; }
+
+ private:
+  struct ShardState;
+  void rebudget(const SizingNetwork& net, const TimingReport& timing,
+                const std::vector<double>& sizes, double target);
+
+  std::string name_ = "shard-reconcile";
+  ShardOptions opt_;
+  JobRunner runner_;  ///< one pool/config for all reconciliation rounds
+  ShardPartition part_;
+  std::vector<ShardState> shards_;
+  std::vector<int> cuts_;
+  std::vector<ShardRound> rounds_;
+  /// Round-1 stitch, restored into PipelineState::initial if a later
+  /// round is the first to meet the target (unmet rounds in between
+  /// overwrite `initial` with the closest attempt, which only the
+  /// never-met outcome should report).
+  TilosResult first_stitch_;
+  int round_ = 0;
+  int shard_jobs_ = 0;
+  bool converged_ = false;
+  double best_unmet_cp_ = 0.0;
+};
+
+/// Partition → parallel shard jobs → reconciliation, end to end, on a
+/// fresh context. Throws std::runtime_error when a shard job fails
+/// internally (never for an unreachable target — that is reported through
+/// result.met_target, like the monolithic solver).
+ShardSolveResult run_sharded_solve(const SizingNetwork& net,
+                                   double target_delay,
+                                   const ShardOptions& opt = {});
+
+}  // namespace mft
