@@ -1,20 +1,27 @@
 // Engine batch-throughput benchmark: the same 8-job area-delay sweep of
-// c3540 executed sequentially (1 thread) and on a multi-thread pool, plus a
-// bit-exactness cross-check between the two runs (the engine's determinism
-// contract: scheduling must never change results).
+// c3540 executed sequentially (1 thread), on a multi-thread batch pool,
+// and through the persistent StreamingRunner (submit-all / wait-all over
+// the MPMC queue), plus bit-exactness cross-checks between all three runs
+// (the engine's determinism contract: scheduling, and now arrival
+// interleaving, must never change results).
 //
-// Emits BENCH_engine.json with jobs/sec at each thread count and the
-// parallel speedup. The speedup is hardware-bound — `hw_concurrency` is
-// recorded alongside so a 1-core CI container reading ~1.0x is
-// interpretable; on >= 4 real cores the batch is embarrassingly parallel
-// and scales accordingly. Override the pool size with --threads or
-// MFT_BENCH_THREADS.
+// Emits BENCH_engine.json with jobs/sec at each thread count, the
+// parallel speedup, and the streaming-vs-batch comparison (`stream8_t<N>`
+// + `streaming_speedup`: wall-time ratio batch/streaming at the same pool
+// width — ~1.0 is the expectation; the streaming path exists for
+// submit-while-running workloads, and this row pins that its queue adds
+// no measurable overhead on a plain batch). The parallel speedup is
+// hardware-bound — `hw_concurrency` is recorded alongside so a 1-core CI
+// container reading ~1.0x is interpretable; on >= 4 real cores the batch
+// is embarrassingly parallel and scales accordingly. Override the pool
+// size with --threads or MFT_BENCH_THREADS.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <thread>
 
 #include "bench_common.h"
+#include "engine/stream.h"
 #include "util/str.h"
 
 using namespace mft;
@@ -82,22 +89,73 @@ int main(int argc, char** argv) {
               {"jobs_per_second", runs[i].jobs_per_second}});
   }
 
+  // Streaming arm: the same jobs submitted through the persistent
+  // StreamingRunner at the batch pool width, consumed in ticket order.
+  // Submission order equals batch order, so the ticket-derived seeds must
+  // equal the batch's index-derived seeds and every bit must match.
+  BatchResult streamed;
+  {
+    JobRunnerOptions ropt;
+    ropt.threads = par_threads;
+    std::printf("streaming, %d workers:\n", par_threads);
+    Stopwatch sw;
+    StreamingRunner stream(ropt);
+    // Same per-job inner widths as the batch arm (the whole list is known
+    // up front), so any wall-time difference is queue overhead, not a
+    // thread-allocation asymmetry.
+    const std::vector<int> inner = resolve_batch_inner_threads(
+        {&lc.net}, jobs, stream.threads(), ropt.inner_threads);
+    std::vector<JobTicket> tickets;
+    tickets.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      SizingJob job = jobs[i];
+      job.inner_threads = inner[i];
+      tickets.push_back(stream.submit(lc.net, std::move(job)));
+    }
+    for (const JobTicket t : tickets) streamed.results.push_back(stream.wait(t));
+    streamed.threads_used = stream.threads();
+    streamed.wall_seconds = sw.seconds();
+    streamed.jobs_per_second = streamed.wall_seconds > 0.0
+                                   ? jobs.size() / streamed.wall_seconds
+                                   : 0.0;
+    for (const JobResult& r : streamed.results)
+      std::printf("  %-12s %6.2fs  thread %d\n", r.label.c_str(),
+                  r.wall_seconds, r.thread);
+    std::printf("  -> %d jobs in %.2fs (%.3f jobs/s)\n\n",
+                static_cast<int>(streamed.results.size()),
+                streamed.wall_seconds, streamed.jobs_per_second);
+    json.add(strf("engine/stream8_t%d", par_threads), streamed.wall_seconds,
+             {{"threads", static_cast<double>(streamed.threads_used)},
+              {"jobs", static_cast<double>(streamed.results.size())},
+              {"jobs_per_second", streamed.jobs_per_second}});
+  }
+
   const bool deterministic = identical(runs[0], runs[1]);
+  const bool stream_deterministic = identical(runs[1], streamed);
   const double speedup = runs[1].wall_seconds > 0.0
                              ? runs[0].wall_seconds / runs[1].wall_seconds
                              : 0.0;
+  const double streaming_speedup =
+      streamed.wall_seconds > 0.0 ? runs[1].wall_seconds / streamed.wall_seconds
+                                  : 0.0;
   std::printf("speedup %d -> %d threads: %.2fx (hw concurrency %u)\n",
               thread_counts[0], thread_counts[1], speedup, hw);
+  std::printf("streaming vs batch at %d threads: %.2fx\n", par_threads,
+              streaming_speedup);
   std::printf("determinism across thread counts: %s\n",
               deterministic ? "bit-identical" : "MISMATCH");
+  std::printf("determinism streaming vs batch: %s\n",
+              stream_deterministic ? "bit-identical" : "MISMATCH");
   json.add("engine/summary", runs[0].wall_seconds + runs[1].wall_seconds,
            {{"speedup", speedup},
+            {"streaming_speedup", streaming_speedup},
             {"par_threads", static_cast<double>(par_threads)},
             {"hw_concurrency", static_cast<double>(hw)},
-            {"deterministic", deterministic ? 1.0 : 0.0}});
+            {"deterministic", deterministic ? 1.0 : 0.0},
+            {"streaming_deterministic", stream_deterministic ? 1.0 : 0.0}});
   if (!json.write("BENCH_engine.json"))
     std::fprintf(stderr, "warning: could not write BENCH_engine.json\n");
   if (!write_batch_json("BENCH_engine_jobs.json", runs[1]))
     std::fprintf(stderr, "warning: could not write BENCH_engine_jobs.json\n");
-  return deterministic ? 0 : 1;
+  return deterministic && stream_deterministic ? 0 : 1;
 }

@@ -163,10 +163,10 @@ int main(int argc, char** argv) {
     shard_seconds.push_back(secs);
     std::printf(
         "  %.2fs, met=%d, area %.1f, CP %.4f, %d rounds, %d shard jobs, "
-        "converged=%d\n",
+        "converged=%d, reconcile barrier %.3fs\n",
         secs, r.result.met_target ? 1 : 0, r.result.area, r.result.delay,
         static_cast<int>(r.rounds.size()), r.shard_jobs,
-        r.converged ? 1 : 0);
+        r.converged ? 1 : 0, r.reconcile_seconds);
     std::fflush(stdout);
     last = std::move(r);
   }
@@ -207,12 +207,22 @@ int main(int argc, char** argv) {
               {"speedup_vs_monolithic",
                shard_seconds[i] > 0.0 ? mono1_seconds / shard_seconds[i]
                                       : 0.0}});
+  // The wave-free reconciliation measurement: how much per-solve wall time
+  // is coordinator barrier (stitched STA + re-budget) vs streamed shard
+  // work. Recorded for the last (widest) arm.
+  json.add("shard/reconcile_barrier", last.reconcile_seconds,
+           {{"rounds", static_cast<double>(last.rounds.size())},
+            {"barrier_fraction",
+             shard_seconds.back() > 0.0
+                 ? last.reconcile_seconds / shard_seconds.back()
+                 : 0.0}});
   std::vector<std::pair<std::string, double>> summary = {
       {"vertices", static_cast<double>(net.num_vertices())},
       {"levels", static_cast<double>(net.num_levels())},
       {"num_shards", static_cast<double>(last.num_shards)},
       {"rounds", static_cast<double>(last.rounds.size())},
       {"shard_jobs", static_cast<double>(last.shard_jobs)},
+      {"reconcile_seconds", last.reconcile_seconds},
       {"converged", last.converged ? 1.0 : 0.0},
       {"met_target", last.result.met_target ? 1.0 : 0.0},
       {"area", last.result.area},

@@ -28,6 +28,14 @@
 //   --inner-threads N     level-parallel STA/W-phase threads per job
 //                         (default 0: leftover --threads capacity goes to
 //                         the widest jobs; results identical at any value)
+//   --streaming           run single/sweep requests through the persistent
+//                         StreamingRunner (submit/poll engine) instead of
+//                         the batch wrapper — bit-identical results, with
+//                         per-ticket completion reporting; the sharded
+//                         mode always streams internally
+//   --context-cache N     per-worker context-pool LRU bound (0 = keep one
+//                         context per network ever touched); eviction
+//                         never changes results
 //   --shards K            sharded large-netlist solve: cut the network into
 //                         K level bands, size them as parallel engine jobs,
 //                         reconcile boundary budgets (sizing/shard.h);
@@ -44,6 +52,7 @@
 #include <vector>
 
 #include "engine/runner.h"
+#include "engine/stream.h"
 #include "gen/blocks.h"
 #include "gen/iscas_analog.h"
 #include "gen/tiled.h"
@@ -53,6 +62,7 @@
 #include "sizing/report.h"
 #include "sizing/shard.h"
 #include "timing/lowering.h"
+#include "util/stopwatch.h"
 #include "util/str.h"
 #include "util/table.h"
 
@@ -73,6 +83,8 @@ struct Args {
   int threads = 0;        // 0 = hardware concurrency
   int inner_threads = 0;  // 0 = runner policy (leftover cores)
   int shards = 0;         // 0 = monolithic solve
+  int context_cache = 0;  // 0 = unbounded context pools
+  bool streaming = false;
   bool sweep = false;
   bool wires = false;
   bool tilos_only = false;
@@ -153,16 +165,19 @@ Args parse(int argc, char** argv) {
     else if (f == "--bumpsize") a.bumpsize = std::atof(value(i));
     else if (f == "--sweep") a.sweep = true;
     else if (f == "--ratios") a.sweep_ratios = parse_ratio_list(value(i));
-    else if (f == "--threads" || f == "--inner-threads" || f == "--shards") {
+    else if (f == "--threads" || f == "--inner-threads" || f == "--shards" ||
+             f == "--context-cache") {
       const char* s = value(i);
       char* end = nullptr;
       const long v = std::strtol(s, &end, 10);
       if (end == s || *end != '\0' || v < 0)
         usage(("bad " + f + " value '" + std::string(s) + "'").c_str());
-      (f == "--threads"        ? a.threads
+      (f == "--threads"         ? a.threads
        : f == "--inner-threads" ? a.inner_threads
-                                : a.shards) = static_cast<int>(v);
+       : f == "--shards"        ? a.shards
+                                : a.context_cache) = static_cast<int>(v);
     }
+    else if (f == "--streaming") a.streaming = true;
     else if (f == "--list-circuits") {
       std::printf("built-in circuits (--circuit NAME):\n%s",
                   circuit_listing().c_str());
@@ -219,6 +234,60 @@ Netlist build_circuit(const Args& a) {
   }
 }
 
+/// The engine configuration shared by every execution mode; a new knob
+/// added here reaches single/sweep/streaming/sharded alike.
+JobRunnerOptions make_runner_options(const Args& args) {
+  JobRunnerOptions ropt;
+  ropt.threads = args.threads;
+  ropt.inner_threads = args.inner_threads;
+  ropt.context_cache_limit = args.context_cache;
+  return ropt;
+}
+
+/// Streams `jobs` through the persistent StreamingRunner — submit-all,
+/// then ticket-ordered consumption — and repackages the results in the
+/// familiar batch shape. Bit-identical to JobRunner::run on the same jobs
+/// (submission order == job order makes ticket-derived seeds equal the
+/// batch's index-derived ones, and the CLI has the whole list up front,
+/// so the batch inner-thread policy is stamped per job too), so every
+/// downstream report and JSON path is shared; what --streaming
+/// demonstrates is the ticket lifecycle and per-completion reporting of
+/// the submit/poll engine.
+BatchResult run_streaming(const Args& args, const SizingNetwork& net,
+                          std::vector<SizingJob> jobs, bool report) {
+  const JobRunnerOptions ropt = make_runner_options(args);
+  Stopwatch sw;
+  StreamingRunner stream(ropt);
+  const std::vector<int> inner = resolve_batch_inner_threads(
+      {&net}, jobs, stream.threads(), ropt.inner_threads);
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    jobs[i].inner_threads = inner[i];
+  const int total = static_cast<int>(jobs.size());
+  int done = 0;  // callbacks are serialized by the runner
+  std::vector<JobTicket> tickets;
+  tickets.reserve(jobs.size());
+  for (SizingJob& job : jobs) {
+    std::function<void(const JobResult&)> on_complete;
+    if (report)
+      on_complete = [&done, total](const JobResult& r) {
+        std::printf("  [ticket %d] %-16s %.2fs on thread %d (%d/%d done)\n",
+                    r.job, r.label.c_str(), r.wall_seconds, r.thread, ++done,
+                    total);
+        std::fflush(stdout);
+      };
+    tickets.push_back(stream.submit(net, std::move(job),
+                                    std::move(on_complete)));
+  }
+  BatchResult batch;
+  for (const JobTicket t : tickets)
+    batch.results.push_back(stream.wait(t));
+  batch.threads_used = stream.threads();
+  batch.wall_seconds = sw.seconds();
+  batch.jobs_per_second =
+      batch.wall_seconds > 0.0 ? total / batch.wall_seconds : 0.0;
+  return batch;
+}
+
 MinflotransitOptions make_options(const Args& args) {
   MinflotransitOptions opt;
   opt.dphase.beta = args.beta;
@@ -256,11 +325,12 @@ int run_single(const Args& args, const LoweredCircuit& lc, double dmin) {
   job.options = make_options(args);
   job.label = args.circuit + strf("@%.2f", args.target_ratio);
 
-  JobRunnerOptions ropt;
-  ropt.threads = args.threads;
-  ropt.inner_threads = args.inner_threads;
-  const JobRunner runner(ropt);
-  const BatchResult batch = runner.run({&lc.net}, {job});
+  BatchResult batch;
+  if (args.streaming) {
+    batch = run_streaming(args, lc.net, {job}, /*report=*/false);
+  } else {
+    batch = JobRunner(make_runner_options(args)).run({&lc.net}, {job});
+  }
   const JobResult& r = batch.results.front();
   // Write the machine-readable record first: it carries ok/error fields,
   // so scripted callers get it on failure too (as in --sweep mode).
@@ -297,8 +367,7 @@ int run_sharded(const Args& args, const LoweredCircuit& lc, double dmin) {
   ShardOptions opt;
   opt.num_shards = args.shards;
   opt.options = make_options(args);
-  opt.runner.threads = args.threads;
-  opt.runner.inner_threads = args.inner_threads;
+  opt.runner = make_runner_options(args);
   opt.runner.progress = [](const JobResult& r, int done, int total) {
     std::printf("  [%d/%d] %-16s %.2fs on thread %d\n", done, total,
                 r.label.c_str(), r.wall_seconds, r.thread);
@@ -383,16 +452,18 @@ int run_sweep(const Args& args, const LoweredCircuit& lc, double dmin) {
     jobs.push_back(std::move(job));
   }
 
-  JobRunnerOptions ropt;
-  ropt.threads = args.threads;
-  ropt.inner_threads = args.inner_threads;
-  ropt.progress = [](const JobResult& r, int done, int total) {
-    std::printf("  [%d/%d] %-16s %.2fs on thread %d\n", done, total,
-                r.label.c_str(), r.wall_seconds, r.thread);
-    std::fflush(stdout);
-  };
-  const JobRunner runner(ropt);
-  const BatchResult batch = runner.run({&lc.net}, jobs);
+  BatchResult batch;
+  if (args.streaming) {
+    batch = run_streaming(args, lc.net, std::move(jobs), /*report=*/true);
+  } else {
+    JobRunnerOptions ropt = make_runner_options(args);
+    ropt.progress = [](const JobResult& r, int done, int total) {
+      std::printf("  [%d/%d] %-16s %.2fs on thread %d\n", done, total,
+                  r.label.c_str(), r.wall_seconds, r.thread);
+      std::fflush(stdout);
+    };
+    batch = JobRunner(ropt).run({&lc.net}, jobs);
+  }
 
   Table t({"delay/Dmin", "TILOS area/min", "MFT area/min", "savings",
            "job wall"});

@@ -1,9 +1,11 @@
 // Engine layer, job types: one SizingJob is one independent sizing request
 // (network × delay target × optimizer options) and one JobResult is its
-// complete outcome, including per-job instrumentation. Jobs reference their
-// network by index into the batch's shared read-only network table — the
-// networks are frozen before the batch starts and never mutated, which is
-// what makes fanning jobs out across threads safe.
+// complete outcome, including per-job instrumentation. Batch jobs
+// reference their network by index into the batch's shared read-only
+// network table; streaming submissions (engine/stream.h) pass the network
+// directly and leave `network` unused. Either way the networks are frozen
+// before execution and never mutated, which is what makes fanning jobs
+// out across threads safe.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +19,8 @@
 namespace mft {
 
 struct SizingJob {
-  /// Index into the network table handed to JobRunner::run().
+  /// Index into the network table handed to JobRunner::run(). Unused by
+  /// StreamingRunner::submit, which takes the network directly.
   int network = 0;
   /// Inner-loop threads for this job's level-parallel STA and W-phase
   /// sweeps. 1 = sequential inner loop; 0 = let the runner decide
@@ -47,7 +50,8 @@ struct SizingJob {
 };
 
 struct JobResult {
-  int job = -1;  ///< index of the job in the submitted batch
+  /// Batch index of the job, or its JobTicket on the streaming path.
+  int job = -1;
   std::string label;
   bool ok = false;      ///< false => `error` describes the failure
   std::string error;

@@ -1,93 +1,20 @@
 #include "engine/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
-#include <cstdlib>
-#include <exception>
-#include <memory>
 #include <mutex>
-#include <numeric>
-#include <thread>
 
-#include "sizing/pass.h"
-#include "sizing/tilos.h"
-#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace mft {
 
-namespace {
-
-// splitmix64: the standard 64-bit mix used to derive independent per-job
-// seeds from (base_seed, job index) without correlation between neighbors.
-std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
-  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
-void execute_job(const SizingJob& job, int index, double dmin,
-                 double min_area, SizingContext& ctx, ThreadArena* arena,
-                 std::uint64_t base_seed, JobResult& out) {
-  out.job = index;
-  out.label = job.label;
-  out.dmin = dmin;
-  out.min_area = min_area;
-  out.target =
-      job.target_delay > 0.0 ? job.target_delay : job.target_ratio * dmin;
-  out.seed = job.seed != 0
-                 ? job.seed
-                 : mix_seed(base_seed, static_cast<std::uint64_t>(index));
-  out.inner_threads = arena != nullptr ? arena->threads() : 1;
-  out.shard = job.shard;
-  out.shard_round = job.shard_round;
-  Stopwatch sw;
-  try {
-    ctx.begin_job();
-    ctx.set_arena(arena);
-    // Thread the resolved per-job seed into the pipeline so a stochastic
-    // pass (none in the default pipeline) is reproducible at any thread
-    // count. Running the pipeline directly (instead of through the
-    // run_minflotransit wrapper) surfaces the per-pass stats into the
-    // result and the batch JSON.
-    MinflotransitOptions options = job.options;
-    options.seed = out.seed;
-    const Pipeline pipeline = make_minflotransit_pipeline(options);
-    PipelineResult pr = pipeline.run(ctx, out.target, options.seed);
-    out.result = to_minflotransit_result(ctx, pr);
-    out.result.total_seconds = pr.total_seconds;
-    out.pass_stats = std::move(pr.pass_stats);
-    out.stats = ctx.stats();
-    out.ok = true;
-  } catch (const std::exception& e) {
-    out.error = e.what();
-  }
-  out.wall_seconds = sw.seconds();
-}
-
-/// Resolved inner-loop thread count for every job (see JobRunnerOptions::
-/// inner_threads). Pure function of the batch — deterministic regardless
-/// of scheduling.
-std::vector<int> resolve_inner_threads(
+std::vector<int> resolve_batch_inner_threads(
     const std::vector<const SizingNetwork*>& networks,
     const std::vector<SizingJob>& jobs, int pool_threads,
     int default_inner_threads) {
   const int n = static_cast<int>(jobs.size());
   int fallback = default_inner_threads;
-  if (fallback <= 0) {
-    if (const char* env = std::getenv("MFT_INNER_THREADS")) {
-      // A malformed value is a hard error, matching the bench flag policy:
-      // silently running at a thread count the operator didn't ask for
-      // would mislabel every emitted number.
-      char* end = nullptr;
-      const long v = std::strtol(env, &end, 10);
-      MFT_CHECK_MSG(end != env && *end == '\0' && v >= 0,
-                    "bad MFT_INNER_THREADS value '" << env << "'");
-      if (v > 0) fallback = static_cast<int>(v);
-    }
-  }
+  if (fallback <= 0) fallback = env_inner_threads();
   std::vector<int> inner(static_cast<std::size_t>(n),
                          fallback > 0 ? fallback : 1);
   // Explicit per-job requests always win, and are charged against the core
@@ -130,6 +57,8 @@ std::vector<int> resolve_inner_threads(
   return inner;
 }
 
+namespace {
+
 void json_escape(std::string& dst, const std::string& s) {
   char buf[8];
   for (const char c : s) {
@@ -152,12 +81,9 @@ void json_escape(std::string& dst, const std::string& s) {
 
 }  // namespace
 
-JobRunner::JobRunner(JobRunnerOptions opt) : opt_(std::move(opt)) {
-  threads_ = opt_.threads;
-  if (threads_ <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads_ = hw > 0 ? static_cast<int>(hw) : 1;
-  }
+JobRunner::JobRunner(JobRunnerOptions opt)
+    : opt_(std::move(opt)), info_cache_(opt_.context_cache_limit) {
+  threads_ = resolve_pool_threads(opt_.threads);
 }
 
 BatchResult JobRunner::run(const std::vector<const SizingNetwork*>& networks,
@@ -176,72 +102,61 @@ BatchResult JobRunner::run(const std::vector<const SizingNetwork*>& networks,
   const int n = static_cast<int>(jobs.size());
   batch.results.resize(static_cast<std::size_t>(n));
   batch.threads_used = std::max(1, std::min(threads_, n));
+  if (n == 0) {
+    batch.wall_seconds = total.seconds();
+    return batch;
+  }
 
   // Per-network Dmin / minimum area, shared by every job on that network;
-  // computed once per distinct network across *all* of this runner's
-  // batches (serial-keyed cache), not once per job or once per run().
-  std::vector<NetInfo> infos(networks.size());
-  {
-    std::lock_guard<std::mutex> lock(info_mu_);
-    for (std::size_t i = 0; i < networks.size(); ++i) {
-      const std::uint64_t serial = networks[i]->serial();
-      auto it = info_cache_.find(serial);
-      if (it == info_cache_.end()) {
-        NetInfo info;
-        info.dmin = min_sized_delay(*networks[i]);
-        info.min_area = networks[i]->area(networks[i]->min_sizes());
-        it = info_cache_.emplace(serial, info).first;
-      }
-      infos[i] = it->second;
-    }
-  }
+  // prefetched on the caller and shipped with each submission, so job
+  // wall times never include the min-sized STA and every network is
+  // computed exactly once per run() even when context_cache_limit is
+  // smaller than the batch's network table. Routed through the runner's
+  // serial-keyed LRU so repeat-batch callers over the same frozen
+  // networks don't pay a full STA per network per batch.
+  std::vector<NetInfo> infos;
+  infos.reserve(networks.size());
+  for (const SizingNetwork* net : networks)
+    infos.push_back(info_cache_.get_or_compute(*net));
 
-  const std::vector<int> inner_threads =
-      resolve_inner_threads(networks, jobs, threads_, opt_.inner_threads);
+  const std::vector<int> inner_threads = resolve_batch_inner_threads(
+      networks, jobs, threads_, opt_.inner_threads);
 
-  std::atomic<int> cursor{0};
+  JobRunnerOptions sopt = opt_;
+  sopt.threads = batch.threads_used;
+  StreamingRunner stream(sopt, &info_cache_);
+
+  // Batch progress adapter: streaming completion callbacks are already
+  // serialized, but the completion count gets its own lock so observers
+  // see a strictly monotone 1..n sequence with correct memory visibility.
   std::mutex progress_mu;
-  int completed = 0;  // guarded by progress_mu
+  int completed = 0;
+  std::function<void(const JobResult&)> on_complete;
+  if (opt_.progress)
+    on_complete = [&](const JobResult& r) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      opt_.progress(r, ++completed, n);
+    };
 
-  auto worker = [&](int thread_id) {
-    // One inner-loop arena per worker, rebuilt only when the assigned
-    // width changes, and one context per network this worker has touched,
-    // created lazily and re-entered across jobs (the reuse the context
-    // layer exists for). The arena outlives the contexts that point at it.
-    std::unique_ptr<ThreadArena> arena;
-    std::vector<std::unique_ptr<SizingContext>> contexts(networks.size());
-    while (true) {
-      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
-      const SizingJob& job = jobs[static_cast<std::size_t>(i)];
-      const std::size_t ni = static_cast<std::size_t>(job.network);
-      if (!contexts[ni])
-        contexts[ni] = std::make_unique<SizingContext>(*networks[ni]);
-      const int inner = inner_threads[static_cast<std::size_t>(i)];
-      if (inner > 1 && (!arena || arena->threads() != inner))
-        arena = std::make_unique<ThreadArena>(inner);
-      JobResult& out = batch.results[static_cast<std::size_t>(i)];
-      execute_job(job, i, infos[ni].dmin, infos[ni].min_area, *contexts[ni],
-                  inner > 1 ? arena.get() : nullptr, opt_.base_seed, out);
-      out.thread = thread_id;
-      if (opt_.progress) {
-        // The completion count is incremented under the same lock as the
-        // callback so observers see a strictly monotone 1..n sequence.
-        std::lock_guard<std::mutex> lock(progress_mu);
-        opt_.progress(out, ++completed, n);
-      }
-    }
-  };
-
-  if (batch.threads_used <= 1) {
-    worker(0);  // run inline: no pool overhead for the sequential case
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(batch.threads_used));
-    for (int t = 0; t < batch.threads_used; ++t)
-      pool.emplace_back(worker, t);
-    for (std::thread& th : pool) th.join();
+  std::vector<JobTicket> tickets;
+  tickets.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    SizingJob job = jobs[static_cast<std::size_t>(i)];
+    job.inner_threads = inner_threads[static_cast<std::size_t>(i)];
+    // Index-based seeding (not ticket-based): the batch contract is that
+    // the same jobs yield the same seeds on every run() call of this or
+    // any other runner.
+    if (job.seed == 0) job.seed = derive_job_seed(opt_.base_seed, i);
+    const std::size_t ni = static_cast<std::size_t>(job.network);
+    tickets.push_back(
+        stream.submit(*networks[ni], std::move(job), on_complete, &infos[ni]));
   }
+  for (int i = 0; i < n; ++i) {
+    JobResult& out = batch.results[static_cast<std::size_t>(i)];
+    out = stream.wait(tickets[static_cast<std::size_t>(i)]);
+    out.job = i;
+  }
+  stream.shutdown();
 
   batch.wall_seconds = total.seconds();
   batch.jobs_per_second =

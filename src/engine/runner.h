@@ -1,54 +1,39 @@
-// Engine layer, batch execution: a JobRunner owns a fixed pool of worker
-// threads and executes a batch of independent SizingJobs over a shared
-// read-only network table.
+// Engine layer, batch execution: a JobRunner executes a batch of
+// independent SizingJobs over a shared read-only network table.
 //
-// Design:
-//  - Work stealing is a single atomic job cursor; each worker pulls the
-//    next unstarted job, so the batch load-balances regardless of per-job
-//    cost skew (a c6288 job next to a c17 job is fine).
-//  - Every worker keeps one SizingContext per network it has touched and
-//    re-enters it across jobs (begin_job() resets per-job instrumentation;
-//    the cached LP/flow/STA state is the point of the reuse).
-//  - Results are collected *ordered by job index* into a preallocated
-//    vector — no ordering dependence on scheduling — and each job's seed is
-//    derived deterministically from the base seed and the job index, so a
-//    batch is bit-reproducible at any thread count (asserted by
-//    tests/engine_test.cc).
+// Since the streaming engine landed (engine/stream.h), run() is a thin
+// submit-all/wait-all wrapper over a StreamingRunner: jobs are submitted
+// in index order (which makes ticket order == job order) and results are
+// consumed in ticket order into a preallocated vector. The batch
+// contracts are unchanged and still pinned by tests/engine_test.cc:
+//
+//  - Load balancing: the MPMC queue hands each worker the next unstarted
+//    job, so the batch load-balances regardless of per-job cost skew (a
+//    c6288 job next to a c17 job is fine).
+//  - Context reuse: every worker keeps a ContextPool — one SizingContext
+//    per network it has touched, re-entered across jobs (begin_job()
+//    resets per-job instrumentation; the cached LP/flow/STA state is the
+//    point of the reuse), LRU-bounded by
+//    JobRunnerOptions::context_cache_limit (0 = unbounded, the historic
+//    batch behavior).
+//  - Determinism: results are collected *ordered by job index*, and each
+//    job's seed derives deterministically from the base seed and the job
+//    index — never from the runner's ticket counter, so repeat run()
+//    calls over the same jobs stay bit-identical too. A batch is
+//    bit-reproducible at any thread count.
+//  - Inner threads: the core-budget policy (see
+//    JobRunnerOptions::inner_threads) is resolved over the whole batch up
+//    front, then stamped per job.
 //  - An optional progress callback fires after every job completion,
 //    serialized under a mutex.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
-#include "engine/job.h"
+#include "engine/stream.h"
 
 namespace mft {
-
-struct JobRunnerOptions {
-  /// Worker threads; 0 picks std::thread::hardware_concurrency() (min 1).
-  /// The pool never exceeds the batch size; pool capacity beyond the batch
-  /// size is handed to the jobs' inner loops (see inner_threads).
-  int threads = 0;
-  /// Default inner-loop (level-parallel STA / W-phase) threads for jobs
-  /// that leave SizingJob::inner_threads at 0: > 0 forces that count; 0
-  /// consults the MFT_INNER_THREADS environment variable (ops/CI knob) and
-  /// otherwise applies the core-budget policy — explicit per-job requests
-  /// are charged against the pool first, the remaining jobs get one core
-  /// each, and whatever capacity is still left is round-robined onto the
-  /// jobs with the largest networks. Inner parallelism never changes
-  /// results (bit-identical).
-  int inner_threads = 0;
-  /// Base of the deterministic per-job seed derivation.
-  std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
-  /// Called after each job completes with (result, completed, total).
-  /// Serialized: at most one invocation runs at a time, but the calling
-  /// thread varies and completion order is nondeterministic.
-  std::function<void(const JobResult&, int completed, int total)> progress;
-};
 
 struct BatchResult {
   std::vector<JobResult> results;  ///< results[i] is jobs[i]'s outcome
@@ -72,25 +57,38 @@ class JobRunner {
   BatchResult run(const std::vector<const SizingNetwork*>& networks,
                   const std::vector<SizingJob>& jobs) const;
 
+  /// Entries currently held by the per-network Dmin/min-area cache. The
+  /// cache persists across run() calls keyed by SizingNetwork::serial(),
+  /// so callers that submit many batches over the *same frozen networks* —
+  /// lock-step calibration, repeated sweeps — don't pay a full STA per
+  /// network per batch, and is LRU-bounded by
+  /// JobRunnerOptions::context_cache_limit so workloads that freeze
+  /// unbounded networks (streaming, sharded reconciliation) don't leak
+  /// entries. (Exposed for the eviction property tests.)
+  std::size_t info_cache_size() const { return info_cache_.size(); }
+  std::int64_t info_cache_evictions() const {
+    return info_cache_.evictions();
+  }
+
  private:
-  /// Per-network facts every job on that network shares (minimum-sized
-  /// delay and area). Cached across run() calls keyed by
-  /// SizingNetwork::serial(), so callers that submit many batches over
-  /// the *same frozen networks* — lock-step calibration, repeated sweeps —
-  /// don't pay a full STA per network per batch. (Shard reconciliation
-  /// rebuilds dirty shard networks with fresh serials, so those batches
-  /// miss by design.) A handful of doubles per distinct network —
-  /// unbounded growth only matters for workloads that freeze unbounded
-  /// networks (the streaming-API eviction item).
-  struct NetInfo {
-    double dmin = 0.0;
-    double min_area = 0.0;
-  };
   JobRunnerOptions opt_;
   int threads_ = 1;
-  mutable std::mutex info_mu_;
-  mutable std::unordered_map<std::uint64_t, NetInfo> info_cache_;
+  mutable NetInfoCache info_cache_;
 };
+
+/// The batch inner-thread core-budget policy (see JobRunnerOptions::
+/// inner_threads): resolved per-job widths for a whole batch — explicit
+/// per-job requests win and are charged against the pool first, the
+/// remaining jobs get one core each, leftover pool capacity is
+/// round-robined onto the jobs with the largest networks, and a
+/// default/MFT_INNER_THREADS fallback overrides the policy entirely.
+/// A pure function of the batch; exposed so streaming callers that do
+/// have the whole job list up front (mft_cli --streaming, bench_engine's
+/// streaming arm) can stamp the same widths the batch wrapper would.
+std::vector<int> resolve_batch_inner_threads(
+    const std::vector<const SizingNetwork*>& networks,
+    const std::vector<SizingJob>& jobs, int pool_threads,
+    int default_inner_threads);
 
 /// Writes a batch to `path` as a JSON object ({"threads", "wall_seconds",
 /// "jobs_per_second", "jobs": [...]}) for cross-PR perf diffing, in the

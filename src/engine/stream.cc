@@ -1,0 +1,293 @@
+#include "engine/stream.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "sizing/pass.h"
+#include "sizing/tilos.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace mft {
+
+std::uint64_t derive_job_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64: the standard 64-bit mix used to derive independent
+  // per-job seeds from (base, index) without correlation between
+  // neighbors.
+  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int resolve_pool_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int env_inner_threads() {
+  if (const char* env = std::getenv("MFT_INNER_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    MFT_CHECK_MSG(end != env && *end == '\0' && v >= 0,
+                  "bad MFT_INNER_THREADS value '" << env << "'");
+    if (v > 0) return static_cast<int>(v);
+  }
+  return 0;
+}
+
+namespace {
+
+/// One job, start to finish, on the worker's context. Any exception
+/// (infeasible configuration, a failed MFT_CHECK) is captured into
+/// out.error — a job never takes down the runner. The job's seed must
+/// already be resolved (submit/run do that deterministically).
+void execute_job(const SizingJob& job, JobTicket ticket, double dmin,
+                 double min_area, SizingContext& ctx, ThreadArena* arena,
+                 JobResult& out) {
+  out.job = static_cast<int>(ticket);
+  out.label = job.label;
+  out.dmin = dmin;
+  out.min_area = min_area;
+  out.target =
+      job.target_delay > 0.0 ? job.target_delay : job.target_ratio * dmin;
+  out.seed = job.seed;
+  out.inner_threads = arena != nullptr ? arena->threads() : 1;
+  out.shard = job.shard;
+  out.shard_round = job.shard_round;
+  Stopwatch sw;
+  try {
+    ctx.begin_job();
+    ctx.set_arena(arena);
+    // Thread the resolved per-job seed into the pipeline so a stochastic
+    // pass (none in the default pipeline) is reproducible at any thread
+    // count. Running the pipeline directly (instead of through the
+    // run_minflotransit wrapper) surfaces the per-pass stats into the
+    // result and the batch JSON.
+    MinflotransitOptions options = job.options;
+    options.seed = out.seed;
+    const Pipeline pipeline = make_minflotransit_pipeline(options);
+    PipelineResult pr = pipeline.run(ctx, out.target, options.seed);
+    out.result = to_minflotransit_result(ctx, pr);
+    out.result.total_seconds = pr.total_seconds;
+    out.pass_stats = std::move(pr.pass_stats);
+    out.stats = ctx.stats();
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.wall_seconds = sw.seconds();
+}
+
+}  // namespace
+
+NetInfo NetInfoCache::get_or_compute(const SizingNetwork& net) {
+  const std::uint64_t serial = net.serial();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const NetInfo* hit = cache_.find(serial)) return *hit;
+  }
+  NetInfo info;
+  info.dmin = min_sized_delay(net);
+  info.min_area = net.area(net.min_sizes());
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.insert(serial, info);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingRunner
+// ---------------------------------------------------------------------------
+
+StreamingRunner::StreamingRunner(JobRunnerOptions opt,
+                                 NetInfoCache* shared_info)
+    : opt_(std::move(opt)),
+      own_info_(opt_.context_cache_limit),
+      info_(shared_info != nullptr ? shared_info : &own_info_) {
+  threads_ = resolve_pool_threads(opt_.threads);
+  default_inner_ = opt_.inner_threads > 0 ? opt_.inner_threads
+                                          : std::max(1, env_inner_threads());
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int w = 0; w < threads_; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+StreamingRunner::~StreamingRunner() { shutdown(ShutdownMode::kDrain); }
+
+JobTicket StreamingRunner::submit(
+    const SizingNetwork& net, SizingJob job,
+    std::function<void(const JobResult&)> on_complete, const NetInfo* info) {
+  return submit_item(net, std::move(job), std::move(on_complete), info,
+                     /*retain=*/true);
+}
+
+JobTicket StreamingRunner::submit_detached(
+    const SizingNetwork& net, SizingJob job,
+    std::function<void(const JobResult&)> on_complete) {
+  MFT_CHECK_MSG(on_complete != nullptr,
+                "submit_detached needs a completion callback — a detached "
+                "result is delivered nowhere else");
+  return submit_item(net, std::move(job), std::move(on_complete), nullptr,
+                     /*retain=*/false);
+}
+
+JobTicket StreamingRunner::submit_item(
+    const SizingNetwork& net, SizingJob job,
+    std::function<void(const JobResult&)> on_complete, const NetInfo* info,
+    bool retain) {
+  MFT_CHECK(net.frozen());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_)
+    throw std::runtime_error("StreamingRunner::submit after shutdown");
+  Item item;
+  item.ticket = next_ticket_++;
+  item.net = &net;
+  item.job = std::move(job);
+  if (item.job.seed == 0)
+    item.job.seed = derive_job_seed(opt_.base_seed, item.ticket);
+  item.on_complete = std::move(on_complete);
+  if (info != nullptr) {
+    item.info = *info;
+    item.has_info = true;
+  }
+  item.retain = retain;
+  outstanding_.insert(item.ticket);
+  const JobTicket t = item.ticket;
+  // Pushed under mu_ so queue order == ticket order even with concurrent
+  // submitters, and so a racing shutdown() can never close the queue
+  // between the shutdown_ check and the push.
+  const bool pushed = queue_.push(std::move(item));
+  MFT_CHECK(pushed);
+  return t;
+}
+
+bool StreamingRunner::poll(JobTicket t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_.count(t) > 0;
+}
+
+JobResult StreamingRunner::wait(JobTicket t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (t >= next_ticket_)
+    throw std::runtime_error("StreamingRunner::wait on a never-issued ticket");
+  done_cv_.wait(lock, [&] {
+    return ready_.count(t) > 0 || outstanding_.count(t) == 0;
+  });
+  auto it = ready_.find(t);
+  if (it == ready_.end())
+    throw std::runtime_error(
+        "StreamingRunner::wait on an already-consumed ticket");
+  JobResult out = std::move(it->second);
+  ready_.erase(it);
+  return out;
+}
+
+void StreamingRunner::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_.empty(); });
+}
+
+void StreamingRunner::shutdown(ShutdownMode mode) {
+  // Serializes concurrent shutdown() calls (and the destructor): exactly
+  // one caller drains/cancels and joins; later callers see the pool
+  // already gone and return.
+  std::lock_guard<std::mutex> sd(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  if (workers_.empty()) return;
+  if (mode == ShutdownMode::kCancel) {
+    std::deque<Item> leftover = queue_.close_and_drain();
+    for (Item& item : leftover) {
+      JobResult out;
+      out.job = static_cast<int>(item.ticket);
+      out.label = item.job.label;
+      out.seed = item.job.seed;
+      out.shard = item.job.shard;
+      out.shard_round = item.job.shard_round;
+      out.ok = false;
+      out.error = "canceled by StreamingRunner shutdown";
+      finish(item, std::move(out));
+    }
+  } else {
+    queue_.close();
+  }
+  // In-flight jobs (already popped) always run to completion; with kDrain
+  // the workers also finish everything still queued.
+  for (std::thread& th : workers_) th.join();
+  workers_.clear();
+}
+
+bool StreamingRunner::is_shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+StreamStats StreamingRunner::stats() const {
+  StreamStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = pool_stats_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  s.submitted = next_ticket_;
+  s.completed = completed_;
+  s.ready = ready_.size();
+  return s;
+}
+
+void StreamingRunner::finish(Item& item, JobResult out) {
+  if (item.on_complete) {
+    // Callbacks are serialized with each other (like the batch progress
+    // hook) and fire before the result becomes collectible, so a
+    // callback observes its job exactly once and no wait() can consume
+    // the result mid-callback.
+    std::lock_guard<std::mutex> cb(callback_mu_);
+    item.on_complete(out);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_.erase(item.ticket);
+    // Detached jobs never park a result: the callback above was their
+    // delivery, so a long-lived callback-driven runner stays flat.
+    if (item.retain) ready_.emplace(item.ticket, std::move(out));
+    ++completed_;
+  }
+  done_cv_.notify_all();
+}
+
+void StreamingRunner::worker_main(int worker_id) {
+  // One inner-loop arena per worker, rebuilt only when the assigned width
+  // changes; declared before the pool so it outlives the pooled contexts
+  // that point at it (locals destroy in reverse order).
+  std::unique_ptr<ThreadArena> arena;
+  ContextPool pool(opt_.context_cache_limit);
+  Item item;
+  while (queue_.pop(item)) {
+    const NetInfo info =
+        item.has_info ? item.info : info_->get_or_compute(*item.net);
+    const int inner =
+        item.job.inner_threads > 0 ? item.job.inner_threads : default_inner_;
+    if (inner > 1 && (!arena || arena->threads() != inner))
+      arena = std::make_unique<ThreadArena>(inner);
+    JobResult out;
+    execute_job(item.job, item.ticket, info.dmin, info.min_area,
+                pool.acquire(*item.net), inner > 1 ? arena.get() : nullptr,
+                out);
+    out.thread = worker_id;
+    finish(item, std::move(out));
+    item = Item{};  // drop the callback/job before parking on the queue
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (pool.peak_size() > pool_stats_.context_peak_per_worker)
+    pool_stats_.context_peak_per_worker = pool.peak_size();
+  pool_stats_.context_hits += pool.hits();
+  pool_stats_.context_misses += pool.misses();
+  pool_stats_.context_evictions += pool.evictions();
+}
+
+}  // namespace mft

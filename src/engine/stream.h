@@ -1,0 +1,398 @@
+// Engine layer, streaming execution: a StreamingRunner owns a persistent
+// pool of worker threads fed by an MPMC queue — jobs are submitted while
+// workers run, each submission returns a JobTicket, and results are
+// collected by poll/wait (or a per-job completion callback).
+//
+// This is the request-serving face of the engine the batch JobRunner
+// (runner.h) is a thin wrapper over:
+//
+//  - Submission. submit() assigns the next ticket, resolves the job's
+//    deterministic seed from (base_seed, ticket) via splitmix64 when the
+//    job doesn't carry one, and enqueues. Ticket order is submission
+//    order; it never depends on which worker picks the job up, so any
+//    caller that submits deterministically and consumes in ticket order
+//    gets bit-reproducible results at any worker count (the batch
+//    contract, kept — pinned by tests/stream_test.cc at 1/2/4 workers).
+//    Callback-only consumers use submit_detached(), which hands the
+//    result to the callback without retaining it — nothing accumulates
+//    per job in a long-lived runner.
+//  - Queue. MpmcQueue is a FIFO with condition-variable parking on both
+//    sides: producers never spin, idle workers sleep, close() wakes
+//    everyone. This replaces the batch runner's atomic-cursor loop, which
+//    required the whole job list up front.
+//  - Context eviction. Each worker keeps a ContextPool — per-network
+//    SizingContexts keyed by SizingNetwork::serial() under a shared LRU
+//    policy (util/lru.h) bounded by JobRunnerOptions::context_cache_limit
+//    (0 = unbounded, the batch-compatible default). Sharded reconciliation
+//    rebuilds dirty shard networks every round, so a long-lived runner
+//    sees a stream of short-lived serials; the bound is what keeps its
+//    memory flat. Eviction never changes results — a context is pure
+//    cache (tests/eviction_test.cc).
+//  - Shutdown. shutdown(kDrain) stops accepting submissions, lets the
+//    workers finish every queued job, and joins the pool; completed
+//    results stay collectible by wait(). shutdown(kCancel) additionally
+//    fails every not-yet-started job with ok == false ("canceled ..."),
+//    firing its callback exactly once like any other completion. The
+//    destructor drains. submit() after shutdown throws; wait() on a
+//    never-issued or already-consumed ticket throws.
+//
+// Per-job dmin/min-area facts are resolved lazily on the worker through a
+// NetInfoCache (serial-keyed, mutex-guarded, same LRU bound), shareable
+// across runners so batch callers keep their cross-run() cache.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/job.h"
+#include "util/lru.h"
+
+namespace mft {
+
+class ThreadArena;
+
+struct JobRunnerOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency() (min 1).
+  /// For the batch JobRunner the pool never exceeds the batch size; pool
+  /// capacity beyond the batch size is handed to the jobs' inner loops
+  /// (see inner_threads). A StreamingRunner spawns exactly this many.
+  int threads = 0;
+  /// Default inner-loop (level-parallel STA / W-phase) threads for jobs
+  /// that leave SizingJob::inner_threads at 0: > 0 forces that count; 0
+  /// consults the MFT_INNER_THREADS environment variable (ops/CI knob).
+  /// The batch runner additionally applies its core-budget policy —
+  /// explicit per-job requests are charged against the pool first, the
+  /// remaining jobs get one core each, and whatever capacity is still
+  /// left is round-robined onto the jobs with the largest networks; a
+  /// streaming runner cannot see "the batch", so its fallback is 1.
+  /// Inner parallelism never changes results (bit-identical).
+  int inner_threads = 0;
+  /// Per-worker context-pool and per-runner net-info cache bound: at most
+  /// this many per-network SizingContexts are kept alive per worker (LRU
+  /// eviction beyond it). 0 = unbounded — exactly the pre-eviction batch
+  /// behavior. Long-lived streaming processes (and sharded reconciliation,
+  /// whose rebuilt shard networks have fresh serials every round) should
+  /// set a small bound.
+  int context_cache_limit = 0;
+  /// Base of the deterministic per-job seed derivation.
+  std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
+  /// Batch-mode progress hook: called after each job completes with
+  /// (result, completed, total). Serialized: at most one invocation runs
+  /// at a time, but the calling thread varies and completion order is
+  /// nondeterministic. Streaming callers use per-submit callbacks instead.
+  std::function<void(const JobResult&, int completed, int total)> progress;
+};
+
+/// splitmix64 mix of (base, index): the deterministic per-job seed rule —
+/// index is the job's batch position (JobRunner) or its ticket
+/// (StreamingRunner), so seeds never depend on scheduling or arrival
+/// interleaving.
+std::uint64_t derive_job_seed(std::uint64_t base, std::uint64_t index);
+
+/// Resolves a JobRunnerOptions::threads value to a concrete pool size.
+int resolve_pool_threads(int requested);
+
+/// The MFT_INNER_THREADS environment fallback (ops/CI knob), shared by the
+/// batch policy, the streaming default, and the shard round policy so the
+/// operator-facing validation rule cannot drift between paths: returns the
+/// parsed value, 0 when unset, and hard-errors on a malformed value
+/// (silently running at a thread count the operator didn't ask for would
+/// mislabel every emitted number).
+int env_inner_threads();
+
+// ---------------------------------------------------------------------------
+// MpmcQueue
+// ---------------------------------------------------------------------------
+
+/// Unbounded FIFO multi-producer/multi-consumer queue with
+/// condition-variable parking and explicit close semantics:
+///  - push() returns false (and drops the item) once closed;
+///  - pop() blocks while open and empty, returns false only when the
+///    queue is closed *and* drained — so consumers process every item
+///    pushed before close();
+///  - close_and_drain() closes and hands every still-queued item back to
+///    the caller instead (the cancel path).
+/// FIFO law: items pushed by one producer are popped in push order
+/// (across producers, the order is the queue's arrival interleaving).
+template <typename T>
+class MpmcQueue {
+ public:
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop; false when currently empty (closed or not).
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::deque<T> close_and_drain() {
+    std::deque<T> leftover;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      leftover.swap(items_);
+    }
+    cv_.notify_all();
+    return leftover;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// NetInfoCache / ContextPool
+// ---------------------------------------------------------------------------
+
+/// Per-network facts every job on that network shares: minimum-sized
+/// delay and area.
+struct NetInfo {
+  double dmin = 0.0;
+  double min_area = 0.0;
+};
+
+/// Thread-safe serial-keyed NetInfo cache with the shared LRU bound. A
+/// miss computes outside the lock (one full min-sized STA), so concurrent
+/// workers on distinct networks never serialize on each other's STA; two
+/// workers racing on the *same* fresh serial may both compute, landing on
+/// the identical value (the computation is a pure function of the
+/// network), which keeps results deterministic under any interleaving —
+/// and deterministic under eviction-forced recomputation for the same
+/// reason.
+class NetInfoCache {
+ public:
+  explicit NetInfoCache(int capacity = 0) : cache_(capacity) {}
+
+  void set_capacity(int capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.set_capacity(capacity);
+  }
+
+  NetInfo get_or_compute(const SizingNetwork& net);
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  std::int64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.evictions();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LruCache<std::uint64_t, NetInfo> cache_;
+};
+
+/// One worker's SizingContext pool: get-or-create keyed by
+/// SizingNetwork::serial(), LRU-bounded. Single-threaded (one pool per
+/// worker, like the contexts it owns). The context just acquired is
+/// most-recently-used and therefore never the eviction victim, so the
+/// reference stays valid until the worker's next acquire.
+class ContextPool {
+ public:
+  explicit ContextPool(int capacity = 0) : cache_(capacity) {}
+
+  SizingContext& acquire(const SizingNetwork& net) {
+    if (std::unique_ptr<SizingContext>* hit = cache_.find(net.serial())) {
+      ++hits_;
+      return **hit;
+    }
+    ++misses_;
+    std::unique_ptr<SizingContext>& slot =
+        cache_.insert(net.serial(), std::make_unique<SizingContext>(net));
+    if (cache_.size() > peak_) peak_ = cache_.size();
+    return *slot;
+  }
+
+  std::size_t size() const { return cache_.size(); }
+  std::size_t peak_size() const { return peak_; }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+  std::int64_t evictions() const { return cache_.evictions(); }
+
+ private:
+  LruCache<std::uint64_t, std::unique_ptr<SizingContext>> cache_;
+  std::size_t peak_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// StreamingRunner
+// ---------------------------------------------------------------------------
+
+/// Monotone per-runner job handle: the submission index. Issued by
+/// submit(), redeemed exactly once by wait().
+using JobTicket = std::uint64_t;
+
+/// Aggregate context-pool instrumentation across all workers. Complete
+/// only after shutdown() (workers publish their pool's counters when they
+/// exit); peak_per_worker is the largest pool any single worker grew.
+struct StreamStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::size_t ready = 0;  ///< completed results retained, not yet consumed
+  std::size_t context_peak_per_worker = 0;
+  std::int64_t context_hits = 0;
+  std::int64_t context_misses = 0;
+  std::int64_t context_evictions = 0;
+};
+
+class StreamingRunner {
+ public:
+  enum class ShutdownMode {
+    kDrain,   ///< finish every queued job, then stop
+    kCancel,  ///< fail queued-but-unstarted jobs with ok == false
+  };
+
+  /// Spawns the worker pool immediately. `shared_info` (optional, not
+  /// owned, must outlive the runner) lets a caller share one dmin/min-area
+  /// cache across runners — the batch JobRunner passes its own so repeat
+  /// batches over the same frozen networks keep hitting across run()
+  /// calls.
+  explicit StreamingRunner(JobRunnerOptions opt = {},
+                           NetInfoCache* shared_info = nullptr);
+  ~StreamingRunner();  ///< shutdown(kDrain)
+
+  StreamingRunner(const StreamingRunner&) = delete;
+  StreamingRunner& operator=(const StreamingRunner&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Enqueues one job against `net` (frozen, caller-owned, must stay
+  /// alive and unchanged until the job completes). Returns the job's
+  /// ticket. If job.seed == 0 the seed is resolved to
+  /// derive_job_seed(base_seed, ticket) *now*, so results never depend on
+  /// when workers pick the job up. `on_complete`, if given, fires exactly
+  /// once from a worker (serialized with every other completion callback)
+  /// right before the result becomes collectible — it must not call
+  /// wait() on its own ticket. `info`, if given, supplies the network's
+  /// precomputed dmin/min-area facts (the batch wrapper prefetches them so
+  /// job wall times never include the min-sized STA); otherwise the
+  /// executing worker resolves them through the NetInfoCache. Throws
+  /// std::runtime_error after shutdown.
+  JobTicket submit(const SizingNetwork& net, SizingJob job,
+                   std::function<void(const JobResult&)> on_complete = {},
+                   const NetInfo* info = nullptr);
+
+  /// Like submit(), but the result is delivered to `on_complete`
+  /// (required) and never retained: poll() stays false, wait() on the
+  /// ticket throws as already-consumed, and nothing accumulates in the
+  /// runner — the flat-memory mode for long-lived callback-driven
+  /// consumers that never redeem tickets.
+  JobTicket submit_detached(const SizingNetwork& net, SizingJob job,
+                            std::function<void(const JobResult&)> on_complete);
+
+  /// True iff the ticket's result is ready and not yet consumed.
+  bool poll(JobTicket t) const;
+
+  /// Blocks until the ticket's job completes and moves the result out
+  /// (each ticket is redeemable once). Canceled jobs return normally with
+  /// ok == false. Throws std::runtime_error for a never-issued or
+  /// already-consumed ticket. Safe to call after shutdown for any
+  /// unconsumed completed ticket.
+  JobResult wait(JobTicket t);
+
+  /// Blocks until every submitted job has completed (results remain
+  /// collectible afterwards).
+  void wait_all();
+
+  /// Idempotent; see ShutdownMode. Joins the worker pool before
+  /// returning.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+  bool is_shutdown() const;
+
+  /// Jobs submitted / completed so far (completed includes canceled).
+  StreamStats stats() const;
+
+ private:
+  struct Item {
+    JobTicket ticket = 0;
+    const SizingNetwork* net = nullptr;
+    SizingJob job;
+    std::function<void(const JobResult&)> on_complete;
+    NetInfo info;           ///< meaningful iff has_info
+    bool has_info = false;  ///< caller prefetched the network facts
+    bool retain = true;     ///< false: callback-only, result never stored
+  };
+
+  JobTicket submit_item(const SizingNetwork& net, SizingJob job,
+                        std::function<void(const JobResult&)> on_complete,
+                        const NetInfo* info, bool retain);
+  void worker_main(int worker_id);
+  void finish(Item& item, JobResult out);
+
+  JobRunnerOptions opt_;
+  int threads_ = 1;
+  int default_inner_ = 1;  ///< resolved once: opt.inner_threads or env or 1
+  NetInfoCache own_info_;
+  NetInfoCache* info_ = nullptr;
+
+  MpmcQueue<Item> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;  ///< tickets, results, outstanding, shutdown flag
+  std::condition_variable done_cv_;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t completed_ = 0;
+  std::unordered_map<JobTicket, JobResult> ready_;
+  std::unordered_set<JobTicket> outstanding_;
+  bool shutdown_ = false;
+
+  std::mutex shutdown_mu_;  ///< serializes shutdown()/destructor
+  std::mutex callback_mu_;  ///< serializes completion callbacks
+  mutable std::mutex stats_mu_;  ///< workers publish pool stats at exit
+  StreamStats pool_stats_;  ///< context_* fields, guarded by stats_mu_
+};
+
+}  // namespace mft

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sizing/context.h"
+#include "util/stopwatch.h"
 #include "util/str.h"
 
 namespace mft {
@@ -266,8 +267,7 @@ struct ShardReconcilePass::ShardState {
   bool dirty = true;
 };
 
-ShardReconcilePass::ShardReconcilePass(const ShardOptions& opt)
-    : opt_(opt), runner_(opt.runner) {
+ShardReconcilePass::ShardReconcilePass(const ShardOptions& opt) : opt_(opt) {
   MFT_CHECK(opt_.num_shards >= 1);
   MFT_CHECK(opt_.max_rounds >= 1);
 }
@@ -277,6 +277,8 @@ ShardReconcilePass::~ShardReconcilePass() = default;
 void ShardReconcilePass::begin(SizingContext& ctx, PipelineState& s) {
   const SizingNetwork& net = ctx.net();
   MFT_CHECK(net.num_sizeable() > 0);
+  // Join any previous run's pool before its shard networks are replaced.
+  stream_.reset();
   part_ = partition_levels(net, opt_.num_shards);
   cuts_ = part_.cut_levels;
   shards_.clear();
@@ -285,8 +287,20 @@ void ShardReconcilePass::begin(SizingContext& ctx, PipelineState& s) {
   first_stitch_ = TilosResult{};
   round_ = 0;
   shard_jobs_ = 0;
+  progress_done_ = 0;
+  reconcile_seconds_ = 0.0;
   converged_ = false;
   best_unmet_cp_ = kInf;
+
+  // One persistent streaming pool for every round of this run, recreated
+  // so tickets (and the seeds derived from them) restart at 0. Rebuilt
+  // dirty shard networks carry fresh serials each round, so an unbounded
+  // context pool would grow by one dead context per shard job; promote
+  // the unset limit to the shard count (an explicit limit is honored).
+  JobRunnerOptions ropt = opt_.runner;
+  if (ropt.context_cache_limit == 0 && part_.num_shards() > 1)
+    ropt.context_cache_limit = part_.num_shards();
+  stream_ = std::make_unique<StreamingRunner>(ropt);
 
   // Initial boundary budgets from the min-sized arrival profile: shard s
   // gets the target in proportion to the time depth its band adds at
@@ -410,52 +424,111 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
     return PassStatus::kDone;
   }
 
-  // Rebuild dirty shards at the current stitched sizes and solve them as
-  // one engine batch (K == 1 passes the original network straight through
-  // — the bit-identity contract with the monolithic pipeline).
-  std::vector<const SizingNetwork*> networks;
-  std::vector<SizingJob> jobs;
+  // Rebuild dirty shards at the current stitched sizes and stream each
+  // job out the moment its network is built — the first shard is already
+  // solving on a worker while the coordinator is still extracting the
+  // next (K == 1 passes the original network straight through — the
+  // bit-identity contract with the monolithic pipeline). The per-shard
+  // dmin facts are resolved lazily on the workers, in parallel, instead
+  // of serializing on this thread the way the batch API did.
+  Stopwatch round_sw;
+  const int round_total = shard_jobs_ + static_cast<int>(dirty.size());
+
+  // Inner-thread core budget for the round, mirroring the batch policy
+  // the wave path applied: a forced JobRunnerOptions::inner_threads or
+  // MFT_INNER_THREADS value is left to the streaming runner's own
+  // fallback; otherwise every dirty shard gets one core and leftover pool
+  // capacity is round-robined onto the largest bands (owned-vertex count
+  // — known before extraction, unlike the built networks). Pure function
+  // of the dirty set; inner width never changes results.
+  std::vector<int> inner(dirty.size(), 0);
+  if (opt_.runner.inner_threads == 0 && env_inner_threads() == 0) {
+    inner.assign(dirty.size(), 1);
+    std::vector<std::size_t> widest(dirty.size());
+    for (std::size_t i = 0; i < dirty.size(); ++i) widest[i] = i;
+    std::stable_sort(widest.begin(), widest.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return part_.vertices[static_cast<std::size_t>(
+                                                 dirty[a])].size() >
+                              part_.vertices[static_cast<std::size_t>(
+                                                 dirty[b])].size();
+                     });
+    int leftover = stream_->threads() - static_cast<int>(dirty.size());
+    for (std::size_t i = 0; leftover > 0;
+         i = (i + 1) % dirty.size(), --leftover)
+      ++inner[widest[i]];
+  }
+
+  std::vector<JobTicket> tickets;
+  tickets.reserve(dirty.size());
   for (std::size_t i = 0; i < dirty.size(); ++i) {
     const int sh = dirty[i];
     ShardState& st = shards_[static_cast<std::size_t>(sh)];
+    const SizingNetwork* job_net = &net;
     if (k > 1) {
       st.net = build_shard_network(net, part_, sh, s.sizes);
       st.frozen.clear();
       for (const NodeId gv : st.net.frozen_loads)
         st.frozen.push_back(s.sizes[static_cast<std::size_t>(gv)]);
-      networks.push_back(st.net.net.get());
-    } else {
-      networks.push_back(&net);
+      job_net = st.net.net.get();
     }
     SizingJob job;
-    job.network = static_cast<int>(i);
+    job.inner_threads = inner[i];
     job.target_delay =
         k > 1 ? st.span * (1.0 - opt_.boundary_margin) : st.span;
     job.options = opt_.options;
     job.label = strf("shard%d@r%d", sh, round_);
     job.shard = sh;
     job.shard_round = round_;
-    jobs.push_back(std::move(job));
+    std::function<void(const JobResult&)> on_complete;
+    if (opt_.runner.progress)
+      on_complete = [this, round_total](const JobResult& r) {
+        // Serialized by the runner's callback lock; jobs of a round all
+        // complete before the next round submits, so the count is
+        // monotone in [1, round_total] within each round.
+        opt_.runner.progress(r, ++progress_done_, round_total);
+      };
+    tickets.push_back(
+        stream_->submit(*job_net, std::move(job), std::move(on_complete)));
   }
-  const BatchResult batch = runner_.run(networks, jobs);
-  shard_jobs_ += static_cast<int>(jobs.size());
+  shard_jobs_ = round_total;
+
+  // Consume in ticket order — deterministic at any worker count — and
+  // stitch each solution into the global iterate as it is claimed, while
+  // the round's stragglers are still running. (Clean shards keep the
+  // stitched values of the round that last solved them.)
+  JobResult first;  // K == 1: the single job's full result, kept verbatim
   for (std::size_t i = 0; i < dirty.size(); ++i) {
-    const JobResult& r = batch.results[i];
-    if (!r.ok)
+    JobResult r = stream_->wait(tickets[i]);
+    if (!r.ok) {
+      // Later tickets of the round may still be queued against shard
+      // networks the unwinding will free; cancel them (in-flight jobs
+      // finish against the still-alive networks) before throwing.
+      stream_->shutdown(StreamingRunner::ShutdownMode::kCancel);
       throw std::runtime_error("shard job " + r.label + " failed: " + r.error);
+    }
     ShardState& st = shards_[static_cast<std::size_t>(dirty[i])];
     st.sizes = r.result.sizes;
     st.solved_span = st.span;
     st.dirty = false;
     if (round_ == 1) s.tilos_seconds += r.result.tilos_seconds;
+    if (k > 1) {
+      for (int l = 0; l < st.net.num_owned; ++l)
+        s.sizes[static_cast<std::size_t>(
+            st.net.global_of_local[static_cast<std::size_t>(l)])] =
+            st.sizes[static_cast<std::size_t>(l)];
+    } else {
+      first = std::move(r);
+    }
   }
+  const double round_seconds = round_sw.seconds();
 
   // K == 1: the single job *is* the monolithic pipeline — forward its
   // result verbatim (including the true TILOS seed and D/W iteration log)
   // so the bit-identity contract covers the whole result shape, not just
   // the final sizes.
   if (k == 1) {
-    const MinflotransitResult& inner = batch.results[0].result;
+    const MinflotransitResult& inner = first.result;
     s.sizes = inner.sizes;
     s.initial = inner.initial;
     s.iterations = inner.iterations;
@@ -470,22 +543,16 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
     rr.area = inner.area;
     rr.met_target = inner.met_target;
     rr.shards_solved = 1;
-    rr.wall_seconds = batch.wall_seconds;
+    rr.wall_seconds = round_seconds;
     rr.spans.push_back(shards_[0].solved_span);
     rounds_.push_back(std::move(rr));
     converged_ = true;
     return PassStatus::kDone;
   }
 
-  // Stitch the shard solutions into the global iterate.
-  for (int sh = 0; sh < k; ++sh) {
-    const ShardState& st = shards_[static_cast<std::size_t>(sh)];
-    for (int l = 0; l < st.net.num_owned; ++l)
-      s.sizes[static_cast<std::size_t>(
-          st.net.global_of_local[static_cast<std::size_t>(l)])] =
-          st.sizes[static_cast<std::size_t>(l)];
-  }
-
+  // The surviving barrier: the stitched full-network STA and the span
+  // re-budget need every shard of the round.
+  Stopwatch reconcile_sw;
   const TimingReport& t = ctx.sta(s.sizes);
   const double cp = t.critical_path;
   const double area = net.area(s.sizes);
@@ -496,7 +563,7 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
   rr.area = area;
   rr.met_target = met;
   rr.shards_solved = static_cast<int>(dirty.size());
-  rr.wall_seconds = batch.wall_seconds;
+  rr.wall_seconds = round_seconds;
   for (int sh = 0; sh < k; ++sh)
     rr.spans.push_back(shards_[static_cast<std::size_t>(sh)].solved_span);
   rounds_.push_back(std::move(rr));
@@ -533,6 +600,9 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
   }
 
   rebudget(net, t, s.sizes, target);
+  const double reconcile = reconcile_sw.seconds();
+  rounds_.back().reconcile_seconds = reconcile;
+  reconcile_seconds_ += reconcile;
   bool any_dirty = false;
   for (const ShardState& st : shards_)
     if (st.dirty) any_dirty = true;
@@ -563,6 +633,7 @@ ShardSolveResult run_sharded_solve(const SizingNetwork& net,
   out.cut_levels = p->cut_levels();
   out.rounds = p->rounds();
   out.shard_jobs = p->shard_jobs();
+  out.reconcile_seconds = p->reconcile_seconds();
   out.converged = p->converged();
   return out;
 }

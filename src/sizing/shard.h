@@ -3,7 +3,8 @@
 //
 // The monolithic pipeline walks the whole network on every TILOS bump and
 // every D/W iteration, so one huge netlist is one long sequential solve.
-// This module turns it into a batch the engine already knows how to run:
+// This module turns it into a stream of jobs the engine already knows how
+// to run:
 //
 //  1. partition_levels() cuts the frozen network at level boundaries
 //     (reusing the levelization cached at freeze()). Every arc and every
@@ -27,10 +28,21 @@
 //     the cuts is slack the reconciliation pass wins back).
 //
 //  3. Each shard solve is an ordinary engine SizingJob (shard metadata on
-//     the job), so JobRunner's worker pool plus per-job inner_threads give
-//     two-level parallelism for free — and the per-sweep cost inside a
-//     shard is O(V/K) instead of O(V), which is a real algorithmic win
-//     even on one worker.
+//     the job), submitted through the persistent StreamingRunner
+//     (engine/stream.h) rather than as one batch per round. The worker
+//     pool lives across all reconciliation rounds (no per-round spawn and
+//     join barrier), each dirty shard's job is streamed out the moment
+//     its network is rebuilt (the first shard solves while the
+//     coordinator is still extracting the next), per-shard dmin facts
+//     resolve on the workers instead of serializing on the coordinator,
+//     and results are consumed in ticket order with each solution
+//     stitched into the global iterate while the round's stragglers are
+//     still running. The only barrier left per round is the re-budget
+//     step itself (the stitched full-network STA plus the span
+//     arithmetic, which need every shard of the round). Worker pool plus
+//     per-job inner_threads give two-level parallelism for free — and
+//     the per-sweep cost inside a shard is O(V/K) instead of O(V), which
+//     is a real algorithmic win even on one worker.
 //
 //  4. ShardReconcilePass (an OptimizerPass over the *full-network*
 //     context) stitches the shard solutions, runs one full STA, and
@@ -55,6 +67,7 @@
 #include <memory>
 
 #include "engine/runner.h"
+#include "engine/stream.h"
 #include "sizing/pass.h"
 
 namespace mft {
@@ -78,8 +91,13 @@ struct ShardOptions {
   double boundary_margin = 0.005;
   /// Per-shard optimizer configuration (the usual pipeline options).
   MinflotransitOptions options;
-  /// Worker pool for the per-round shard batches (threads, inner_threads,
-  /// base_seed, progress).
+  /// Worker pool for the streamed shard jobs (threads, inner_threads,
+  /// base_seed, progress — the progress hook fires per completed shard
+  /// job). Because every reconciliation round rebuilds its dirty shard
+  /// networks with fresh serials, a context_cache_limit of 0 is promoted
+  /// to num_shards for K > 1 (per-worker pools and the dmin cache would
+  /// otherwise grow by one dead entry per shard job); an explicit limit
+  /// is honored as given. Eviction never changes results.
   JobRunnerOptions runner;
 };
 
@@ -130,7 +148,13 @@ struct ShardRound {
   double area = 0.0;           ///< stitched area
   bool met_target = false;
   int shards_solved = 0;       ///< dirty shards re-solved this round
-  double wall_seconds = 0.0;   ///< the round's shard batch
+  /// Rebuild + streamed solve + stitch of the round's dirty shards, from
+  /// the first submit to the last ticket consumed (rebuild and stitch
+  /// overlap the in-flight solves).
+  double wall_seconds = 0.0;
+  /// The surviving per-round barrier: stitched full-network STA plus the
+  /// span re-budget (0 for the K == 1 passthrough, which needs neither).
+  double reconcile_seconds = 0.0;
   std::vector<double> spans;   ///< per-shard budget the round solved at
 };
 
@@ -144,15 +168,22 @@ struct ShardSolveResult {
   std::vector<int> cut_levels;
   std::vector<ShardRound> rounds;
   int shard_jobs = 0;          ///< shard jobs executed across all rounds
+  /// Total coordinator barrier time (Σ rounds' reconcile_seconds): the
+  /// wave-free measurement — everything else overlaps the shard solves.
+  double reconcile_seconds = 0.0;
   bool converged = false;      ///< no shard dirty when the pass stopped
 };
 
 /// The reconciliation driver as a PR-2 pipeline pass over the full-network
-/// context. begin() partitions and budgets; each run() executes one round
-/// (solve dirty shards as an engine batch, stitch, STA, re-budget) and
-/// returns kRepeat until the boundary budgets converge. Writes the
-/// stitched iterate/best into PipelineState, so to_minflotransit_result
-/// applies unchanged.
+/// context. begin() partitions, budgets, and brings up the persistent
+/// streaming worker pool; each run() executes one round (stream dirty
+/// shard jobs as they are rebuilt, consume + stitch in ticket order, then
+/// the STA + re-budget barrier) and returns kRepeat until the boundary
+/// budgets converge. Writes the stitched iterate/best into PipelineState,
+/// so to_minflotransit_result applies unchanged. Deterministic at any
+/// worker/inner-thread count: submission order and ticket-ordered
+/// consumption are pure functions of the dirty sets, never of arrival
+/// order.
 class ShardReconcilePass : public OptimizerPass {
  public:
   explicit ShardReconcilePass(const ShardOptions& opt);
@@ -166,6 +197,7 @@ class ShardReconcilePass : public OptimizerPass {
   const std::vector<int>& cut_levels() const { return cuts_; }
   int num_shards() const { return part_.num_shards(); }
   int shard_jobs() const { return shard_jobs_; }
+  double reconcile_seconds() const { return reconcile_seconds_; }
   bool converged() const { return converged_; }
 
  private:
@@ -175,7 +207,6 @@ class ShardReconcilePass : public OptimizerPass {
 
   std::string name_ = "shard-reconcile";
   ShardOptions opt_;
-  JobRunner runner_;  ///< one pool/config for all reconciliation rounds
   ShardPartition part_;
   std::vector<ShardState> shards_;
   std::vector<int> cuts_;
@@ -187,8 +218,18 @@ class ShardReconcilePass : public OptimizerPass {
   TilosResult first_stitch_;
   int round_ = 0;
   int shard_jobs_ = 0;
+  int progress_done_ = 0;  ///< ShardOptions::runner.progress completion count
+  double reconcile_seconds_ = 0.0;
   bool converged_ = false;
   double best_unmet_cp_ = 0.0;
+  /// One persistent worker pool for all of a run's reconciliation rounds;
+  /// (re)created by begin() so every pipeline run starts at ticket 0
+  /// (deterministic seeds) with empty context pools. Declared *last*:
+  /// members destroy in reverse order, so the runner joins its workers —
+  /// who may still hold jobs pointing at shards_' networks when an
+  /// unwinding throw skips the ticket waits — before those networks are
+  /// freed.
+  std::unique_ptr<StreamingRunner> stream_;
 };
 
 /// Partition → parallel shard jobs → reconciliation, end to end, on a

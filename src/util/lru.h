@@ -1,0 +1,95 @@
+// Deterministic LRU cache, the shared eviction policy of the engine layer.
+//
+// Both per-worker SizingContext pools and the runner's per-network
+// Dmin/min-area cache see the same workload shape under streaming: a
+// long-lived process keyed by SizingNetwork::serial(), where sharded
+// reconciliation rebuilds dirty shard networks every round and therefore
+// produces an unbounded stream of short-lived serials. A plain map grows
+// forever; this cache bounds it with least-recently-used eviction.
+//
+// Properties the engine relies on (tests/eviction_test.cc):
+//  - capacity 0 means unbounded (the batch-compatible default);
+//  - the entry just inserted or found is most-recently-used and is never
+//    the eviction victim, so a caller holding a reference to the value it
+//    just acquired is safe until its next acquire;
+//  - eviction order is a pure function of the access sequence — never of
+//    timing — so cache-managed state stays deterministic.
+//
+// Not thread-safe; callers that share one cache across threads (the
+// runner's NetInfoCache) wrap it in their own mutex.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mft {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// `capacity` 0 = unbounded; otherwise at most `capacity` entries live.
+  explicit LruCache(int capacity = 0) { set_capacity(capacity); }
+
+  /// Changes the bound, evicting LRU entries if the cache is over it.
+  void set_capacity(int capacity) {
+    MFT_CHECK(capacity >= 0);
+    capacity_ = capacity;
+    trim();
+  }
+  int capacity() const { return capacity_; }
+
+  /// Looks `key` up; a hit becomes most-recently-used. Returns nullptr on
+  /// miss. The pointer stays valid until the next insert()/set_capacity().
+  V* find(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or overwrites) `key` as most-recently-used and evicts from
+  /// the LRU end until the capacity holds again. Returns the stored value;
+  /// valid until the next insert()/set_capacity().
+  V& insert(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      it->second->second = std::move(value);
+      return it->second->second;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    trim();
+    return order_.front().second;
+  }
+
+  std::size_t size() const { return order_.size(); }
+  /// Entries evicted by the capacity bound since construction.
+  std::int64_t evictions() const { return evictions_; }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  void trim() {
+    if (capacity_ <= 0) return;
+    while (order_.size() > static_cast<std::size_t>(capacity_)) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  int capacity_ = 0;
+  std::int64_t evictions_ = 0;
+  std::list<std::pair<K, V>> order_;  ///< front = MRU, back = LRU
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+};
+
+}  // namespace mft

@@ -1,0 +1,257 @@
+// Eviction property tests (tier1) for the engine's shared LRU policy
+// (util/lru.h, JobRunnerOptions::context_cache_limit):
+//
+//  - LruCache unit laws: the capacity bound, LRU victim order, MRU touch
+//    on find, insert-overwrite, set_capacity trimming, unbounded mode.
+//  - Context pools never exceed the configured limit (per worker), and
+//    eviction never changes results — a SizingContext is pure cache, so a
+//    serial-keyed rebuild after eviction must land on the identical
+//    solution (the serial-guard correctness property).
+//  - The batch runner's cross-run() Dmin/min-area cache (the PR-4
+//    repeat-batch optimization) under the same bound: thrashing it across
+//    batches forces recomputation but can never change dmin, targets, or
+//    solutions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/runner.h"
+#include "engine/stream.h"
+#include "gen/blocks.h"
+#include "gen/tiled.h"
+#include "sizing/shard.h"
+#include "sizing/tilos.h"
+#include "timing/lowering.h"
+#include "util/lru.h"
+
+namespace mft {
+namespace {
+
+LoweredCircuit lower(const Netlist& nl) {
+  return lower_gate_level(nl, Tech{});
+}
+
+// ---------------------------------------------------------------------------
+// LruCache
+// ---------------------------------------------------------------------------
+
+TEST(LruCache, UnboundedByDefault) {
+  LruCache<int, int> cache;
+  for (int i = 0; i < 1000; ++i) cache.insert(i, i * i);
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.evictions(), 0);
+  ASSERT_NE(cache.find(0), nullptr);
+  EXPECT_EQ(*cache.find(999), 999 * 999);
+}
+
+TEST(LruCache, CapacityBoundsSizeAndEvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> cache(3);
+  cache.insert(1, "a");
+  cache.insert(2, "b");
+  cache.insert(3, "c");
+  EXPECT_EQ(cache.size(), 3u);
+  cache.insert(4, "d");  // evicts 1 (LRU)
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.find(1), nullptr);
+  ASSERT_NE(cache.find(2), nullptr);  // 2 is now MRU
+  cache.insert(5, "e");               // evicts 3, not the just-touched 2
+  EXPECT_EQ(cache.find(3), nullptr);
+  ASSERT_NE(cache.find(2), nullptr);
+  ASSERT_NE(cache.find(4), nullptr);
+  ASSERT_NE(cache.find(5), nullptr);
+}
+
+TEST(LruCache, FindTouchesAndInsertOverwritesWithoutGrowth) {
+  LruCache<int, int> cache(2);
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  ASSERT_NE(cache.find(1), nullptr);  // 1 becomes MRU
+  cache.insert(1, 11);                // overwrite, no eviction
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0);
+  EXPECT_EQ(*cache.find(1), 11);
+  cache.insert(3, 30);  // evicts 2 (1 was touched twice)
+  EXPECT_EQ(cache.find(2), nullptr);
+  ASSERT_NE(cache.find(1), nullptr);
+}
+
+TEST(LruCache, SetCapacityTrimsFromTheLruEnd) {
+  LruCache<int, int> cache;
+  for (int i = 0; i < 6; ++i) cache.insert(i, i);
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 4);
+  ASSERT_NE(cache.find(5), nullptr);  // the two most recent survive
+  ASSERT_NE(cache.find(4), nullptr);
+  EXPECT_EQ(cache.find(3), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Context-pool eviction through the streaming runner
+// ---------------------------------------------------------------------------
+
+/// Four distinct small networks with interleaved jobs: any bounded pool
+/// must evict while the job stream cycles through them.
+struct EvictionFixture {
+  LoweredCircuit a = lower(make_c17());
+  LoweredCircuit b = lower(make_ripple_adder(4));
+  LoweredCircuit c = lower(make_ripple_adder(6));
+  LoweredCircuit d = lower(make_comparator(4));
+  std::vector<const SizingNetwork*> networks{&a.net, &b.net, &c.net, &d.net};
+  std::vector<SizingJob> jobs;
+
+  EvictionFixture() {
+    for (int i = 0; i < 12; ++i) {
+      SizingJob job;
+      job.network = i % 4;
+      job.target_ratio = 0.85 - 0.02 * (i / 4);
+      job.label = "ev" + std::to_string(i);
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  std::vector<JobResult> stream_all(int workers, int limit,
+                                    StreamStats* stats = nullptr) {
+    JobRunnerOptions opt;
+    opt.threads = workers;
+    opt.context_cache_limit = limit;
+    StreamingRunner stream(opt);
+    std::vector<JobTicket> tickets;
+    for (const SizingJob& job : jobs)
+      tickets.push_back(stream.submit(
+          *networks[static_cast<std::size_t>(job.network)], job));
+    std::vector<JobResult> out;
+    for (const JobTicket t : tickets) out.push_back(stream.wait(t));
+    stream.shutdown();  // workers publish their pool stats on exit
+    if (stats != nullptr) *stats = stream.stats();
+    return out;
+  }
+};
+
+TEST(ContextEviction, PoolNeverExceedsTheLimitAndActuallyEvicts) {
+  EvictionFixture f;
+  StreamStats stats;
+  const std::vector<JobResult> results = f.stream_all(1, 2, &stats);
+  for (const JobResult& r : results) ASSERT_TRUE(r.ok) << r.error;
+  // One worker saw all 4 networks under a 2-context bound: the pool
+  // peaked exactly at the limit and evicted at least once per extra
+  // network visit.
+  EXPECT_EQ(stats.context_peak_per_worker, 2u);
+  EXPECT_GE(stats.context_evictions, 2);
+  EXPECT_EQ(stats.context_hits + stats.context_misses,
+            static_cast<std::int64_t>(f.jobs.size()));
+
+  StreamStats unbounded;
+  const std::vector<JobResult> free_results = f.stream_all(1, 0, &unbounded);
+  EXPECT_EQ(unbounded.context_peak_per_worker, 4u);  // one per network
+  EXPECT_EQ(unbounded.context_evictions, 0);
+  (void)free_results;
+}
+
+TEST(ContextEviction, EvictionNeverChangesResults) {
+  EvictionFixture f;
+  const std::vector<JobResult> unbounded = f.stream_all(2, 0);
+  for (int limit : {1, 2, 3}) {
+    SCOPED_TRACE("limit=" + std::to_string(limit));
+    const std::vector<JobResult> bounded = f.stream_all(2, limit);
+    ASSERT_EQ(bounded.size(), unbounded.size());
+    for (std::size_t i = 0; i < unbounded.size(); ++i) {
+      SCOPED_TRACE(f.jobs[i].label);
+      ASSERT_TRUE(bounded[i].ok) << bounded[i].error;
+      EXPECT_EQ(bounded[i].seed, unbounded[i].seed);
+      EXPECT_EQ(bounded[i].dmin, unbounded[i].dmin);
+      EXPECT_EQ(bounded[i].target, unbounded[i].target);
+      // Serial-guard correctness: a context rebuilt after eviction lands
+      // on the bit-identical solution.
+      ASSERT_EQ(bounded[i].result.sizes, unbounded[i].result.sizes);
+      EXPECT_EQ(bounded[i].result.area, unbounded[i].result.area);
+      EXPECT_EQ(bounded[i].result.delay, unbounded[i].result.delay);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The batch runner's repeat-batch Dmin/min-area cache under eviction
+// ---------------------------------------------------------------------------
+
+TEST(InfoCacheEviction, RepeatBatchesStayBitIdenticalWhileTheCacheThrashes) {
+  // PR-4 regression surface: JobRunner caches per-network Dmin/min-area
+  // across run() calls. With a bound of 1 and two networks per batch the
+  // cache evicts on every batch — recomputation must reproduce the exact
+  // dmin (it is a pure function of the frozen network), so targets and
+  // solutions never move.
+  EvictionFixture f;
+  const std::vector<const SizingNetwork*> nets = {f.networks[0],
+                                                  f.networks[1]};
+  std::vector<SizingJob> jobs(3);
+  jobs[0].network = 0;
+  jobs[0].target_ratio = 0.8;
+  jobs[1].network = 1;
+  jobs[1].target_ratio = 0.75;
+  jobs[2].network = 0;
+  jobs[2].target_ratio = 0.7;
+
+  JobRunnerOptions unbounded_opt;
+  unbounded_opt.threads = 2;
+  const JobRunner unbounded(unbounded_opt);
+
+  JobRunnerOptions bounded_opt;
+  bounded_opt.threads = 2;
+  bounded_opt.context_cache_limit = 1;
+  const JobRunner bounded(bounded_opt);
+
+  for (int batch = 0; batch < 3; ++batch) {
+    SCOPED_TRACE("batch " + std::to_string(batch));
+    const BatchResult x = unbounded.run(nets, jobs);
+    const BatchResult y = bounded.run(nets, jobs);
+    ASSERT_EQ(x.results.size(), y.results.size());
+    for (std::size_t i = 0; i < x.results.size(); ++i) {
+      ASSERT_TRUE(x.results[i].ok);
+      ASSERT_TRUE(y.results[i].ok) << y.results[i].error;
+      EXPECT_EQ(y.results[i].dmin, x.results[i].dmin);
+      EXPECT_EQ(y.results[i].min_area, x.results[i].min_area);
+      EXPECT_EQ(y.results[i].target, x.results[i].target);
+      EXPECT_EQ(y.results[i].seed, x.results[i].seed);
+      ASSERT_EQ(y.results[i].result.sizes, x.results[i].result.sizes);
+    }
+    EXPECT_LE(bounded.info_cache_size(), 1u);  // the bound holds...
+  }
+  EXPECT_EQ(unbounded.info_cache_size(), 2u);
+  EXPECT_EQ(unbounded.info_cache_evictions(), 0);
+  EXPECT_GE(bounded.info_cache_evictions(), 3);  // ...and actually bit
+}
+
+TEST(InfoCacheEviction, ShardedSolveIsUnchangedUnderATightContextBound) {
+  // Reconciliation rebuilds dirty shard networks with fresh serials every
+  // round — the workload the eviction policy exists for. A tight explicit
+  // bound must not move a single bit of the solve.
+  TiledDatapathParams p;
+  p.lanes = 4;
+  p.stages = 6;
+  p.bits = 2;
+  const LoweredCircuit lc = lower(make_tiled_datapath(p));
+  const double target = 0.9 * min_sized_delay(lc.net);
+
+  ShardOptions base;
+  base.num_shards = 3;
+  base.max_rounds = 2;
+  base.options.max_iterations = 2;
+  base.runner.threads = 2;
+  const ShardSolveResult a = run_sharded_solve(lc.net, target, base);
+
+  ShardOptions tight = base;
+  tight.runner.context_cache_limit = 1;
+  const ShardSolveResult b = run_sharded_solve(lc.net, target, tight);
+
+  EXPECT_EQ(a.result.met_target, b.result.met_target);
+  EXPECT_EQ(a.result.area, b.result.area);
+  EXPECT_EQ(a.result.delay, b.result.delay);
+  ASSERT_EQ(a.result.sizes, b.result.sizes);
+  EXPECT_EQ(a.rounds.size(), b.rounds.size());
+  EXPECT_EQ(a.shard_jobs, b.shard_jobs);
+}
+
+}  // namespace
+}  // namespace mft
