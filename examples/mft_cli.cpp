@@ -44,11 +44,20 @@
 //                         batch shape; a shard-summary shape with --shards)
 //   --csv PATH            write the per-element sizing CSV (single run)
 //   --histogram           print the size histogram (single run)
+//   --deadline S          per-job wall-clock deadline in seconds (sharded
+//                         mode: deadline for the whole solve); an expired
+//                         job returns its best-so-far feasible solution
+//                         flagged "degraded"
+//   --cancel-after S      streaming modes only: cancel every in-flight
+//                         ticket S seconds after submission (exercises
+//                         StreamingRunner::cancel)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/runner.h"
@@ -84,6 +93,8 @@ struct Args {
   int inner_threads = 0;  // 0 = runner policy (leftover cores)
   int shards = 0;         // 0 = monolithic solve
   int context_cache = 0;  // 0 = unbounded context pools
+  double deadline = 0.0;      // 0 = no deadline
+  double cancel_after = -1.0; // < 0 = never cancel
   bool streaming = false;
   bool sweep = false;
   bool wires = false;
@@ -91,9 +102,44 @@ struct Args {
   bool histogram = false;
 };
 
+/// One line per accepted flag — printed whenever parsing fails, so an
+/// unknown or malformed flag gets the full menu, not a bare error.
+const char* option_listing() {
+  return
+      "  --circuit NAME        built-in circuit (see --list-circuits)\n"
+      "  --list-circuits       print every built-in circuit name and exit\n"
+      "  --bench PATH          read an ISCAS85 .bench file instead\n"
+      "  --target-ratio R      delay target as a fraction of Dmin (default "
+      "0.6)\n"
+      "  --granularity G       gate | transistor (default gate)\n"
+      "  --wires               co-size wires (gate granularity only)\n"
+      "  --tilos-only          stop after the TILOS baseline\n"
+      "  --beta B              D-phase trust bound (default 0.25)\n"
+      "  --bumpsize B          TILOS bump factor (default 1.1)\n"
+      "  --sweep               run the full area-delay trade-off curve\n"
+      "  --ratios R1,R2,...    sweep targets as fractions of Dmin\n"
+      "  --threads N           engine worker threads (default: hardware)\n"
+      "  --inner-threads N     level-parallel STA/W-phase threads per job\n"
+      "  --streaming           run through the persistent StreamingRunner\n"
+      "  --context-cache N     per-worker context-pool LRU bound\n"
+      "  --shards K            sharded solve with K level bands\n"
+      "  --deadline S          per-job (or per-solve, with --shards) "
+      "wall-clock\n"
+      "                        deadline in seconds; expired jobs return "
+      "their\n"
+      "                        best-so-far feasible solution, flagged "
+      "degraded\n"
+      "  --cancel-after S      streaming modes only: cancel every ticket S\n"
+      "                        seconds after submission\n"
+      "  --json PATH           write machine-readable results as JSON\n"
+      "  --csv PATH            write the per-element sizing CSV (single "
+      "run)\n"
+      "  --histogram           print the size histogram (single run)\n";
+}
+
 [[noreturn]] void usage(const char* msg) {
-  std::fprintf(stderr, "error: %s\nsee the header of examples/mft_cli.cpp\n",
-               msg);
+  std::fprintf(stderr, "error: %s\nusage: mft_cli [options]\noptions:\n%s",
+               msg, option_listing());
   std::exit(2);
 }
 
@@ -177,6 +223,14 @@ Args parse(int argc, char** argv) {
        : f == "--shards"        ? a.shards
                                 : a.context_cache) = static_cast<int>(v);
     }
+    else if (f == "--deadline" || f == "--cancel-after") {
+      const char* s = value(i);
+      char* end = nullptr;
+      const double v = std::strtod(s, &end);
+      if (end == s || *end != '\0' || v < 0.0)
+        usage(("bad " + f + " value '" + std::string(s) + "'").c_str());
+      (f == "--deadline" ? a.deadline : a.cancel_after) = v;
+    }
     else if (f == "--streaming") a.streaming = true;
     else if (f == "--list-circuits") {
       std::printf("built-in circuits (--circuit NAME):\n%s",
@@ -196,6 +250,8 @@ Args parse(int argc, char** argv) {
     usage("--wires needs --granularity gate");
   if (a.shards > 0 && a.sweep)
     usage("--shards is a single-target mode; drop --sweep");
+  if (a.cancel_after >= 0.0 && !a.streaming)
+    usage("--cancel-after needs --streaming (it cancels tickets)");
   return a;
 }
 
@@ -278,6 +334,19 @@ BatchResult run_streaming(const Args& args, const SizingNetwork& net,
     tickets.push_back(stream.submit(net, std::move(job),
                                     std::move(on_complete)));
   }
+  if (args.cancel_after >= 0.0) {
+    // Let the workers get going, then cancel every ticket: queued jobs
+    // fail immediately with kCanceled, running ones stop at their next
+    // pass/sweep checkpoint. cancel() returns false for already-finished
+    // tickets, which is fine here.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(args.cancel_after));
+    int hit = 0;
+    for (const JobTicket t : tickets)
+      if (stream.cancel(t)) ++hit;
+    std::printf("  canceled %d of %d in-flight ticket%s after %.3fs\n", hit,
+                total, total == 1 ? "" : "s", args.cancel_after);
+  }
   BatchResult batch;
   for (const JobTicket t : tickets)
     batch.results.push_back(stream.wait(t));
@@ -324,6 +393,7 @@ int run_single(const Args& args, const LoweredCircuit& lc, double dmin) {
   job.target_ratio = args.target_ratio;
   job.options = make_options(args);
   job.label = args.circuit + strf("@%.2f", args.target_ratio);
+  job.deadline_seconds = args.deadline;
 
   BatchResult batch;
   if (args.streaming) {
@@ -337,9 +407,14 @@ int run_single(const Args& args, const LoweredCircuit& lc, double dmin) {
   if (!args.json_path.empty() && !write_batch_json(args.json_path, batch))
     std::fprintf(stderr, "warning: cannot write %s\n", args.json_path.c_str());
   if (!r.ok) {
-    std::fprintf(stderr, "error: sizing failed: %s\n", r.error.c_str());
+    std::fprintf(stderr, "error: sizing failed [%s]: %s\n",
+                 to_string(r.status), r.error.c_str());
     return 1;
   }
+  if (r.degraded)
+    std::printf("DEGRADED [%s]: reporting the best-so-far feasible "
+                "solution\n",
+                to_string(r.status));
   if (!r.result.initial.met_target) {
     std::printf("TARGET UNREACHABLE: best achievable delay %.4f (%.2f Dmin)\n",
                 r.result.initial.achieved_delay,
@@ -367,6 +442,7 @@ int run_sharded(const Args& args, const LoweredCircuit& lc, double dmin) {
   ShardOptions opt;
   opt.num_shards = args.shards;
   opt.options = make_options(args);
+  opt.deadline_seconds = args.deadline;
   opt.runner = make_runner_options(args);
   opt.runner.progress = [](const JobResult& r, int done, int total) {
     std::printf("  [%d/%d] %-16s %.2fs on thread %d\n", done, total,
@@ -381,6 +457,10 @@ int run_sharded(const Args& args, const LoweredCircuit& lc, double dmin) {
     return 1;
   }
   std::printf("\n");
+  if (r.degraded)
+    std::printf("DEGRADED [%s]: reporting the best-so-far feasible "
+                "solution\n",
+                to_string(r.status));
   // Machine-readable record first, like the single/sweep modes: scripted
   // callers get it even when the target turns out unreachable.
   if (!args.json_path.empty()) {
@@ -449,6 +529,7 @@ int run_sweep(const Args& args, const LoweredCircuit& lc, double dmin) {
     job.target_ratio = ratio;
     job.options = make_options(args);
     job.label = args.circuit + strf("@%.3f", ratio);
+    job.deadline_seconds = args.deadline;
     jobs.push_back(std::move(job));
   }
 
@@ -469,13 +550,15 @@ int run_sweep(const Args& args, const LoweredCircuit& lc, double dmin) {
            "job wall"});
   bool any_failed = false;
   bool any_met = false;
+  int degraded = 0;
   for (const JobResult& r : batch.results) {
     if (!r.ok) {
-      std::fprintf(stderr, "error: job %s failed: %s\n", r.label.c_str(),
-                   r.error.c_str());
+      std::fprintf(stderr, "error: job %s failed [%s]: %s\n", r.label.c_str(),
+                   to_string(r.status), r.error.c_str());
       any_failed = true;
       continue;
     }
+    if (r.degraded) ++degraded;
     if (!r.result.initial.met_target) {
       t.add_row({strf("%.3f", r.target / dmin), "unreachable", "-", "-",
                  strf("%.2fs", r.wall_seconds)});
@@ -489,6 +572,10 @@ int run_sweep(const Args& args, const LoweredCircuit& lc, double dmin) {
                strf("%.2fs", r.wall_seconds)});
   }
   std::printf("\n%s", t.to_text().c_str());
+  if (degraded > 0)
+    std::printf("\n%d job%s hit a budget and report%s best-so-far feasible "
+                "solutions (see \"degraded\" in --json)\n",
+                degraded, degraded == 1 ? "" : "s", degraded == 1 ? "s" : "");
   std::printf(
       "\nengine     : %d thread%s; %d jobs in %.2fs (%.2f jobs/s)\n",
       batch.threads_used, batch.threads_used == 1 ? "" : "s",

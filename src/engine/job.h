@@ -15,6 +15,7 @@
 #include "sizing/context.h"
 #include "sizing/minflotransit.h"
 #include "sizing/pass.h"
+#include "util/status.h"
 
 namespace mft {
 
@@ -47,6 +48,16 @@ struct SizingJob {
   /// JSON; the runner itself treats sharded jobs like any other job.
   int shard = -1;
   int shard_round = 0;
+  /// Wall-clock deadline, measured from submission; 0 = none. An expired
+  /// job stops at its next checkpoint and returns ok == true with
+  /// degraded == true when a feasible best-so-far iterate exists (the
+  /// MINFLOTRANSIT loop improves monotonically from the TILOS seed), else
+  /// ok == false with status kDeadlineExpired.
+  double deadline_seconds = 0.0;
+  /// Virtual-step budget (pass invocations + TILOS bumps + W-phase
+  /// sweeps); 0 = none. Same degradation contract as the deadline but
+  /// deterministic — tests pin exact results without touching the clock.
+  std::int64_t max_steps = 0;
 };
 
 struct JobResult {
@@ -55,6 +66,14 @@ struct JobResult {
   std::string label;
   bool ok = false;      ///< false => `error` describes the failure
   std::string error;
+  /// Structured outcome code. kOk for clean successes; a degraded success
+  /// carries the budget that tripped (kDeadlineExpired / kStepBudget);
+  /// failures carry the taxonomy code matching `error`.
+  EngineStatus status = EngineStatus::kOk;
+  /// True when a budget tripped mid-solve and the result is the feasible
+  /// best-so-far iterate rather than the converged solution (ok stays
+  /// true; `status` says which budget).
+  bool degraded = false;
 
   double dmin = 0.0;      ///< minimum-sized delay of the job's network
   double min_area = 0.0;  ///< minimum-sized area of the job's network

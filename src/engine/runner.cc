@@ -178,8 +178,10 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
     if (!r.ok) {
       std::string error;
       json_escape(error, r.error);
-      std::fprintf(f, "    {\"label\": \"%s\", \"ok\": false, \"error\": \"%s\"}",
-                   label.c_str(), error.c_str());
+      std::fprintf(f,
+                   "    {\"label\": \"%s\", \"ok\": false, \"status\": "
+                   "\"%s\", \"error\": \"%s\"}",
+                   label.c_str(), to_string(r.status), error.c_str());
     } else {
       const double savings =
           r.result.initial.met_target && r.result.met_target &&
@@ -188,7 +190,8 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
               : 0.0;
       std::fprintf(
           f,
-          "    {\"label\": \"%s\", \"ok\": true, \"met_target\": %s,\n"
+          "    {\"label\": \"%s\", \"ok\": true, \"status\": \"%s\", "
+          "\"degraded\": %s, \"met_target\": %s,\n"
           "     \"dmin\": %.17g, \"target\": %.17g, \"delay\": %.17g,\n"
           "     \"tilos_area\": %.17g, \"area\": %.17g, "
           "\"savings_pct\": %.9g,\n"
@@ -199,7 +202,8 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
           "     \"seed\": %llu, \"thread\": %d, \"inner_threads\": %d,\n"
           "     \"shard\": %d, \"shard_round\": %d,\n"
           "     \"passes\": [",
-          label.c_str(), r.result.met_target ? "true" : "false", r.dmin,
+          label.c_str(), to_string(r.status), r.degraded ? "true" : "false",
+          r.result.met_target ? "true" : "false", r.dmin,
           r.target, r.result.delay, r.result.initial.area, r.result.area,
           savings, static_cast<int>(r.result.iterations.size()),
           r.wall_seconds, r.result.tilos_seconds,

@@ -44,11 +44,11 @@ namespace {
 
 /// One job, start to finish, on the worker's context. Any exception
 /// (infeasible configuration, a failed MFT_CHECK) is captured into
-/// out.error — a job never takes down the runner. The job's seed must
-/// already be resolved (submit/run do that deterministically).
+/// out.error/out.status — a job never takes down the runner. The job's
+/// seed must already be resolved (submit/run do that deterministically).
 void execute_job(const SizingJob& job, JobTicket ticket, double dmin,
                  double min_area, SizingContext& ctx, ThreadArena* arena,
-                 JobResult& out) {
+                 AbortToken* token, JobResult& out) {
   out.job = static_cast<int>(ticket);
   out.label = job.label;
   out.dmin = dmin;
@@ -61,8 +61,10 @@ void execute_job(const SizingJob& job, JobTicket ticket, double dmin,
   out.shard_round = job.shard_round;
   Stopwatch sw;
   try {
+    MFT_FAULT_POINT("stream.execute");
     ctx.begin_job();
     ctx.set_arena(arena);
+    ctx.set_abort(token);
     // Thread the resolved per-job seed into the pipeline so a stochastic
     // pass (none in the default pipeline) is reproducible at any thread
     // count. Running the pipeline directly (instead of through the
@@ -76,10 +78,40 @@ void execute_job(const SizingJob& job, JobTicket ticket, double dmin,
     out.result.total_seconds = pr.total_seconds;
     out.pass_stats = std::move(pr.pass_stats);
     out.stats = ctx.stats();
-    out.ok = true;
+    switch (pr.state.abort_status) {
+      case EngineStatus::kOk:
+        out.ok = true;
+        break;
+      case EngineStatus::kCanceled:
+        out.status = EngineStatus::kCanceled;
+        out.error = "canceled";
+        break;
+      default:
+        // A budget tripped (deadline or step cap). The refinement loop
+        // improves monotonically from the TILOS seed, so whenever the
+        // target was ever met, best_sizes is a feasible solution worth
+        // returning: ok with the degraded flag. Before that point there
+        // is nothing feasible to degrade to.
+        out.status = pr.state.abort_status;
+        if (pr.state.met_target) {
+          out.ok = true;
+          out.degraded = true;
+        } else {
+          out.error = std::string(to_string(out.status)) +
+                      " before a feasible iterate was found";
+        }
+        break;
+    }
+  } catch (const EngineError& e) {
+    out.error = e.what();
+    out.status = e.status();
   } catch (const std::exception& e) {
     out.error = e.what();
+    out.status = EngineStatus::kInternal;
   }
+  // The context is pooled and outlives this job; never leave it pointing
+  // at a token about to be destroyed.
+  ctx.set_abort(nullptr);
   out.wall_seconds = sw.seconds();
 }
 
@@ -154,6 +186,13 @@ JobTicket StreamingRunner::submit_item(
     item.has_info = true;
   }
   item.retain = retain;
+  // The token is born (and any deadline starts ticking) at submission, so
+  // queue time counts against the deadline — the service-level meaning.
+  item.token = std::make_shared<AbortToken>();
+  if (item.job.deadline_seconds > 0)
+    item.token->arm_deadline(item.job.deadline_seconds);
+  if (item.job.max_steps > 0) item.token->arm_steps(item.job.max_steps);
+  tokens_.emplace(item.ticket, item.token);
   outstanding_.insert(item.ticket);
   const JobTicket t = item.ticket;
   // Pushed under mu_ so queue order == ticket order even with concurrent
@@ -162,6 +201,40 @@ JobTicket StreamingRunner::submit_item(
   const bool pushed = queue_.push(std::move(item));
   MFT_CHECK(pushed);
   return t;
+}
+
+bool StreamingRunner::cancel(JobTicket t) {
+  std::shared_ptr<AbortToken> token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (t >= next_ticket_)
+      throw std::runtime_error(
+          "StreamingRunner::cancel on a never-issued ticket");
+    if (outstanding_.count(t) == 0) return false;  // already completed
+    auto it = tokens_.find(t);
+    if (it != tokens_.end()) token = it->second;
+  }
+  // Still queued? Pluck it so it never reaches a worker and fail it now
+  // (callback + collectible result, like any completion).
+  Item item;
+  if (queue_.remove_one([t](const Item& i) { return i.ticket == t; }, item)) {
+    JobResult out;
+    out.job = static_cast<int>(item.ticket);
+    out.label = item.job.label;
+    out.seed = item.job.seed;
+    out.shard = item.job.shard;
+    out.shard_round = item.job.shard_round;
+    out.ok = false;
+    out.status = EngineStatus::kCanceled;
+    out.error = "canceled before start";
+    finish(item, std::move(out));
+    return true;
+  }
+  // In flight (or racing into a worker's hands): interrupt cooperatively.
+  // The worker observes the flag at its next checkpoint — or before it
+  // starts, if the job was between queue and execute.
+  if (token != nullptr) token->request_cancel();
+  return true;
 }
 
 bool StreamingRunner::poll(JobTicket t) const {
@@ -210,6 +283,7 @@ void StreamingRunner::shutdown(ShutdownMode mode) {
       out.shard = item.job.shard;
       out.shard_round = item.job.shard_round;
       out.ok = false;
+      out.status = EngineStatus::kCanceled;
       out.error = "canceled by StreamingRunner shutdown";
       finish(item, std::move(out));
     }
@@ -236,6 +310,8 @@ StreamStats StreamingRunner::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   s.submitted = next_ticket_;
   s.completed = completed_;
+  s.canceled = canceled_;
+  s.degraded = degraded_;
   s.ready = ready_.size();
   return s;
 }
@@ -252,6 +328,9 @@ void StreamingRunner::finish(Item& item, JobResult out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     outstanding_.erase(item.ticket);
+    tokens_.erase(item.ticket);
+    if (out.status == EngineStatus::kCanceled) ++canceled_;
+    if (out.degraded) ++degraded_;
     // Detached jobs never park a result: the callback above was their
     // delivery, so a long-lived callback-driven runner stays flat.
     if (item.retain) ready_.emplace(item.ticket, std::move(out));
@@ -268,18 +347,54 @@ void StreamingRunner::worker_main(int worker_id) {
   ContextPool pool(opt_.context_cache_limit);
   Item item;
   while (queue_.pop(item)) {
-    const NetInfo info =
-        item.has_info ? item.info : info_->get_or_compute(*item.net);
-    const int inner =
-        item.job.inner_threads > 0 ? item.job.inner_threads : default_inner_;
-    if (inner > 1 && (!arena || arena->threads() != inner))
-      arena = std::make_unique<ThreadArena>(inner);
-    JobResult out;
-    execute_job(item.job, item.ticket, info.dmin, info.min_area,
-                pool.acquire(*item.net), inner > 1 ? arena.get() : nullptr,
-                out);
-    out.thread = worker_id;
-    finish(item, std::move(out));
+    // Everything between pop and finish is fenced: an exception outside
+    // the job body (net-info STA, context acquisition, arena creation, an
+    // armed fault site) becomes a structured kWorkerDied result instead of
+    // killing the thread — poll()/wait() on the ticket always complete.
+    try {
+      MFT_FAULT_POINT("stream.worker");
+      // Canceled (or deadline-expired) before starting: fail without
+      // running. step() is safe here — the worker owns the token now.
+      if (item.token != nullptr && item.token->step()) {
+        JobResult out;
+        out.job = static_cast<int>(item.ticket);
+        out.label = item.job.label;
+        out.seed = item.job.seed;
+        out.shard = item.job.shard;
+        out.shard_round = item.job.shard_round;
+        out.thread = worker_id;
+        out.ok = false;
+        out.status = item.token->tripped();
+        out.error = std::string(to_string(out.status)) + " before start";
+        finish(item, std::move(out));
+        item = Item{};
+        continue;
+      }
+      const NetInfo info =
+          item.has_info ? item.info : info_->get_or_compute(*item.net);
+      const int inner =
+          item.job.inner_threads > 0 ? item.job.inner_threads : default_inner_;
+      if (inner > 1 && (!arena || arena->threads() != inner))
+        arena = std::make_unique<ThreadArena>(inner);
+      JobResult out;
+      execute_job(item.job, item.ticket, info.dmin, info.min_area,
+                  pool.acquire(*item.net), inner > 1 ? arena.get() : nullptr,
+                  item.token.get(), out);
+      out.thread = worker_id;
+      finish(item, std::move(out));
+    } catch (const std::exception& e) {
+      JobResult out;
+      out.job = static_cast<int>(item.ticket);
+      out.label = item.job.label;
+      out.seed = item.job.seed;
+      out.shard = item.job.shard;
+      out.shard_round = item.job.shard_round;
+      out.thread = worker_id;
+      out.ok = false;
+      out.status = EngineStatus::kWorkerDied;
+      out.error = std::string("worker died outside the job body: ") + e.what();
+      finish(item, std::move(out));
+    }
     item = Item{};  // drop the callback/job before parking on the queue
   }
   std::lock_guard<std::mutex> lock(stats_mu_);

@@ -53,6 +53,8 @@
 #include <vector>
 
 #include "engine/job.h"
+#include "util/abort.h"
+#include "util/fault.h"
 #include "util/lru.h"
 
 namespace mft {
@@ -153,6 +155,22 @@ class MpmcQueue {
     return true;
   }
 
+  /// Removes and returns the first queued item matching `pred`; false when
+  /// no queued item matches (it may be in flight or already done). The
+  /// immediate-cancel path: a plucked job never reaches a worker.
+  template <typename Pred>
+  bool remove_one(Pred pred, T& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (pred(*it)) {
+        out = std::move(*it);
+        items_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
   void close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -243,6 +261,7 @@ class ContextPool {
   explicit ContextPool(int capacity = 0) : cache_(capacity) {}
 
   SizingContext& acquire(const SizingNetwork& net) {
+    MFT_FAULT_POINT("stream.context");
     if (std::unique_ptr<SizingContext>* hit = cache_.find(net.serial())) {
       ++hits_;
       return **hit;
@@ -281,6 +300,8 @@ using JobTicket = std::uint64_t;
 struct StreamStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
+  std::uint64_t canceled = 0;  ///< completions with status kCanceled
+  std::uint64_t degraded = 0;  ///< completions with the degraded flag
   std::size_t ready = 0;  ///< completed results retained, not yet consumed
   std::size_t context_peak_per_worker = 0;
   std::int64_t context_hits = 0;
@@ -333,6 +354,16 @@ class StreamingRunner {
   JobTicket submit_detached(const SizingNetwork& net, SizingJob job,
                             std::function<void(const JobResult&)> on_complete);
 
+  /// Cancels one submitted job. A job still queued is failed immediately
+  /// (status kCanceled, callback fired like any completion, result
+  /// collectible by wait()); a job already running is interrupted
+  /// cooperatively at its next pass/sweep/bump checkpoint and completes
+  /// shortly after with status kCanceled — cancel() itself never blocks on
+  /// it. Returns false when the job already completed (cancellation lost
+  /// the race; the existing result stands). Throws std::runtime_error for
+  /// a never-issued ticket.
+  bool cancel(JobTicket t);
+
   /// True iff the ticket's result is ready and not yet consumed.
   bool poll(JobTicket t) const;
 
@@ -364,6 +395,10 @@ class StreamingRunner {
     NetInfo info;           ///< meaningful iff has_info
     bool has_info = false;  ///< caller prefetched the network facts
     bool retain = true;     ///< false: callback-only, result never stored
+    /// Per-job abort/budget token, created at submit (deadline measured
+    /// from there). Shared with tokens_ so cancel() reaches a job already
+    /// handed to a worker.
+    std::shared_ptr<AbortToken> token;
   };
 
   JobTicket submit_item(const SizingNetwork& net, SizingJob job,
@@ -385,8 +420,13 @@ class StreamingRunner {
   std::condition_variable done_cv_;
   std::uint64_t next_ticket_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t canceled_ = 0;
+  std::uint64_t degraded_ = 0;
   std::unordered_map<JobTicket, JobResult> ready_;
   std::unordered_set<JobTicket> outstanding_;
+  /// Abort token of every not-yet-completed job, for cancel(); erased by
+  /// finish(). Guarded by mu_.
+  std::unordered_map<JobTicket, std::shared_ptr<AbortToken>> tokens_;
   bool shutdown_ = false;
 
   std::mutex shutdown_mu_;  ///< serializes shutdown()/destructor

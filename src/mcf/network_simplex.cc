@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "util/fault.h"
+
 namespace mft {
 namespace {
 
@@ -463,6 +465,7 @@ class Simplex {
 McfSolution solve_network_simplex(const McfProblem& p,
                                   const NetworkSimplexOptions& opt,
                                   McfWorkspace* ws) {
+  MFT_FAULT_POINT("flow.solve");
   if (p.num_nodes() == 0) {
     if (ws) ws->ns_pivots = 0;
     McfSolution sol;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/status.h"
 #include "util/str.h"
 
 namespace mft {
@@ -11,10 +12,18 @@ namespace {
 
 struct PendingGate {
   std::string name;
-  std::string kind;
+  GateKind kind = GateKind::kBuf;
   std::vector<std::string> fanins;
   int line;
 };
+
+/// All parse failures are reported as EngineError(kInvalidInput) with the
+/// offending line number — malformed user input is a clean structured
+/// error, not an invariant violation.
+[[noreturn]] void parse_fail(int lineno, const std::string& what) {
+  throw EngineError(EngineStatus::kInvalidInput,
+                    "line " + std::to_string(lineno) + ": " + what);
+}
 
 }  // namespace
 
@@ -33,14 +42,20 @@ Netlist read_bench(std::istream& in, const std::string& circuit_name) {
     auto parse_paren = [&](std::string_view keyword) -> std::string {
       // keyword(name)
       std::string_view rest = trim(s.substr(keyword.size()));
-      MFT_CHECK_MSG(!rest.empty() && rest.front() == '(' && rest.back() == ')',
-                    "line " << lineno << ": malformed " << keyword);
+      if (rest.empty() || rest.front() != '(' || rest.back() != ')')
+        parse_fail(lineno, "malformed " + std::string(keyword));
       return std::string(trim(rest.substr(1, rest.size() - 2)));
     };
 
     const std::string upper = to_upper(s.substr(0, s.find('(')));
     if (starts_with(upper, "INPUT") && s.find('=') == std::string_view::npos) {
-      nl.add_input(parse_paren(s.substr(0, s.find('('))));
+      try {
+        nl.add_input(parse_paren(s.substr(0, s.find('('))));
+      } catch (const CheckError& e) {
+        // Duplicate signal names and the like: invalid input, with the
+        // offending line attached.
+        parse_fail(lineno, e.what());
+      }
       continue;
     }
     if (starts_with(upper, "OUTPUT") && s.find('=') == std::string_view::npos) {
@@ -49,16 +64,17 @@ Netlist read_bench(std::istream& in, const std::string& circuit_name) {
     }
 
     const std::size_t eq = s.find('=');
-    MFT_CHECK_MSG(eq != std::string_view::npos,
-                  "line " << lineno << ": expected assignment");
+    if (eq == std::string_view::npos) parse_fail(lineno, "expected assignment");
     PendingGate g;
     g.name = std::string(trim(s.substr(0, eq)));
     g.line = lineno;
     std::string_view rhs = trim(s.substr(eq + 1));
     const std::size_t open = rhs.find('(');
-    MFT_CHECK_MSG(open != std::string_view::npos && rhs.back() == ')',
-                  "line " << lineno << ": malformed gate expression");
-    g.kind = std::string(trim(rhs.substr(0, open)));
+    if (open == std::string_view::npos || rhs.back() != ')')
+      parse_fail(lineno, "malformed gate expression");
+    const std::string kind_str(trim(rhs.substr(0, open)));
+    if (!try_parse_gate_kind(kind_str, &g.kind))
+      parse_fail(lineno, "unknown gate type '" + kind_str + "'");
     const std::string_view args = rhs.substr(open + 1, rhs.size() - open - 2);
     for (const std::string& a : split(args, ',')) g.fanins.push_back(a);
     pending.push_back(std::move(g));
@@ -86,7 +102,11 @@ Netlist read_bench(std::istream& in, const std::string& circuit_name) {
         ids.push_back(id);
       }
       if (!ready) continue;
-      nl.add_gate(gate_kind_from_string(g.kind), g.name, std::move(ids));
+      try {
+        nl.add_gate(g.kind, g.name, std::move(ids));
+      } catch (const CheckError& e) {
+        parse_fail(g.line, e.what());
+      }
       done[i] = true;
       --remaining;
       progress = true;
@@ -95,15 +115,17 @@ Netlist read_bench(std::istream& in, const std::string& circuit_name) {
   if (remaining > 0) {
     for (std::size_t i = 0; i < pending.size(); ++i)
       if (!done[i])
-        MFT_CHECK_MSG(false, "line " << pending[i].line << ": gate '"
-                                     << pending[i].name
-                                     << "' references undefined signals "
-                                        "(or a combinational cycle)");
+        parse_fail(pending[i].line,
+                   "gate '" + pending[i].name +
+                       "' references undefined signals (or a combinational "
+                       "cycle)");
   }
 
   for (const std::string& o : output_names) {
     const GateId g = nl.find(o);
-    MFT_CHECK_MSG(g != kInvalidGate, "OUTPUT(" << o << ") is undefined");
+    if (g == kInvalidGate)
+      throw EngineError(EngineStatus::kInvalidInput,
+                        "OUTPUT(" + o + ") is undefined");
     nl.mark_output(g);
   }
   return nl;
@@ -117,7 +139,9 @@ Netlist read_bench_string(const std::string& text,
 
 Netlist read_bench_file(const std::string& path) {
   std::ifstream f(path);
-  MFT_CHECK_MSG(f.good(), "cannot open '" << path << "'");
+  if (!f.good())
+    throw EngineError(EngineStatus::kInvalidInput,
+                      "cannot open '" + path + "'");
   // Circuit name = basename without extension.
   std::string name = path;
   if (const auto slash = name.find_last_of('/'); slash != std::string::npos)

@@ -17,8 +17,10 @@
 
 namespace mft {
 
-/// Parses a .bench stream. Throws CheckError with a line number on syntax
-/// errors, undefined signals, or duplicate definitions.
+/// Parses a .bench stream. Throws EngineError(kInvalidInput) with a line
+/// number on syntax errors, unknown gate types, undefined signals, or
+/// duplicate definitions — malformed input is a structured, catchable
+/// error, never an invariant failure.
 Netlist read_bench(std::istream& in, const std::string& circuit_name = "bench");
 
 /// Convenience overload over a string.

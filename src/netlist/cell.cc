@@ -33,21 +33,26 @@ const char* to_string(GateKind k) {
   return "?";
 }
 
-GateKind gate_kind_from_string(const std::string& s) {
+bool try_parse_gate_kind(const std::string& s, GateKind* out) {
   const std::string u = to_upper(s);
-  if (u == "INPUT") return GateKind::kInput;
-  if (u == "BUF" || u == "BUFF") return GateKind::kBuf;
-  if (u == "NOT" || u == "INV") return GateKind::kNot;
-  if (u == "AND") return GateKind::kAnd;
-  if (u == "NAND") return GateKind::kNand;
-  if (u == "OR") return GateKind::kOr;
-  if (u == "NOR") return GateKind::kNor;
-  if (u == "XOR") return GateKind::kXor;
-  if (u == "XNOR") return GateKind::kXnor;
-  if (u == "AOI21") return GateKind::kAoi21;
-  if (u == "OAI21") return GateKind::kOai21;
-  MFT_CHECK_MSG(false, "unknown gate kind '" << s << "'");
-  return GateKind::kBuf;  // unreachable
+  if (u == "INPUT") return *out = GateKind::kInput, true;
+  if (u == "BUF" || u == "BUFF") return *out = GateKind::kBuf, true;
+  if (u == "NOT" || u == "INV") return *out = GateKind::kNot, true;
+  if (u == "AND") return *out = GateKind::kAnd, true;
+  if (u == "NAND") return *out = GateKind::kNand, true;
+  if (u == "OR") return *out = GateKind::kOr, true;
+  if (u == "NOR") return *out = GateKind::kNor, true;
+  if (u == "XOR") return *out = GateKind::kXor, true;
+  if (u == "XNOR") return *out = GateKind::kXnor, true;
+  if (u == "AOI21") return *out = GateKind::kAoi21, true;
+  if (u == "OAI21") return *out = GateKind::kOai21, true;
+  return false;
+}
+
+GateKind gate_kind_from_string(const std::string& s) {
+  GateKind k;
+  MFT_CHECK_MSG(try_parse_gate_kind(s, &k), "unknown gate kind '" << s << "'");
+  return k;
 }
 
 bool is_primitive(GateKind k) {

@@ -32,6 +32,11 @@ const char* to_string(GateKind k);
 /// CheckError on unknown keywords.
 GateKind gate_kind_from_string(const std::string& s);
 
+/// Non-throwing variant: true and *out set when `s` names a known gate
+/// kind. The parser uses this to reject unknown kinds with a line number
+/// instead of an abort-style check failure.
+bool try_parse_gate_kind(const std::string& s, GateKind* out);
+
 /// True for gates that a single static CMOS stage implements directly and
 /// for which an SP transistor topology exists (NOT/NAND/NOR/AOI/OAI and the
 /// degenerate single-transistor planes of BUF treated as inverter).

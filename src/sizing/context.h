@@ -23,6 +23,7 @@
 
 namespace mft {
 
+class AbortToken;
 class ThreadArena;
 
 /// Per-context STA instrumentation, aggregated over both embedded
@@ -73,6 +74,13 @@ class SizingContext {
   void set_arena(ThreadArena* arena);
   ThreadArena* arena() const { return arena_; }
 
+  /// Cooperative abort/budget token for the job currently running on this
+  /// context (nullptr when none). Not owned; the engine worker installs it
+  /// at job start and clears it at job end. Passes check it at their
+  /// natural checkpoints — a null or disarmed token never changes results.
+  void set_abort(AbortToken* abort) { abort_ = abort; }
+  AbortToken* abort() const { return abort_; }
+
   /// Marks the start of a new job on a reused context: zeroes all
   /// instrumentation so per-job stats are not polluted by earlier jobs.
   /// Cached solver state (LP structure, flow arena, last-sizes vector) is
@@ -88,6 +96,7 @@ class SizingContext {
  private:
   const SizingNetwork* net_;
   ThreadArena* arena_ = nullptr;
+  AbortToken* abort_ = nullptr;
   TimingScratch timing_;
   DPhaseWorkspace dphase_;
 };

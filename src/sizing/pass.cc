@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/abort.h"
 #include "util/stopwatch.h"
 
 namespace mft {
@@ -16,7 +17,8 @@ TilosPass::TilosPass(const TilosOptions& opt) : opt_(opt) {}
 
 PassStatus TilosPass::run(SizingContext& ctx, PipelineState& s) {
   Stopwatch sw;
-  s.initial = run_tilos(ctx.net(), s.target_delay, opt_, ctx.arena());
+  s.initial =
+      run_tilos(ctx.net(), s.target_delay, opt_, ctx.arena(), ctx.abort());
   s.tilos_seconds = sw.seconds();
   s.sizes = s.initial.sizes;
   s.best_sizes = s.initial.sizes;
@@ -39,7 +41,8 @@ PassStatus WPhasePass::run(SizingContext& ctx, PipelineState& s) {
   // current iterate — which already satisfies these budgets, so the sweeps
   // only have to settle the min-clamped vertices.
   const TimingReport& t0 = ctx.sta(s.sizes);
-  const WPhaseResult w0 = solve_wphase(net, t0.delay, s.sizes, ctx.arena());
+  const WPhaseResult w0 =
+      solve_wphase(net, t0.delay, s.sizes, ctx.arena(), ctx.abort());
   s.wphase_sweeps += w0.sweeps;
   if (w0.feasible) {
     const double area0 = net.area(w0.sizes);
@@ -86,7 +89,8 @@ PassStatus DPhasePass::run(SizingContext& ctx, PipelineState& s) {
   s.dphase_changed.clear();
   s.dphase_changed_valid = true;
   if (!d.solved) return PassStatus::kDone;
-  const WPhaseResult w = solve_wphase(net, d.budget, s.sizes, ctx.arena());
+  const WPhaseResult w =
+      solve_wphase(net, d.budget, s.sizes, ctx.arena(), ctx.abort());
   s.wphase_sweeps += w.sweeps;
   const TimingReport& timing = ctx.sta(w.sizes);
   const double area = net.area(w.sizes);
@@ -166,6 +170,7 @@ PipelineResult Pipeline::run(SizingContext& ctx, double target_delay,
   s.seed = seed;
   out.pass_stats.reserve(entries_.size());
 
+  AbortToken* tok = ctx.abort();
   bool aborted = false;
   for (const Entry& e : entries_) {
     PassStats stats;
@@ -173,6 +178,12 @@ PipelineResult Pipeline::run(SizingContext& ctx, double target_delay,
     if (!aborted && e.max_repeats > 0) {
       e.pass->begin(ctx, s);
       for (int rep = 0; rep < e.max_repeats; ++rep) {
+        // Pass-granularity checkpoint: once the token trips, stop invoking
+        // passes and surface the best-so-far state.
+        if (tok != nullptr && tok->step()) {
+          aborted = true;
+          break;
+        }
         Stopwatch sw;
         const PassStatus st = e.pass->run(ctx, s);
         stats.seconds += sw.seconds();
@@ -185,6 +196,7 @@ PipelineResult Pipeline::run(SizingContext& ctx, double target_delay,
     }
     out.pass_stats.push_back(std::move(stats));
   }
+  if (tok != nullptr) s.abort_status = tok->tripped();
   out.total_seconds = total.seconds();
   return out;
 }

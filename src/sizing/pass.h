@@ -24,6 +24,7 @@
 #include "sizing/context.h"
 #include "sizing/downsize.h"
 #include "sizing/minflotransit.h"
+#include "util/status.h"
 
 namespace mft {
 
@@ -39,6 +40,12 @@ struct PipelineState {
 
   TilosResult initial;         ///< the TILOS seed solution
   double tilos_seconds = 0.0;  ///< wall time of the TILOS pass
+
+  /// Why the run was cut short, if the context's AbortToken tripped
+  /// (kCanceled / kDeadlineExpired / kStepBudget); kOk on a full run. When
+  /// not kOk, sizes/best_sizes hold the best-so-far iterate — feasible iff
+  /// met_target, since every accepted move preserves the delay target.
+  EngineStatus abort_status = EngineStatus::kOk;
 
   std::vector<IterationLog> iterations;  ///< accepted D/W iterations
 

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "sizing/context.h"
+#include "util/abort.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 #include "util/str.h"
 
@@ -175,6 +177,7 @@ ShardPartition partition_levels(const SizingNetwork& net, int num_shards) {
 ShardNetwork build_shard_network(const SizingNetwork& net,
                                  const ShardPartition& part, int shard,
                                  const std::vector<double>& frozen_sizes) {
+  MFT_FAULT_POINT("shard.extract");
   MFT_CHECK(shard >= 0 && shard < part.num_shards());
   MFT_CHECK(static_cast<int>(frozen_sizes.size()) == net.num_vertices());
   const std::vector<NodeId>& owned =
@@ -287,6 +290,8 @@ void ShardReconcilePass::begin(SizingContext& ctx, PipelineState& s) {
   first_stitch_ = TilosResult{};
   round_ = 0;
   shard_jobs_ = 0;
+  shard_retries_ = 0;
+  shard_failures_ = 0;
   progress_done_ = 0;
   reconcile_seconds_ = 0.0;
   converged_ = false;
@@ -459,55 +464,103 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
       ++inner[widest[i]];
   }
 
-  std::vector<JobTicket> tickets;
-  tickets.reserve(dirty.size());
-  for (std::size_t i = 0; i < dirty.size(); ++i) {
-    const int sh = dirty[i];
+  // Builds shard sh's job network at the current stitched sizes (the
+  // original network for K == 1) and records the frozen boundary
+  // snapshot. Throws when an armed "shard.extract" fault fires.
+  auto rebuild = [&](int sh) -> const SizingNetwork* {
     ShardState& st = shards_[static_cast<std::size_t>(sh)];
-    const SizingNetwork* job_net = &net;
-    if (k > 1) {
-      st.net = build_shard_network(net, part_, sh, s.sizes);
-      st.frozen.clear();
-      for (const NodeId gv : st.net.frozen_loads)
-        st.frozen.push_back(s.sizes[static_cast<std::size_t>(gv)]);
-      job_net = st.net.net.get();
-    }
+    if (k == 1) return &net;
+    st.net = build_shard_network(net, part_, sh, s.sizes);
+    st.frozen.clear();
+    for (const NodeId gv : st.net.frozen_loads)
+      st.frozen.push_back(s.sizes[static_cast<std::size_t>(gv)]);
+    return st.net.net.get();
+  };
+  auto make_job = [&](int sh, int width, const char* suffix) {
     SizingJob job;
-    job.inner_threads = inner[i];
+    job.inner_threads = width;
+    const ShardState& st = shards_[static_cast<std::size_t>(sh)];
     job.target_delay =
         k > 1 ? st.span * (1.0 - opt_.boundary_margin) : st.span;
     job.options = opt_.options;
-    job.label = strf("shard%d@r%d", sh, round_);
+    job.label = strf("shard%d@r%d%s", sh, round_, suffix);
     job.shard = sh;
     job.shard_round = round_;
+    return job;
+  };
+
+  std::vector<JobTicket> tickets(dirty.size(), 0);
+  std::vector<char> submitted(dirty.size(), 0);
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const int sh = dirty[i];
+    const SizingNetwork* job_net = nullptr;
+    try {
+      job_net = rebuild(sh);
+    } catch (const std::exception&) {
+      // Extraction failed: leave the slot unsubmitted; the consume loop
+      // retries it (fresh build, fresh context) in ticket position.
+      continue;
+    }
     std::function<void(const JobResult&)> on_complete;
     if (opt_.runner.progress)
       on_complete = [this, round_total](const JobResult& r) {
         // Serialized by the runner's callback lock; jobs of a round all
         // complete before the next round submits, so the count is
-        // monotone in [1, round_total] within each round.
+        // monotone in [1, round_total] within each round (retry jobs are
+        // not counted — round_total is the no-failure job count).
         opt_.runner.progress(r, ++progress_done_, round_total);
       };
-    tickets.push_back(
-        stream_->submit(*job_net, std::move(job), std::move(on_complete)));
+    tickets[i] = stream_->submit(*job_net, make_job(sh, inner[i], ""),
+                                 std::move(on_complete));
+    submitted[i] = 1;
   }
   shard_jobs_ = round_total;
 
   // Consume in ticket order — deterministic at any worker count — and
   // stitch each solution into the global iterate as it is claimed, while
   // the round's stragglers are still running. (Clean shards keep the
-  // stitched values of the round that last solved them.)
+  // stitched values of the round that last solved them.) A failed or
+  // canceled shard job is retried exactly once on a freshly built network
+  // — the fresh serial guarantees a fresh worker context, so corrupt
+  // cached state cannot poison the retry. A shard whose retry also fails
+  // keeps its previous stitched band (min sizes in round 1) and stays
+  // dirty: the band folds back into the stitched STA and the monolithic
+  // re-budget, degrading the round instead of aborting the solve. The
+  // pipeline's round cap then guarantees feasible-or-error termination.
+  int retried = 0, failed = 0;
   JobResult first;  // K == 1: the single job's full result, kept verbatim
   for (std::size_t i = 0; i < dirty.size(); ++i) {
-    JobResult r = stream_->wait(tickets[i]);
+    const int sh = dirty[i];
+    ShardState& st = shards_[static_cast<std::size_t>(sh)];
+    JobResult r;
+    if (submitted[i]) r = stream_->wait(tickets[i]);
     if (!r.ok) {
-      // Later tickets of the round may still be queued against shard
-      // networks the unwinding will free; cancel them (in-flight jobs
-      // finish against the still-alive networks) before throwing.
-      stream_->shutdown(StreamingRunner::ShutdownMode::kCancel);
-      throw std::runtime_error("shard job " + r.label + " failed: " + r.error);
+      ++retried;
+      ++shard_retries_;
+      try {
+        const SizingNetwork* job_net = rebuild(sh);
+        r = stream_->wait(
+            stream_->submit(*job_net, make_job(sh, inner[i], ".retry")));
+      } catch (const std::exception& e) {
+        r.ok = false;
+        if (r.error.empty()) r.error = e.what();
+      }
     }
-    ShardState& st = shards_[static_cast<std::size_t>(dirty[i])];
+    if (!r.ok) {
+      ++failed;
+      ++shard_failures_;
+      if (k == 1) {
+        // The passthrough job *is* the monolithic solve: nothing to fold
+        // back into. Cancel any stragglers before unwinding frees state.
+        stream_->shutdown(StreamingRunner::ShutdownMode::kCancel);
+        throw EngineError(
+            EngineStatus::kShardFailed,
+            "shard job " + r.label + " failed after retry: " + r.error);
+      }
+      st.dirty = true;
+      st.solved_span = -1.0;  // force a re-solve next round
+      continue;
+    }
     st.sizes = r.result.sizes;
     st.solved_span = st.span;
     st.dirty = false;
@@ -521,6 +574,7 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
       first = std::move(r);
     }
   }
+  shard_jobs_ += retried;
   const double round_seconds = round_sw.seconds();
 
   // K == 1: the single job *is* the monolithic pipeline — forward its
@@ -543,6 +597,7 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
     rr.area = inner.area;
     rr.met_target = inner.met_target;
     rr.shards_solved = 1;
+    rr.shards_retried = retried;
     rr.wall_seconds = round_seconds;
     rr.spans.push_back(shards_[0].solved_span);
     rounds_.push_back(std::move(rr));
@@ -562,7 +617,9 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
   rr.critical_path = cp;
   rr.area = area;
   rr.met_target = met;
-  rr.shards_solved = static_cast<int>(dirty.size());
+  rr.shards_solved = static_cast<int>(dirty.size()) - failed;
+  rr.shards_retried = retried;
+  rr.shards_failed = failed;
   rr.wall_seconds = round_seconds;
   for (int sh = 0; sh < k; ++sh)
     rr.spans.push_back(shards_[static_cast<std::size_t>(sh)].solved_span);
@@ -621,11 +678,18 @@ ShardSolveResult run_sharded_solve(const SizingNetwork& net,
                                    double target_delay,
                                    const ShardOptions& opt) {
   SizingContext ctx(net);
+  // Solve-level deadline/step budget, observed at the pipeline's
+  // round-granularity checkpoint. A disarmed token never changes results.
+  AbortToken token;
+  if (opt.deadline_seconds > 0) token.arm_deadline(opt.deadline_seconds);
+  if (opt.max_steps > 0) token.arm_steps(opt.max_steps);
+  ctx.set_abort(&token);
   auto pass = std::make_unique<ShardReconcilePass>(opt);
   ShardReconcilePass* p = pass.get();
   Pipeline pipe;
   pipe.add(std::move(pass), opt.max_rounds);
   const PipelineResult pr = pipe.run(ctx, target_delay, opt.options.seed);
+  ctx.set_abort(nullptr);
 
   ShardSolveResult out;
   out.result = to_minflotransit_result(ctx, pr);
@@ -635,6 +699,19 @@ ShardSolveResult run_sharded_solve(const SizingNetwork& net,
   out.shard_jobs = p->shard_jobs();
   out.reconcile_seconds = p->reconcile_seconds();
   out.converged = p->converged();
+  out.shard_retries = p->shard_retries();
+  out.shard_failures = p->shard_failures();
+  if (pr.state.abort_status != EngineStatus::kOk) {
+    out.status = pr.state.abort_status;
+    out.degraded = pr.state.met_target;
+  } else if (p->shard_failures() > 0 && !pr.state.met_target) {
+    // Feasible-or-error: persistent shard failures with no feasible
+    // stitch inside the round cap are an error, not a silent miss.
+    throw EngineError(EngineStatus::kShardFailed,
+                      strf("%d shard job(s) failed after retry and the "
+                           "sharded solve never met its target",
+                           p->shard_failures()));
+  }
   return out;
 }
 

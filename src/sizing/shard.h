@@ -91,6 +91,13 @@ struct ShardOptions {
   double boundary_margin = 0.005;
   /// Per-shard optimizer configuration (the usual pipeline options).
   MinflotransitOptions options;
+  /// Wall-clock deadline / virtual-step budget for the *whole* sharded
+  /// solve (0 = none), enforced at round granularity through the pipeline
+  /// checkpoint: an expired solve stops after its current round and
+  /// reports the best stitched iterate with status/degraded set (same
+  /// contract as SizingJob's knobs).
+  double deadline_seconds = 0.0;
+  std::int64_t max_steps = 0;
   /// Worker pool for the streamed shard jobs (threads, inner_threads,
   /// base_seed, progress — the progress hook fires per completed shard
   /// job). Because every reconciliation round rebuilds its dirty shard
@@ -148,6 +155,12 @@ struct ShardRound {
   double area = 0.0;           ///< stitched area
   bool met_target = false;
   int shards_solved = 0;       ///< dirty shards re-solved this round
+  /// Failure recovery this round: jobs retried once on a freshly built
+  /// shard network, and shards whose retry also failed — their band kept
+  /// the previous stitched sizes and stayed dirty for the next round's
+  /// monolithic re-budget.
+  int shards_retried = 0;
+  int shards_failed = 0;
   /// Rebuild + streamed solve + stitch of the round's dirty shards, from
   /// the first submit to the last ticket consumed (rebuild and stitch
   /// overlap the in-flight solves).
@@ -172,6 +185,14 @@ struct ShardSolveResult {
   /// wave-free measurement — everything else overlaps the shard solves.
   double reconcile_seconds = 0.0;
   bool converged = false;      ///< no shard dirty when the pass stopped
+  /// Structured outcome. kOk on a clean solve; kDeadlineExpired /
+  /// kStepBudget when the solve-level budget tripped (degraded set when a
+  /// feasible stitch exists). Shard-job failures that recovery absorbed
+  /// show up only in the retry/failure counters.
+  EngineStatus status = EngineStatus::kOk;
+  bool degraded = false;
+  int shard_retries = 0;   ///< failed shard jobs retried (successfully or not)
+  int shard_failures = 0;  ///< shard jobs whose retry also failed
 };
 
 /// The reconciliation driver as a PR-2 pipeline pass over the full-network
@@ -199,6 +220,8 @@ class ShardReconcilePass : public OptimizerPass {
   int shard_jobs() const { return shard_jobs_; }
   double reconcile_seconds() const { return reconcile_seconds_; }
   bool converged() const { return converged_; }
+  int shard_retries() const { return shard_retries_; }
+  int shard_failures() const { return shard_failures_; }
 
  private:
   struct ShardState;
@@ -218,6 +241,8 @@ class ShardReconcilePass : public OptimizerPass {
   TilosResult first_stitch_;
   int round_ = 0;
   int shard_jobs_ = 0;
+  int shard_retries_ = 0;
+  int shard_failures_ = 0;
   int progress_done_ = 0;  ///< ShardOptions::runner.progress completion count
   double reconcile_seconds_ = 0.0;
   bool converged_ = false;
@@ -233,9 +258,15 @@ class ShardReconcilePass : public OptimizerPass {
 };
 
 /// Partition → parallel shard jobs → reconciliation, end to end, on a
-/// fresh context. Throws std::runtime_error when a shard job fails
-/// internally (never for an unreachable target — that is reported through
-/// result.met_target, like the monolithic solver).
+/// fresh context. A failed shard job is retried once on a freshly built
+/// network; a shard whose retry also fails keeps its previous stitched
+/// band and stays dirty, so the solve degrades instead of aborting (never
+/// for an unreachable target — that is reported through
+/// result.met_target, like the monolithic solver). Throws
+/// EngineError(kShardFailed) only when failures persist *and* no feasible
+/// stitch was ever found within the round cap (feasible-or-error
+/// termination), or when the K == 1 passthrough job double-fails (there is
+/// no band to fold back).
 ShardSolveResult run_sharded_solve(const SizingNetwork& net,
                                    double target_delay,
                                    const ShardOptions& opt = {});

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/abort.h"
+
 namespace mft {
 
 double min_sized_delay(const SizingNetwork& net) {
@@ -10,7 +12,8 @@ double min_sized_delay(const SizingNetwork& net) {
 }
 
 TilosResult run_tilos(const SizingNetwork& net, double target_delay,
-                      const TilosOptions& opt, ThreadArena* arena) {
+                      const TilosOptions& opt, ThreadArena* arena,
+                      AbortToken* abort) {
   MFT_CHECK(opt.bumpsize > 1.0);
   const Tech& tech = net.tech();
   TilosResult res;
@@ -37,6 +40,7 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
       break;
     }
     if (res.bumps >= max_bumps) break;
+    if (abort != nullptr && abort->step()) break;
 
     const std::vector<NodeId> path = timing.critical_vertices(net);
     std::fill(on_path.begin(), on_path.end(), 0);

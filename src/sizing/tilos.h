@@ -29,6 +29,7 @@ struct TilosResult {
   std::int64_t bumps = 0;
 };
 
+class AbortToken;
 class ThreadArena;
 
 /// Critical-path delay of the minimum-sized circuit (the paper's Dmin).
@@ -39,8 +40,12 @@ double min_sized_delay(const SizingNetwork& net);
 /// delay recompute itself is O(loaders-of-one-vertex): each bump passes the
 /// bumped vertex to run_sta's changed-hint overload instead of letting it
 /// rediscover the change by scanning all sizes.
+///
+/// `abort` (optional) is checked once per bump; when it trips the loop
+/// stops with the best-so-far sizes and met_target reflecting the last STA.
 TilosResult run_tilos(const SizingNetwork& net, double target_delay,
                       const TilosOptions& opt = {},
-                      ThreadArena* arena = nullptr);
+                      ThreadArena* arena = nullptr,
+                      AbortToken* abort = nullptr);
 
 }  // namespace mft

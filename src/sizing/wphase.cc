@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/abort.h"
 #include "util/parallel.h"
 
 namespace mft {
@@ -25,7 +26,7 @@ struct alignas(64) SweepLocal {
 WPhaseResult solve_wphase_impl(const SizingNetwork& net,
                                const std::vector<double>& delay_budget,
                                const std::vector<double>& start,
-                               ThreadArena* arena) {
+                               ThreadArena* arena, AbortToken* abort) {
   MFT_CHECK(net.frozen());
   MFT_CHECK(static_cast<int>(delay_budget.size()) == net.num_vertices());
   MFT_CHECK(static_cast<int>(start.size()) == net.num_vertices());
@@ -66,6 +67,12 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
   const auto& topo = net.topological_order();
   const int max_sweeps = std::max(4, net.num_vertices());
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (abort != nullptr && abort->step()) {
+      // Interrupted mid-relaxation: the iterate may not satisfy the
+      // budgets, so report it infeasible and let the caller discard it.
+      res.feasible = false;
+      break;
+    }
     ++res.sweeps;
     double max_rel_change = 0.0;
     char infeasible = 0;
@@ -113,15 +120,15 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
 
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
-                          ThreadArena* arena) {
-  return solve_wphase_impl(net, delay_budget, net.min_sizes(), arena);
+                          ThreadArena* arena, AbortToken* abort) {
+  return solve_wphase_impl(net, delay_budget, net.min_sizes(), arena, abort);
 }
 
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
                           const std::vector<double>& start,
-                          ThreadArena* arena) {
-  return solve_wphase_impl(net, delay_budget, start, arena);
+                          ThreadArena* arena, AbortToken* abort) {
+  return solve_wphase_impl(net, delay_budget, start, arena, abort);
 }
 
 }  // namespace mft

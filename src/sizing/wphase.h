@@ -32,6 +32,7 @@
 
 namespace mft {
 
+class AbortToken;
 class ThreadArena;
 
 struct WPhaseResult {
@@ -47,15 +48,19 @@ struct WPhaseResult {
   int sweeps = 0;
 };
 
-/// Cold start from net.min_sizes().
+/// Cold start from net.min_sizes(). `abort` (optional) is checked once per
+/// sweep; a trip stops the relaxation and reports feasible=false so the
+/// caller rejects the half-converged iterate.
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
-                          ThreadArena* arena = nullptr);
+                          ThreadArena* arena = nullptr,
+                          AbortToken* abort = nullptr);
 
 /// Warm start from `start` (one full per-vertex size vector, sources 0).
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
                           const std::vector<double>& start,
-                          ThreadArena* arena = nullptr);
+                          ThreadArena* arena = nullptr,
+                          AbortToken* abort = nullptr);
 
 }  // namespace mft

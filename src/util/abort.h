@@ -1,0 +1,80 @@
+// Cooperative abort token checked at pass/sweep/round checkpoints.
+//
+// One token is owned by one job. The owner thread calls step() at natural
+// checkpoints (TILOS bump, W-phase sweep, D-phase iteration, shard round);
+// any thread may call request_cancel(). The first budget that fires latches
+// its status sticky, so the pipeline unwinds with a single consistent
+// reason. With no deadline/budget armed and no cancel requested, step() is
+// a relaxed atomic load plus two integer compares — cheap enough to leave
+// in release builds, and it never perturbs numerics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace mft {
+
+/// Cancellation + budget latch shared between a job's submitter and the
+/// worker running it. Thread-safety: request_cancel() and canceled() are
+/// safe from any thread; everything else is owner-thread only.
+class AbortToken {
+ public:
+  AbortToken() = default;
+
+  /// Arm a wall-clock deadline, measured from now. Non-positive disarms.
+  void arm_deadline(double seconds) {
+    deadline_seconds_ = seconds > 0 ? seconds : 0;
+    clock_.reset();
+  }
+
+  /// Arm a virtual-step budget: the token trips after `steps` checkpoint
+  /// visits, independent of wall clock (deterministic for tests).
+  /// Non-positive disarms.
+  void arm_steps(std::int64_t steps) { max_steps_ = steps > 0 ? steps : 0; }
+
+  /// Request cooperative cancellation. Safe from any thread; the running
+  /// job observes it at its next checkpoint.
+  void request_cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  bool canceled() const { return cancel_.load(std::memory_order_relaxed); }
+
+  /// Checkpoint: returns true (and latches the reason) once any armed
+  /// budget has tripped. Cancel wins over the step budget, which wins over
+  /// the deadline, so concurrent trips resolve deterministically.
+  bool step() {
+    if (tripped_ != EngineStatus::kOk) return true;
+    if (cancel_.load(std::memory_order_relaxed)) {
+      tripped_ = EngineStatus::kCanceled;
+      return true;
+    }
+    ++steps_;
+    if (max_steps_ > 0 && steps_ > max_steps_) {
+      tripped_ = EngineStatus::kStepBudget;
+      return true;
+    }
+    if (deadline_seconds_ > 0 && clock_.seconds() > deadline_seconds_) {
+      tripped_ = EngineStatus::kDeadlineExpired;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reason the token tripped, or kOk if it has not.
+  EngineStatus tripped() const { return tripped_; }
+
+  /// Checkpoints visited so far (owner thread).
+  std::int64_t steps() const { return steps_; }
+
+ private:
+  std::atomic<bool> cancel_{false};
+  EngineStatus tripped_ = EngineStatus::kOk;
+  std::int64_t steps_ = 0;
+  std::int64_t max_steps_ = 0;
+  double deadline_seconds_ = 0;
+  Stopwatch clock_;
+};
+
+}  // namespace mft

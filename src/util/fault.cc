@@ -1,0 +1,131 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace mft {
+
+namespace {
+
+/// splitmix64 finalizer — decorrelates (seed, hit) pairs for arm_random.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct Plan {
+  // Deterministic nth-hit window: fire on hits [nth, nth + times).
+  std::int64_t nth = 0;
+  std::int64_t times = 0;
+  // Probabilistic mode (nth == 0): fire when hash(seed, hit) < p.
+  double p = 0;
+  std::uint64_t seed = 0;
+  std::int64_t hits = 0;
+};
+
+struct State {
+  mutable std::mutex mu;
+  std::map<std::string, Plan> plans;
+};
+
+State& state() {
+  static State* s = new State;
+  return *s;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* fi = new FaultInjector;
+  return *fi;
+}
+
+FaultInjector::FaultInjector() {
+  // MFT_FAULTS="site:nth[xTIMES],site2:nth2,..."
+  const char* env = std::getenv("MFT_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string spec(env);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) continue;
+    std::string site = entry.substr(0, colon);
+    std::string rest = entry.substr(colon + 1);
+    std::int64_t nth = 1, times = 1;
+    std::size_t x = rest.find('x');
+    try {
+      if (x == std::string::npos) {
+        nth = std::stoll(rest);
+      } else {
+        nth = std::stoll(rest.substr(0, x));
+        times = std::stoll(rest.substr(x + 1));
+      }
+    } catch (const std::exception&) {
+      continue;  // malformed entry: ignore rather than abort startup
+    }
+    arm(site, nth, times);
+  }
+}
+
+void FaultInjector::arm(const std::string& site, std::int64_t nth,
+                        std::int64_t times) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  Plan& plan = s.plans[site];
+  plan = Plan{};
+  plan.nth = nth < 1 ? 1 : nth;
+  plan.times = times < 0 ? 0 : times;
+  armed_.store(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_random(const std::string& site, double p,
+                               std::uint64_t seed) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  Plan& plan = s.plans[site];
+  plan = Plan{};
+  plan.p = p < 0 ? 0 : (p > 1 ? 1 : p);
+  plan.seed = seed;
+  armed_.store(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.plans.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t FaultInjector::hits(const std::string& site) const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.plans.find(site);
+  return it == s.plans.end() ? 0 : it->second.hits;
+}
+
+bool FaultInjector::should_fire(const std::string& site) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.plans.find(site);
+  if (it == s.plans.end()) return false;
+  Plan& plan = it->second;
+  const std::int64_t hit = ++plan.hits;
+  if (plan.nth > 0)
+    return hit >= plan.nth && hit < plan.nth + plan.times;
+  if (plan.p > 0) {
+    const std::uint64_t h = mix64(plan.seed ^ static_cast<std::uint64_t>(hit));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    return u < plan.p;
+  }
+  return false;
+}
+
+}  // namespace mft

@@ -1,0 +1,82 @@
+// Deterministic fault-injection harness.
+//
+// Named injection sites are compiled into the library permanently; when the
+// injector is disarmed (the default) each site costs one relaxed atomic
+// load. Tests (or the MFT_FAULTS environment variable) arm a site to throw
+// FaultInjectedError on a specific hit, so failure paths — worker death,
+// shard retry, context-pool faults — can be soaked reproducibly.
+//
+//   MFT_FAULTS="shard.extract:2,stream.worker:1x3"
+//
+// arms "shard.extract" to fire on its 2nd hit and "stream.worker" to fire
+// on hits 1..3. Hit counting is global across threads and deterministic
+// whenever the per-site hit order is (e.g. single worker, or sites reached
+// once per job).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mft {
+
+/// Error thrown at an armed fault site. Carries the site name so tests can
+/// assert exactly which injection fired.
+class FaultInjectedError : public EngineError {
+ public:
+  explicit FaultInjectedError(const std::string& site)
+      : EngineError(EngineStatus::kInternal,
+                    "injected fault at site '" + site + "'"),
+        site_(site) {}
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Process-wide fault injector. All mutation is mutex-guarded; the hot
+/// disarmed path is a single relaxed atomic load (see MFT_FAULT_POINT).
+class FaultInjector {
+ public:
+  /// The singleton. Parses MFT_FAULTS from the environment on first use.
+  static FaultInjector& instance();
+
+  /// Arm `site` to fire on hits [nth, nth+times) (1-based hit counter).
+  void arm(const std::string& site, std::int64_t nth, std::int64_t times = 1);
+
+  /// Arm `site` to fire pseudo-randomly with probability `p` per hit,
+  /// deterministically derived from (seed, hit index).
+  void arm_random(const std::string& site, double p, std::uint64_t seed);
+
+  /// Disarm every site and reset hit counters.
+  void disarm_all();
+
+  /// Hits recorded at `site` since it was armed (0 when never armed).
+  std::int64_t hits(const std::string& site) const;
+
+  /// True when any site is armed (the fast-path gate).
+  bool armed() const { return armed_.load(std::memory_order_relaxed) != 0; }
+
+  /// Slow path: record a hit at `site` and decide whether it fires.
+  /// Call through MFT_FAULT_POINT, not directly.
+  bool should_fire(const std::string& site);
+
+ private:
+  FaultInjector();
+
+  std::atomic<int> armed_{0};
+};
+
+}  // namespace mft
+
+/// Named injection site. Free when disarmed; throws FaultInjectedError
+/// when armed for this hit.
+#define MFT_FAULT_POINT(site)                                         \
+  do {                                                                \
+    ::mft::FaultInjector& mft_fi_ = ::mft::FaultInjector::instance(); \
+    if (mft_fi_.armed() && mft_fi_.should_fire(site))                 \
+      throw ::mft::FaultInjectedError(site);                          \
+  } while (0)

@@ -1,0 +1,56 @@
+// Structured error taxonomy for the sizing engine.
+//
+// EngineStatus replaces bare error strings in JobResult and in the throws
+// that cross the engine boundary, so a service front-end (and the batch
+// JSON) can react to *what* failed rather than parsing a message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mft {
+
+/// Machine-readable outcome code attached to every JobResult and to
+/// EngineError throws. kOk is the only success code; a degraded result
+/// (deadline/step budget tripped with a feasible best-so-far iterate)
+/// still reports ok=true but carries the budget code that tripped.
+enum class EngineStatus {
+  kOk = 0,
+  kInvalidInput,      // malformed netlist / bad job parameters
+  kCanceled,          // canceled via StreamingRunner::cancel or shutdown
+  kDeadlineExpired,   // wall-clock deadline tripped mid-solve
+  kStepBudget,        // virtual-step budget tripped mid-solve
+  kWorkerDied,        // worker thread failed outside the job body
+  kShardFailed,       // sharded solve exhausted retry + degrade paths
+  kInternal,          // unclassified exception inside the job body
+};
+
+/// Stable lower-case token for JSON / logs.
+inline const char* to_string(EngineStatus s) {
+  switch (s) {
+    case EngineStatus::kOk: return "ok";
+    case EngineStatus::kInvalidInput: return "invalid_input";
+    case EngineStatus::kCanceled: return "canceled";
+    case EngineStatus::kDeadlineExpired: return "deadline_expired";
+    case EngineStatus::kStepBudget: return "step_budget";
+    case EngineStatus::kWorkerDied: return "worker_died";
+    case EngineStatus::kShardFailed: return "shard_failed";
+    case EngineStatus::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+/// Exception carrying an EngineStatus. Thrown by the parsing and shard
+/// layers; the streaming runner maps it back into JobResult::status.
+class EngineError : public std::runtime_error {
+ public:
+  EngineError(EngineStatus status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+
+  EngineStatus status() const { return status_; }
+
+ private:
+  EngineStatus status_;
+};
+
+}  // namespace mft

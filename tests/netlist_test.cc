@@ -5,6 +5,7 @@
 #include "netlist/netlist.h"
 #include "netlist/stats.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace mft {
 namespace {
@@ -168,12 +169,38 @@ a2 = NOT(a)
 
 TEST(BenchIo, RejectsUndefinedSignals) {
   EXPECT_THROW(read_bench_string("INPUT(a)\nz = NAND(a, ghost)\nOUTPUT(z)\n"),
-               CheckError);
+               EngineError);
 }
 
 TEST(BenchIo, RejectsMalformedLines) {
-  EXPECT_THROW(read_bench_string("z NAND(a, b)\n"), CheckError);
-  EXPECT_THROW(read_bench_string("INPUT a\n"), CheckError);
+  EXPECT_THROW(read_bench_string("z NAND(a, b)\n"), EngineError);
+  EXPECT_THROW(read_bench_string("INPUT a\n"), EngineError);
+}
+
+TEST(BenchIo, ParseErrorsAreStructuredWithLineNumbers) {
+  // Malformed input must surface as EngineError(kInvalidInput) carrying
+  // the offending line number — never as an invariant CheckError.
+  try {
+    read_bench_string("INPUT(a)\nz = FLIPFLOP(a)\nOUTPUT(z)\n");
+    FAIL() << "unknown gate type accepted";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.status(), EngineStatus::kInvalidInput);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("FLIPFLOP"), std::string::npos);
+  }
+  try {
+    read_bench_string("INPUT(a)\nINPUT(a)\n");
+    FAIL() << "duplicate input accepted";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.status(), EngineStatus::kInvalidInput);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  try {
+    read_bench_file("/nonexistent/no-such-file.bench");
+    FAIL() << "missing file accepted";
+  } catch (const EngineError& e) {
+    EXPECT_EQ(e.status(), EngineStatus::kInvalidInput);
+  }
 }
 
 TEST(BenchIo, RoundTripPreservesStructureAndFunction) {
