@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   std::fprintf(f, "gate,size\n");
   for (NodeId v = 0; v < lc.net.num_vertices(); ++v)
     if (!lc.net.is_source(v))
-      std::fprintf(f, "%s,%.4f\n", lc.net.vertex(v).name.c_str(),
+      std::fprintf(f, "%s,%.4f\n", lc.net.name(v).c_str(),
                    r.sizes[static_cast<std::size_t>(v)]);
   std::fclose(f);
   std::printf("sizing report: %s\n", out.c_str());

@@ -100,6 +100,7 @@ struct Args {
   bool wires = false;
   bool tilos_only = false;
   bool histogram = false;
+  bool fast_math = false;
 };
 
 /// One line per accepted flag — printed whenever parsing fails, so an
@@ -131,6 +132,13 @@ const char* option_listing() {
       "degraded\n"
       "  --cancel-after S      streaming modes only: cancel every ticket S\n"
       "                        seconds after submission\n"
+      "  --fast-math           FP-reassociated delay folds: faster, "
+      "reproducible\n"
+      "                        for a fixed binary but NOT bit-identical to "
+      "the\n"
+      "                        default exact mode (incompatible with "
+      "--shards,\n"
+      "                        whose reconciliation is bit-identity-gated)\n"
       "  --json PATH           write machine-readable results as JSON\n"
       "  --csv PATH            write the per-element sizing CSV (single "
       "run)\n"
@@ -232,6 +240,7 @@ Args parse(int argc, char** argv) {
       (f == "--deadline" ? a.deadline : a.cancel_after) = v;
     }
     else if (f == "--streaming") a.streaming = true;
+    else if (f == "--fast-math") a.fast_math = true;
     else if (f == "--list-circuits") {
       std::printf("built-in circuits (--circuit NAME):\n%s",
                   circuit_listing().c_str());
@@ -252,6 +261,11 @@ Args parse(int argc, char** argv) {
     usage("--shards is a single-target mode; drop --sweep");
   if (a.cancel_after >= 0.0 && !a.streaming)
     usage("--cancel-after needs --streaming (it cancels tickets)");
+  if (a.fast_math && a.shards > 0)
+    usage(
+        "--fast-math cannot be combined with --shards: shard "
+        "reconciliation depends on bit-identical re-evaluation of boundary "
+        "timing, which FP-reassociated folds do not guarantee");
   return a;
 }
 
@@ -297,6 +311,7 @@ JobRunnerOptions make_runner_options(const Args& args) {
   ropt.threads = args.threads;
   ropt.inner_threads = args.inner_threads;
   ropt.context_cache_limit = args.context_cache;
+  ropt.fast_math = args.fast_math;
   return ropt;
 }
 

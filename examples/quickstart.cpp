@@ -43,7 +43,7 @@ int main() {
   for (NodeId v = 0; v < lc.net.num_vertices(); ++v) {
     if (lc.net.is_source(v)) continue;
     std::printf("  %-4s  TILOS %5.2f  ->  MFT %5.2f\n",
-                lc.net.vertex(v).name.c_str(),
+                lc.net.name(v).c_str(),
                 r.initial.sizes[static_cast<std::size_t>(v)],
                 r.sizes[static_cast<std::size_t>(v)]);
   }

@@ -43,9 +43,9 @@ int main() {
   int shown = 0;
   std::printf("\nsample per-transistor sizes (output-side n0 vs rail-side n1):\n");
   for (NodeId v = 0; v + 1 < lc.net.num_vertices() && shown < 5; ++v) {
-    const auto& name = lc.net.vertex(v).name;
+    const auto& name = lc.net.name(v);
     if (name.size() > 3 && name.substr(name.size() - 3) == "_n0") {
-      const auto& next = lc.net.vertex(v + 1).name;
+      const auto& next = lc.net.name(v + 1);
       if (next.substr(next.size() - 3) == "_n1") {
         std::printf("  %-14s %5.2f   %-14s %5.2f\n", name.c_str(),
                     r.sizes[static_cast<std::size_t>(v)], next.c_str(),

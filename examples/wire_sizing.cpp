@@ -37,7 +37,7 @@ int main() {
         if (lc.net.vertex(v).kind != VertexKind::kWire) continue;
         if (r.sizes[static_cast<std::size_t>(v)] > max_wire) {
           max_wire = r.sizes[static_cast<std::size_t>(v)];
-          which = lc.net.vertex(v).name;
+          which = lc.net.name(v);
         }
       }
       std::printf("  widest wire: %s at %.2f units\n", which.c_str(), max_wire);

@@ -86,6 +86,10 @@ struct JobResult {
   int inner_threads = 1;       ///< resolved inner-loop thread count
   int shard = -1;              ///< SizingJob::shard, echoed
   int shard_round = 0;         ///< SizingJob::shard_round, echoed
+  /// True when the job ran with FP-reassociated delay folds
+  /// (JobRunnerOptions::fast_math). Echoed into the batch JSON so emitted
+  /// numbers are never silently non-reproducible.
+  bool fast_math = false;
   ContextStats stats;          ///< per-job STA/flow instrumentation
   /// Per-pass instrumentation of the job's pipeline run (invocations, wall
   /// seconds, W-phase sweeps), in pipeline order.

@@ -200,7 +200,7 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
           "     \"sta_full_runs\": %lld, \"sta_incremental_runs\": %lld, "
           "\"sta_hinted_runs\": %lld, \"sta_delays_recomputed\": %lld,\n"
           "     \"seed\": %llu, \"thread\": %d, \"inner_threads\": %d,\n"
-          "     \"shard\": %d, \"shard_round\": %d,\n"
+          "     \"shard\": %d, \"shard_round\": %d, \"fast_math\": %s,\n"
           "     \"passes\": [",
           label.c_str(), to_string(r.status), r.degraded ? "true" : "false",
           r.result.met_target ? "true" : "false", r.dmin,
@@ -212,7 +212,7 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
           static_cast<long long>(r.stats.sta_hinted_runs),
           static_cast<long long>(r.stats.sta_delays_recomputed),
           static_cast<unsigned long long>(r.seed), r.thread, r.inner_threads,
-          r.shard, r.shard_round);
+          r.shard, r.shard_round, r.fast_math ? "true" : "false");
       for (std::size_t p = 0; p < r.pass_stats.size(); ++p) {
         const PassStats& ps = r.pass_stats[p];
         std::string pass_name;

@@ -48,7 +48,7 @@ namespace {
 /// seed must already be resolved (submit/run do that deterministically).
 void execute_job(const SizingJob& job, JobTicket ticket, double dmin,
                  double min_area, SizingContext& ctx, ThreadArena* arena,
-                 AbortToken* token, JobResult& out) {
+                 AbortToken* token, bool fast_math, JobResult& out) {
   out.job = static_cast<int>(ticket);
   out.label = job.label;
   out.dmin = dmin;
@@ -59,12 +59,16 @@ void execute_job(const SizingJob& job, JobTicket ticket, double dmin,
   out.inner_threads = arena != nullptr ? arena->threads() : 1;
   out.shard = job.shard;
   out.shard_round = job.shard_round;
+  out.fast_math = fast_math;
   Stopwatch sw;
   try {
     MFT_FAULT_POINT("stream.execute");
     ctx.begin_job();
     ctx.set_arena(arena);
     ctx.set_abort(token);
+    // Per-job, not sticky: a pooled context's previous job may have run in
+    // the other delay mode; the scratches force a full recompute on a flip.
+    ctx.set_fast_math(fast_math);
     // Thread the resolved per-job seed into the pipeline so a stochastic
     // pass (none in the default pipeline) is reproducible at any thread
     // count. Running the pipeline directly (instead of through the
@@ -379,7 +383,7 @@ void StreamingRunner::worker_main(int worker_id) {
       JobResult out;
       execute_job(item.job, item.ticket, info.dmin, info.min_area,
                   pool.acquire(*item.net), inner > 1 ? arena.get() : nullptr,
-                  item.token.get(), out);
+                  item.token.get(), opt_.fast_math, out);
       out.thread = worker_id;
       finish(item, std::move(out));
     } catch (const std::exception& e) {

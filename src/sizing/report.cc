@@ -79,7 +79,7 @@ std::string sizing_csv(const SizingNetwork& net,
   os << "name,kind,size,delay,slack\n";
   for (NodeId v = 0; v < net.num_vertices(); ++v) {
     if (net.is_source(v)) continue;
-    os << net.vertex(v).name << ',' << kind_name(net.vertex(v).kind) << ','
+    os << net.name(v) << ',' << kind_name(net.vertex(v).kind) << ','
        << strf("%.4f,%.4f,%.4f", sizes[static_cast<std::size_t>(v)],
                t.delay[static_cast<std::size_t>(v)],
                t.slack[static_cast<std::size_t>(v)])
@@ -114,7 +114,7 @@ std::string compare_report(const SizingNetwork& net,
   for (int i = 0; i < top_movers && i < static_cast<int>(order.size()); ++i) {
     const NodeId v = order[static_cast<std::size_t>(i)];
     if (movement(v) < 1e-9) break;
-    os << strf("  %-20s %8.3f -> %8.3f\n", net.vertex(v).name.c_str(),
+    os << strf("  %-20s %8.3f -> %8.3f\n", net.name(v).c_str(),
                result.initial.sizes[static_cast<std::size_t>(v)],
                result.sizes[static_cast<std::size_t>(v)]);
   }

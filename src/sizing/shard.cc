@@ -191,7 +191,8 @@ ShardNetwork build_shard_network(const SizingNetwork& net,
   for (const NodeId gv : owned) {
     SizingVertex v = net.vertex(gv);
     v.loads.clear();  // translated below via add_load / add_b
-    local[static_cast<std::size_t>(gv)] = out.net->add_vertex(std::move(v));
+    local[static_cast<std::size_t>(gv)] =
+        out.net->add_vertex(std::move(v), net.name(gv));
     out.global_of_local.push_back(gv);
   }
   auto is_owned = [&](NodeId gv) {
@@ -213,8 +214,8 @@ ShardNetwork build_shard_network(const SizingNetwork& net,
     if (!needs_replica[static_cast<std::size_t>(gv)]) continue;
     SizingVertex src;
     src.kind = VertexKind::kSource;
-    src.name = net.vertex(gv).name + "@cut";
-    local[static_cast<std::size_t>(gv)] = out.net->add_vertex(std::move(src));
+    local[static_cast<std::size_t>(gv)] =
+        out.net->add_vertex(std::move(src), net.name(gv) + "@cut");
     out.global_of_local.push_back(gv);
   }
 

@@ -16,6 +16,7 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
                       AbortToken* abort) {
   MFT_CHECK(opt.bumpsize > 1.0);
   const Tech& tech = net.tech();
+  const SweepPlan& pl = net.plan();
   TilosResult res;
   res.sizes = net.min_sizes();
   const std::int64_t max_bumps =
@@ -23,12 +24,18 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
                         : 4000 * static_cast<std::int64_t>(
                                      std::max(1, net.num_sizeable()));
 
+  // All per-bump state is kept in sweep-position order so the candidate
+  // evaluation streams the plan's flat reverse-load CSR: sizes_pos mirrors
+  // res.sizes (one extra write per bump), on_path marks positions.
+  std::vector<double> sizes_pos;
+  pl.gather(res.sizes, sizes_pos);
   std::vector<char> on_path(static_cast<std::size_t>(net.num_vertices()), 0);
   // One vertex is bumped per iteration: handing that vertex to the
   // changed-hint overload makes the per-iteration delay recompute
   // O(its loaders) with no size scan; the sweeps stay O(V+E).
   TimingScratch sta;
   sta.arena = arena;
+  sta.fast_math = opt.fast_math;
   std::vector<NodeId> bumped;
   while (true) {
     const TimingReport& timing = bumped.empty()
@@ -44,28 +51,36 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
 
     const std::vector<NodeId> path = timing.critical_vertices(net);
     std::fill(on_path.begin(), on_path.end(), 0);
-    for (NodeId v : path) on_path[static_cast<std::size_t>(v)] = 1;
+    for (NodeId v : path)
+      on_path[static_cast<std::size_t>(
+          pl.pos_of[static_cast<std::size_t>(v)])] = 1;
 
     // Pick the on-path element with the best (most negative) change in path
-    // delay per unit of added area.
+    // delay per unit of added area. Walked in path order (source→sink),
+    // strict-improvement tie-break — same winner as the historical
+    // id-space walk.
     NodeId best = kInvalidNode;
     double best_sens = 0.0;
     for (NodeId v : path) {
-      if (net.is_source(v)) continue;
-      const double x = res.sizes[static_cast<std::size_t>(v)];
+      const std::size_t p =
+          static_cast<std::size_t>(pl.pos_of[static_cast<std::size_t>(v)]);
+      if (pl.source[p]) continue;
+      const double x = sizes_pos[p];
       const double nx = x * opt.bumpsize;
       if (nx > tech.max_size) continue;
 
       // Own-stage speedup: delay(v) = a_self + L/x with L independent of x.
       const double load =
-          (timing.delay[static_cast<std::size_t>(v)] - net.vertex(v).a_self) * x;
+          (timing.delay[static_cast<std::size_t>(v)] - pl.a_self[p]) * x;
       double dpath = load * (1.0 / nx - 1.0 / x);
       // Upstream penalty: every on-path vertex u with a load term a_uv sees
       // Δdelay(u) = a_uv·(nx − x)/x_u.
-      for (const LoadTerm& t : net.reverse_loads()[static_cast<std::size_t>(v)]) {
-        if (!on_path[static_cast<std::size_t>(t.vertex)]) continue;
-        dpath += t.coeff * (nx - x) /
-                 res.sizes[static_cast<std::size_t>(t.vertex)];
+      for (int k = pl.rload_off[p]; k < pl.rload_off[p + 1]; ++k) {
+        const std::size_t u =
+            static_cast<std::size_t>(pl.rload_pos[static_cast<std::size_t>(k)]);
+        if (!on_path[u]) continue;
+        dpath += pl.rload_coeff[static_cast<std::size_t>(k)] * (nx - x) /
+                 sizes_pos[u];
       }
       const double sens = dpath / (nx - x);
       if (sens < best_sens) {
@@ -75,6 +90,9 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
     }
     if (best == kInvalidNode) break;  // nothing improves: infeasible target
     res.sizes[static_cast<std::size_t>(best)] *= opt.bumpsize;
+    sizes_pos[static_cast<std::size_t>(
+        pl.pos_of[static_cast<std::size_t>(best)])] =
+        res.sizes[static_cast<std::size_t>(best)];
     bumped.assign(1, best);
     ++res.bumps;
   }

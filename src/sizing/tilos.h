@@ -19,6 +19,10 @@ struct TilosOptions {
   double bumpsize = 1.1;  ///< paper §3 uses 1.1
   /// Safety cap on bump passes; 0 picks a generous default.
   std::int64_t max_bumps = 0;
+  /// Opt-in FP-reassociated delay folds for the per-bump STA (see
+  /// TimingScratch::fast_math). Off by default; never set on
+  /// determinism-gated paths.
+  bool fast_math = false;
 };
 
 struct TilosResult {

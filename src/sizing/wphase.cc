@@ -26,45 +26,80 @@ struct alignas(64) SweepLocal {
 WPhaseResult solve_wphase_impl(const SizingNetwork& net,
                                const std::vector<double>& delay_budget,
                                const std::vector<double>& start,
-                               ThreadArena* arena, AbortToken* abort) {
+                               ThreadArena* arena, AbortToken* abort,
+                               bool fast_math) {
   MFT_CHECK(net.frozen());
   MFT_CHECK(static_cast<int>(delay_budget.size()) == net.num_vertices());
   MFT_CHECK(static_cast<int>(start.size()) == net.num_vertices());
   const Tech& tech = net.tech();
+  const SweepPlan& pl = net.plan();
   WPhaseResult res;
-  res.sizes = start;
 
-  // One Gauss–Seidel update of vertex v from the current res.sizes. Both
-  // the sequential and the level-parallel sweep run exactly this body.
-  auto update = [&](NodeId v, double& max_rel_change, char& infeasible) {
-    const SizingVertex& sv = net.vertex(v);
-    if (sv.kind == VertexKind::kSource) return;
-    const double d = delay_budget[static_cast<std::size_t>(v)];
-    if (d <= sv.a_self) {
+  // The relaxation state lives in sweep-position order: gather once here,
+  // scatter once after convergence. Multiple Gauss–Seidel sweeps amortize
+  // the two permutes.
+  std::vector<double> sizes_pos;
+  std::vector<double> budget_pos;
+  pl.gather(start, sizes_pos);
+  pl.gather(delay_budget, budget_pos);
+
+  // One Gauss–Seidel update of the vertex at position p from the current
+  // sizes_pos. Both the sequential and the level-parallel sweep run exactly
+  // this body; the load fold streams the flat CSR in original term order,
+  // so the sum is bit-identical to the historical AoS walk (or, under
+  // fast_math, the documented two-accumulator reassociation).
+  auto update = [&](int p, double& max_rel_change, char& infeasible) {
+    const std::size_t pi = static_cast<std::size_t>(p);
+    if (pl.source[pi]) return;
+    const double d = budget_pos[pi];
+    if (d <= pl.a_self[pi]) {
       // No finite size meets this budget (self-loading already exceeds
       // it); clamp to max and report infeasibility.
       infeasible = 1;
-      res.sizes[static_cast<std::size_t>(v)] = tech.max_size;
+      sizes_pos[pi] = tech.max_size;
       return;
     }
-    double load = sv.b;
-    for (const LoadTerm& t : sv.loads)
-      load += t.coeff * res.sizes[static_cast<std::size_t>(t.vertex)];
-    double x = load / (d - sv.a_self);
+    double load;
+    if (fast_math) {
+      double acc0 = pl.b[pi];
+      double acc1 = 0.0;
+      int k = pl.load_off[pi];
+      const int end = pl.load_off[pi + 1];
+      for (; k + 1 < end; k += 2) {
+        acc0 += pl.load_coeff[static_cast<std::size_t>(k)] *
+                sizes_pos[static_cast<std::size_t>(
+                    pl.load_pos[static_cast<std::size_t>(k)])];
+        acc1 += pl.load_coeff[static_cast<std::size_t>(k + 1)] *
+                sizes_pos[static_cast<std::size_t>(
+                    pl.load_pos[static_cast<std::size_t>(k + 1)])];
+      }
+      if (k < end)
+        acc0 += pl.load_coeff[static_cast<std::size_t>(k)] *
+                sizes_pos[static_cast<std::size_t>(
+                    pl.load_pos[static_cast<std::size_t>(k)])];
+      load = acc0 + acc1;
+    } else {
+      load = pl.b[pi];
+      for (int k = pl.load_off[pi]; k < pl.load_off[pi + 1]; ++k)
+        load += pl.load_coeff[static_cast<std::size_t>(k)] *
+                sizes_pos[static_cast<std::size_t>(
+                    pl.load_pos[static_cast<std::size_t>(k)])];
+    }
+    double x = load / (d - pl.a_self[pi]);
     if (x > tech.max_size) {
       infeasible = 1;
       x = tech.max_size;
     }
     x = std::max(x, tech.min_size);
-    const double old = res.sizes[static_cast<std::size_t>(v)];
+    const double old = sizes_pos[pi];
     max_rel_change = std::max(max_rel_change, std::abs(x - old) / old);
-    res.sizes[static_cast<std::size_t>(v)] = x;
+    sizes_pos[pi] = x;
   };
 
   const bool parallel = arena != nullptr && arena->threads() > 1;
   std::vector<SweepLocal> locals(
       parallel ? static_cast<std::size_t>(arena->threads()) : 0);
-  const auto& topo = net.topological_order();
+  const int n = pl.n;
   const int max_sweeps = std::max(4, net.num_vertices());
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     if (abort != nullptr && abort->step()) {
@@ -80,8 +115,7 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
       for (SweepLocal& l : locals) l = SweepLocal{};
       // Levels settle top-down, each level concurrently; within a level no
       // vertex loads another, so every update reads exactly the values the
-      // sequential reverse-topological sweep would read.
-      const auto& order = net.level_order();
+      // sequential reverse sweep would read.
       const auto& off = net.level_offsets();
       for (int l = net.num_levels() - 1; l >= 0; --l) {
         const int base = off[static_cast<std::size_t>(l)];
@@ -91,8 +125,8 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
                               SweepLocal& local =
                                   locals[static_cast<std::size_t>(thread)];
                               for (int i = end - 1; i >= begin; --i)
-                                update(order[static_cast<std::size_t>(base + i)],
-                                       local.max_rel_change, local.infeasible);
+                                update(base + i, local.max_rel_change,
+                                       local.infeasible);
                             });
       }
       for (const SweepLocal& l : locals) {
@@ -100,15 +134,18 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
         infeasible |= l.infeasible;
       }
     } else {
-      // Reverse topological order: fanout sizes settle before their drivers
-      // read them, making the first sweep exact in the triangular case.
-      for (auto it = topo.rbegin(); it != topo.rend(); ++it)
-        update(*it, max_rel_change, infeasible);
+      // Reverse sweep-position order — a reverse topological order whose
+      // levels are contiguous, so fanout sizes settle before their drivers
+      // read them (exact first sweep in the triangular case) and memory
+      // streams linearly.
+      for (int p = n - 1; p >= 0; --p)
+        update(p, max_rel_change, infeasible);
     }
     if (infeasible) res.feasible = false;
     if (max_rel_change < 1e-12) break;
   }
 
+  pl.scatter(sizes_pos, res.sizes);
   for (NodeId v = 0; v < net.num_vertices(); ++v)
     if (res.sizes[static_cast<std::size_t>(v)] !=
         start[static_cast<std::size_t>(v)])
@@ -120,15 +157,18 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
 
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
-                          ThreadArena* arena, AbortToken* abort) {
-  return solve_wphase_impl(net, delay_budget, net.min_sizes(), arena, abort);
+                          ThreadArena* arena, AbortToken* abort,
+                          bool fast_math) {
+  return solve_wphase_impl(net, delay_budget, net.min_sizes(), arena, abort,
+                           fast_math);
 }
 
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
                           const std::vector<double>& start,
-                          ThreadArena* arena, AbortToken* abort) {
-  return solve_wphase_impl(net, delay_budget, start, arena, abort);
+                          ThreadArena* arena, AbortToken* abort,
+                          bool fast_math) {
+  return solve_wphase_impl(net, delay_budget, start, arena, abort, fast_math);
 }
 
 }  // namespace mft

@@ -20,12 +20,21 @@
 //    warm sweeps converge in fewer passes; for triangular (gate) networks
 //    the result is bit-identical to cold.
 //
+// Layout: the relaxation runs entirely in sweep-position order on the
+// frozen SweepPlan (budgets and sizes gathered once at entry, scattered
+// once at exit), streaming the flat load CSR instead of chasing per-vertex
+// heap vectors. Because loads strictly cross levels, the reverse-position
+// walk reads exactly the values the historical reverse-topological walk
+// read — the result is bit-identical (tests/layout_test.cc pins it).
+//
 // Parallelism: with a multi-thread ThreadArena the sweep runs one
-// levelization level at a time (SizingNetwork::level_order), concurrent
-// within a level. Same-level vertices share no load term and every load is
-// settled in the same sweep-relative order as the sequential
-// reverse-topological walk, so the result is bit-identical to sequential
-// at any thread count (asserted by tests/parallel_test.cc).
+// levelization level at a time (contiguous position ranges), concurrent
+// within a level. Same-level vertices share no load term, so the result is
+// bit-identical to sequential at any thread count (tests/parallel_test.cc).
+//
+// Fast math: the trailing fast_math flag switches the load fold to the
+// FP-reassociated two-accumulator form (SweepPlan::delay_at_fast's fold).
+// Off by default and never enabled on determinism-gated paths.
 #pragma once
 
 #include "timing/sizing_network.h"
@@ -54,13 +63,15 @@ struct WPhaseResult {
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
                           ThreadArena* arena = nullptr,
-                          AbortToken* abort = nullptr);
+                          AbortToken* abort = nullptr,
+                          bool fast_math = false);
 
 /// Warm start from `start` (one full per-vertex size vector, sources 0).
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
                           const std::vector<double>& start,
                           ThreadArena* arena = nullptr,
-                          AbortToken* abort = nullptr);
+                          AbortToken* abort = nullptr,
+                          bool fast_math = false);
 
 }  // namespace mft

@@ -19,7 +19,6 @@ LoweredCircuit lower_gate_level(const Netlist& nl, const Tech& tech,
     const Gate& gate = nl.gate(g);
     const bool has_wire = opt.size_wires && !nl.fanouts(g).empty();
     SizingVertex v;
-    v.name = gate.name;
     v.origin_gate = g;
     if (gate.kind == GateKind::kInput) {
       v.kind = VertexKind::kSource;
@@ -35,7 +34,7 @@ LoweredCircuit lower_gate_level(const Netlist& nl, const Tech& tech,
         v.b = tech.r_unit * ge * tech.c_po_load;
       }
     }
-    vtx[static_cast<std::size_t>(g)] = net.add_vertex(std::move(v));
+    vtx[static_cast<std::size_t>(g)] = net.add_vertex(std::move(v), gate.name);
     out.gate_vertices[static_cast<std::size_t>(g)] = {
         vtx[static_cast<std::size_t>(g)]};
   }
@@ -46,13 +45,12 @@ LoweredCircuit lower_gate_level(const Netlist& nl, const Tech& tech,
       if (nl.fanouts(g).empty()) continue;
       SizingVertex w;
       w.kind = VertexKind::kWire;
-      w.name = nl.gate(g).name + "$wire";
       w.origin_gate = g;
       w.is_po = nl.is_output(g);
       w.b = opt.r_wire * tech.c_wire;  // residual fixed cap
       if (w.is_po) w.b += opt.r_wire * tech.c_po_load;
       out.wire_vertices[static_cast<std::size_t>(g)] =
-          net.add_vertex(std::move(w));
+          net.add_vertex(std::move(w), nl.gate(g).name + "$wire");
     }
   }
 

@@ -5,12 +5,13 @@
 
 namespace mft {
 
-NodeId SizingNetwork::add_vertex(SizingVertex v) {
+NodeId SizingNetwork::add_vertex(SizingVertex v, std::string name) {
   MFT_CHECK_MSG(topo_.empty(), "network is frozen");
   MFT_CHECK(v.a_self >= 0.0 && v.b >= 0.0);
   const NodeId id = dag_.add_node();
   if (v.kind != VertexKind::kSource) ++num_sizeable_;
   verts_.push_back(std::move(v));
+  names_.push_back(std::move(name));
   return id;
 }
 
@@ -55,15 +56,16 @@ void SizingNetwork::freeze() {
     const SizingVertex& sv = verts_[static_cast<std::size_t>(v)];
     if (sv.kind == VertexKind::kSource) {
       MFT_CHECK_MSG(sv.loads.empty() && sv.a_self == 0.0 && sv.b == 0.0,
-                    "source vertex '" << sv.name << "' must be delay-free");
+                    "source vertex '" << name(v) << "' must be delay-free");
     } else {
       MFT_CHECK_MSG(sv.b > 0.0 || !sv.loads.empty(),
-                    "sizeable vertex '" << sv.name
+                    "sizeable vertex '" << name(v)
                                         << "' has no load: delay would be "
                                            "degenerate (zero)");
     }
   }
   compute_levels();
+  build_plan();
 }
 
 void SizingNetwork::compute_levels() {
@@ -110,6 +112,80 @@ void SizingNetwork::compute_levels() {
             level_of_[static_cast<std::size_t>(v)])]++)] = v;
 }
 
+void SizingNetwork::build_plan() {
+  const int n = num_vertices();
+  const std::size_t ns = static_cast<std::size_t>(n);
+  SweepPlan& p = plan_;
+  p.n = n;
+  p.vid = level_order_;
+  p.pos_of.assign(ns, 0);
+  for (int i = 0; i < n; ++i)
+    p.pos_of[static_cast<std::size_t>(p.vid[static_cast<std::size_t>(i)])] = i;
+
+  p.a_self.resize(ns);
+  p.b.resize(ns);
+  p.topo_pos.resize(ns);
+  p.source.resize(ns);
+  p.sink.resize(ns);
+  p.load_off.assign(ns + 1, 0);
+  p.rload_off.assign(ns + 1, 0);
+  p.fanin_off.assign(ns + 1, 0);
+  p.fanout_off.assign(ns + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    const std::size_t pi = static_cast<std::size_t>(i);
+    const NodeId v = p.vid[pi];
+    const std::size_t vi = static_cast<std::size_t>(v);
+    const SizingVertex& sv = verts_[vi];
+    p.a_self[pi] = sv.a_self;
+    p.b[pi] = sv.b;
+    p.topo_pos[pi] = topo_pos_[vi];
+    p.source[pi] = sv.kind == VertexKind::kSource ? 1 : 0;
+    p.sink[pi] = (sv.is_po || dag_.out_arcs(v).empty()) ? 1 : 0;
+    p.load_off[pi + 1] = p.load_off[pi] + static_cast<int>(sv.loads.size());
+    p.rload_off[pi + 1] =
+        p.rload_off[pi] + static_cast<int>(rev_loads_[vi].size());
+    p.fanin_off[pi + 1] =
+        p.fanin_off[pi] + static_cast<int>(dag_.in_arcs(v).size());
+    p.fanout_off[pi + 1] =
+        p.fanout_off[pi] + static_cast<int>(dag_.out_arcs(v).size());
+  }
+  p.load_pos.resize(static_cast<std::size_t>(p.load_off[ns]));
+  p.load_coeff.resize(static_cast<std::size_t>(p.load_off[ns]));
+  p.rload_pos.resize(static_cast<std::size_t>(p.rload_off[ns]));
+  p.rload_coeff.resize(static_cast<std::size_t>(p.rload_off[ns]));
+  p.fanin_pos.resize(static_cast<std::size_t>(p.fanin_off[ns]));
+  p.fanout_pos.resize(static_cast<std::size_t>(p.fanout_off[ns]));
+  for (int i = 0; i < n; ++i) {
+    const std::size_t pi = static_cast<std::size_t>(i);
+    const NodeId v = p.vid[pi];
+    const std::size_t vi = static_cast<std::size_t>(v);
+    // Term order within each row is preserved exactly from the AoS form,
+    // so CSR folds are bit-identical to the historical per-vertex walks.
+    int k = p.load_off[pi];
+    for (const LoadTerm& t : verts_[vi].loads) {
+      p.load_pos[static_cast<std::size_t>(k)] =
+          p.pos_of[static_cast<std::size_t>(t.vertex)];
+      p.load_coeff[static_cast<std::size_t>(k)] = t.coeff;
+      ++k;
+    }
+    k = p.rload_off[pi];
+    for (const LoadTerm& t : rev_loads_[vi]) {
+      p.rload_pos[static_cast<std::size_t>(k)] =
+          p.pos_of[static_cast<std::size_t>(t.vertex)];
+      p.rload_coeff[static_cast<std::size_t>(k)] = t.coeff;
+      ++k;
+    }
+    k = p.fanin_off[pi];
+    for (const ArcId a : dag_.in_arcs(v))
+      p.fanin_pos[static_cast<std::size_t>(k++)] =
+          p.pos_of[static_cast<std::size_t>(dag_.tail(a))];
+    k = p.fanout_off[pi];
+    for (const ArcId a : dag_.out_arcs(v))
+      p.fanout_pos[static_cast<std::size_t>(k++)] =
+          p.pos_of[static_cast<std::size_t>(dag_.head(a))];
+  }
+}
+
 std::vector<double> SizingNetwork::min_sizes() const {
   std::vector<double> x(static_cast<std::size_t>(num_vertices()), 0.0);
   for (NodeId v = 0; v < num_vertices(); ++v)
@@ -118,6 +194,22 @@ std::vector<double> SizingNetwork::min_sizes() const {
 }
 
 double SizingNetwork::delay(NodeId v, const std::vector<double>& sizes) const {
+  if (frozen()) {
+    // Stream the frozen CSR row instead of chasing the per-vertex heap
+    // vector; the term order (and therefore the sum) is identical.
+    const SweepPlan& pl = plan_;
+    const std::size_t p =
+        static_cast<std::size_t>(pl.pos_of[static_cast<std::size_t>(v)]);
+    if (pl.source[p]) return 0.0;
+    MFT_DCHECK(sizes[static_cast<std::size_t>(v)] > 0.0);
+    double load = pl.b[p];
+    for (int k = pl.load_off[p]; k < pl.load_off[p + 1]; ++k)
+      load += pl.load_coeff[static_cast<std::size_t>(k)] *
+              sizes[static_cast<std::size_t>(
+                  pl.vid[static_cast<std::size_t>(
+                      pl.load_pos[static_cast<std::size_t>(k)])])];
+    return pl.a_self[p] + load / sizes[static_cast<std::size_t>(v)];
+  }
   const SizingVertex& sv = vertex(v);
   if (sv.kind == VertexKind::kSource) return 0.0;
   const double x = sizes[static_cast<std::size_t>(v)];
@@ -129,7 +221,18 @@ double SizingNetwork::delay(NodeId v, const std::vector<double>& sizes) const {
 }
 
 double SizingNetwork::area(const std::vector<double>& sizes) const {
+  // Id-order summation on purpose: callers (tests, reports, the engine's
+  // area bookkeeping) pin these exact FP sums, and the sweep permutation
+  // must not change them.
   double a = 0.0;
+  if (frozen()) {
+    const SweepPlan& pl = plan_;
+    for (NodeId v = 0; v < num_vertices(); ++v)
+      if (!pl.source[static_cast<std::size_t>(
+              pl.pos_of[static_cast<std::size_t>(v)])])
+        a += sizes[static_cast<std::size_t>(v)];
+    return a;
+  }
   for (NodeId v = 0; v < num_vertices(); ++v)
     if (!is_source(v)) a += sizes[static_cast<std::size_t>(v)];
   return a;
@@ -145,35 +248,49 @@ std::vector<double> SizingNetwork::area_delay_weights(
   // transistor sizing, vertices sharing an electrical node load each other
   // mutually ((D−A) is *block* triangular), so we iterate sweeps; the
   // coupling is the weak parasitic term, so convergence is geometric.
-  const std::size_t n = static_cast<std::size_t>(num_vertices());
-  const auto& rev = rev_loads_;
+  //
+  // The sweep runs in sweep-position order over the frozen CSR. This is
+  // bit-identical to the historical topological-order walk: load terms
+  // strictly cross levels, so for every reverse-load term (j, a_ji) of i,
+  // y_j was updated before i exactly when topo_pos(j) < topo_pos(i) —
+  // in both walk orders — and each row folds its terms in stored order.
+  const SweepPlan& pl = plan_;
+  const std::size_t n = static_cast<std::size_t>(pl.n);
+  std::vector<double> sizes_pos;
+  pl.gather(sizes, sizes_pos);
   std::vector<double> y(n, 0.0);
   std::vector<double> denom(n, 1.0);
-  for (NodeId v = 0; v < num_vertices(); ++v) {
-    if (is_source(v)) continue;
-    denom[static_cast<std::size_t>(v)] = delay(v, sizes) - vertex(v).a_self;
-    MFT_CHECK_MSG(denom[static_cast<std::size_t>(v)] > 0.0,
-                  "degenerate delay at '" << vertex(v).name << "'");
+  for (int p = 0; p < pl.n; ++p) {
+    const std::size_t pi = static_cast<std::size_t>(p);
+    if (pl.source[pi]) continue;
+    denom[pi] = pl.delay_at(p, sizes_pos) - pl.a_self[pi];
+    MFT_CHECK_MSG(denom[pi] > 0.0,
+                  "degenerate delay at '" << name(pl.vid[pi]) << "'");
   }
   for (int sweep = 0; sweep < 50; ++sweep) {
     double max_delta = 0.0;
-    for (NodeId v : topo_) {
-      if (is_source(v)) continue;
+    for (int p = 0; p < pl.n; ++p) {
+      const std::size_t pi = static_cast<std::size_t>(p);
+      if (pl.source[pi]) continue;
       double acc = 1.0;
-      for (const LoadTerm& t : rev[static_cast<std::size_t>(v)])
-        acc += t.coeff * y[static_cast<std::size_t>(t.vertex)];
-      const double yv = acc / denom[static_cast<std::size_t>(v)];
-      max_delta = std::max(max_delta,
-                           std::abs(yv - y[static_cast<std::size_t>(v)]));
-      y[static_cast<std::size_t>(v)] = yv;
+      for (int k = pl.rload_off[pi]; k < pl.rload_off[pi + 1]; ++k)
+        acc += pl.rload_coeff[static_cast<std::size_t>(k)] *
+               y[static_cast<std::size_t>(
+                   pl.rload_pos[static_cast<std::size_t>(k)])];
+      const double yv = acc / denom[pi];
+      max_delta = std::max(max_delta, std::abs(yv - y[pi]));
+      y[pi] = yv;
     }
     if (max_delta < 1e-12) break;
   }
   std::vector<double> weights(n, 0.0);
-  for (NodeId v = 0; v < num_vertices(); ++v)
-    if (!is_source(v))
+  for (NodeId v = 0; v < num_vertices(); ++v) {
+    const std::size_t pi =
+        static_cast<std::size_t>(pl.pos_of[static_cast<std::size_t>(v)]);
+    if (!pl.source[pi])
       weights[static_cast<std::size_t>(v)] =
-          sizes[static_cast<std::size_t>(v)] * y[static_cast<std::size_t>(v)];
+          sizes[static_cast<std::size_t>(v)] * y[pi];
+  }
   return weights;
 }
 

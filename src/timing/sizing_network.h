@@ -15,6 +15,14 @@
 // Both lowerings (gate_lowering, transistor_lowering) produce this IR; STA,
 // TILOS, the W-phase and the D-phase all operate on it, which is what makes
 // the optimizer granularity-agnostic (paper feature 2).
+//
+// Two representations coexist after freeze():
+//  - the construction-time array-of-structs (`vertex(v)`, per-vertex load
+//    vectors, `reverse_loads()`) — the convenient form for lowerings, shard
+//    extraction, and validation, and
+//  - the flat SweepPlan (`plan()`) — the level-contiguous structure-of-
+//    arrays copy every hot kernel (STA sweeps, W-phase Gauss–Seidel, TILOS
+//    bump evaluation, delay/area/area_delay_weights) actually streams.
 #pragma once
 
 #include <cstdint>
@@ -39,14 +47,123 @@ struct LoadTerm {
   double coeff = 0.0;
 };
 
+/// Construction-time vertex record. Deliberately dense: the name lives in a
+/// side table on the network (SizingNetwork::name) so scans over the vertex
+/// array never drag string headers through the cache.
 struct SizingVertex {
   VertexKind kind = VertexKind::kGate;
-  std::string name;
   double a_self = 0.0;          ///< a_ii
   double b = 0.0;               ///< constant term b_i
   std::vector<LoadTerm> loads;  ///< off-diagonal a_ij, j != i
   bool is_po = false;           ///< drives a primary output (gets C_L in b)
   int origin_gate = -1;         ///< netlist GateId this vertex came from
+};
+
+/// Flat, frozen, level-contiguous structure-of-arrays view of the network,
+/// built once at freeze(). "Sweep position" p is the index of a vertex in
+/// level_order() — a valid topological order whose levels are contiguous
+/// runs (level l = positions level_offsets()[l] .. level_offsets()[l+1]).
+/// All neighbor references in the CSR arrays are sweep positions, so a
+/// kernel that keeps its per-vertex values in sweep-position order touches
+/// only O(level width) memory per level instead of striding the whole
+/// network: the offsets, coefficients, and SoA attribute arrays stream
+/// linearly, and the value gathers land in the adjacent levels just
+/// written.
+///
+/// Per-vertex term order is preserved exactly from the AoS form (loads in
+/// SizingVertex::loads order, reverse loads in reverse_loads() order, arcs
+/// in in_arcs/out_arcs order), so kernels that fold them produce
+/// bit-identical sums to the historical AoS walks.
+struct SweepPlan {
+  int n = 0;  ///< vertex count (positions and ids both range over [0, n))
+
+  // Permutation between vertex ids and sweep positions.
+  std::vector<NodeId> vid;  ///< pos -> vertex id (== level_order())
+  std::vector<int> pos_of;  ///< vertex id -> pos
+
+  // Per-position SoA attributes.
+  std::vector<double> a_self;           ///< a_ii
+  std::vector<double> b;                ///< constant load term
+  std::vector<int> topo_pos;            ///< topo_position()[vid[p]] (cp ties)
+  std::vector<unsigned char> source;    ///< kind == kSource
+  std::vector<unsigned char> sink;      ///< is_po || out_degree == 0
+
+  // Loads of p (the x_j appearing in delay(p)), CSR over positions.
+  std::vector<int> load_off;            ///< size n+1
+  std::vector<int> load_pos;            ///< position of the loaded vertex
+  std::vector<double> load_coeff;
+  // Reverse loads: the vertices whose delay grows when x_p grows.
+  std::vector<int> rload_off;
+  std::vector<int> rload_pos;
+  std::vector<double> rload_coeff;
+  // Timing arcs, both directions, CSR over positions.
+  std::vector<int> fanin_off;
+  std::vector<int> fanin_pos;
+  std::vector<int> fanout_off;
+  std::vector<int> fanout_pos;
+
+  /// delay of the vertex at position p, sizes indexed by *position*.
+  /// Bit-identical to SizingNetwork::delay: b first, then the load terms in
+  /// their original order, one division at the end.
+  double delay_at(int p, const std::vector<double>& sizes_pos) const {
+    const std::size_t pi = static_cast<std::size_t>(p);
+    if (source[pi]) return 0.0;
+    double load = b[pi];
+    for (int k = load_off[pi]; k < load_off[pi + 1]; ++k)
+      load += load_coeff[static_cast<std::size_t>(k)] *
+              sizes_pos[static_cast<std::size_t>(
+                  load_pos[static_cast<std::size_t>(k)])];
+    return a_self[pi] + load / sizes_pos[pi];
+  }
+
+  /// Fast-math variant: the load fold runs on two independent accumulators
+  /// (FP reassociation), which unlocks vectorized/pipelined reductions but
+  /// changes the last bits of the sum. Only reachable through the
+  /// explicitly gated fast-math mode — never in the default (deterministic)
+  /// configuration. Accuracy contract (layout_test enforces it): each
+  /// per-vertex delay agrees with delay_at to within 1e-12 relative (the
+  /// load terms are all positive, so the reassociated sum loses at most a
+  /// few ULP), and accumulated path quantities (AT/RT/CP) stay within
+  /// 1e-9 relative.
+  double delay_at_fast(int p, const std::vector<double>& sizes_pos) const {
+    const std::size_t pi = static_cast<std::size_t>(p);
+    if (source[pi]) return 0.0;
+    double acc0 = b[pi];
+    double acc1 = 0.0;
+    int k = load_off[pi];
+    const int end = load_off[pi + 1];
+    for (; k + 1 < end; k += 2) {
+      acc0 += load_coeff[static_cast<std::size_t>(k)] *
+              sizes_pos[static_cast<std::size_t>(
+                  load_pos[static_cast<std::size_t>(k)])];
+      acc1 += load_coeff[static_cast<std::size_t>(k + 1)] *
+              sizes_pos[static_cast<std::size_t>(
+                  load_pos[static_cast<std::size_t>(k + 1)])];
+    }
+    if (k < end)
+      acc0 += load_coeff[static_cast<std::size_t>(k)] *
+              sizes_pos[static_cast<std::size_t>(
+                  load_pos[static_cast<std::size_t>(k)])];
+    return a_self[pi] + (acc0 + acc1) / sizes_pos[pi];
+  }
+
+  /// Gather an id-indexed per-vertex vector into sweep-position order.
+  void gather(const std::vector<double>& by_id,
+              std::vector<double>& by_pos) const {
+    by_pos.resize(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p)
+      by_pos[static_cast<std::size_t>(p)] =
+          by_id[static_cast<std::size_t>(vid[static_cast<std::size_t>(p)])];
+  }
+
+  /// Scatter a sweep-position-ordered vector back to id indexing.
+  void scatter(const std::vector<double>& by_pos,
+               std::vector<double>& by_id) const {
+    by_id.resize(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p)
+      by_id[static_cast<std::size_t>(vid[static_cast<std::size_t>(p)])] =
+          by_pos[static_cast<std::size_t>(p)];
+  }
 };
 
 /// The sizing network. Construction: add vertices, add timing arcs, add
@@ -55,7 +172,7 @@ class SizingNetwork {
  public:
   explicit SizingNetwork(const Tech& tech) : tech_(tech) {}
 
-  NodeId add_vertex(SizingVertex v);
+  NodeId add_vertex(SizingVertex v, std::string name = {});
   void add_arc(NodeId from, NodeId to) { dag_.add_arc(from, to); }
   void add_load(NodeId on, NodeId of, double coeff);
 
@@ -64,8 +181,9 @@ class SizingNetwork {
   void add_a_self(NodeId v, double delta);
   void set_po(NodeId v, bool po);
 
-  /// Validates invariants (DAG, coefficient signs, sources have no loads)
-  /// and caches the topological order. Must be called before analysis.
+  /// Validates invariants (DAG, coefficient signs, sources have no loads),
+  /// caches the topological order, and builds the SweepPlan. Must be called
+  /// before analysis.
   void freeze();
   bool frozen() const { return !topo_.empty() || num_vertices() == 0; }
 
@@ -80,6 +198,11 @@ class SizingNetwork {
   const SizingVertex& vertex(NodeId v) const {
     return verts_[static_cast<std::size_t>(v)];
   }
+  /// Debug name of a vertex (side table — names never sit in the hot
+  /// vertex array).
+  const std::string& name(NodeId v) const {
+    return names_[static_cast<std::size_t>(v)];
+  }
   const Digraph& dag() const { return dag_; }
   const Tech& tech() const { return tech_; }
   const std::vector<NodeId>& topological_order() const { return topo_; }
@@ -93,6 +216,14 @@ class SizingNetwork {
   const std::vector<std::vector<LoadTerm>>& reverse_loads() const {
     MFT_CHECK(frozen());
     return rev_loads_;
+  }
+
+  /// The flat level-contiguous SoA view (see SweepPlan). Available after
+  /// freeze(); every hot kernel streams these arrays instead of walking
+  /// vertex(v).
+  const SweepPlan& plan() const {
+    MFT_CHECK(frozen());
+    return plan_;
   }
 
   // --- Levelization (cached at freeze) -----------------------------------
@@ -123,7 +254,8 @@ class SizingNetwork {
   }
   /// All vertices grouped by level (ascending), ordered within a level by
   /// topological position: level l is level_order()[level_offsets()[l] ..
-  /// level_offsets()[l+1]). This is itself a valid topological order.
+  /// level_offsets()[l+1]). This is itself a valid topological order, and
+  /// is exactly the SweepPlan's position ordering (plan().vid).
   const std::vector<NodeId>& level_order() const {
     MFT_CHECK(frozen());
     return level_order_;
@@ -155,16 +287,19 @@ class SizingNetwork {
 
  private:
   void compute_levels();
+  void build_plan();
 
   Tech tech_;
   Digraph dag_;
   std::vector<SizingVertex> verts_;
+  std::vector<std::string> names_;  ///< side table, indexed by vertex id
   std::vector<NodeId> topo_;
   std::vector<std::vector<LoadTerm>> rev_loads_;
   std::vector<int> topo_pos_;
   std::vector<int> level_of_;
   std::vector<NodeId> level_order_;
   std::vector<int> level_offsets_;
+  SweepPlan plan_;
   int num_sizeable_ = 0;
   std::uint64_t serial_ = 0;
 };

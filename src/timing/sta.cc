@@ -21,83 +21,99 @@ bool multi_thread(const ThreadArena* arena) {
   return arena != nullptr && arena->threads() > 1;
 }
 
-// Sizes the report and recomputes every per-vertex delay. Shared by the
-// two-arg run_sta and the scratch overload's first run so the full and
-// incremental paths cannot drift apart.
-void full_delay_init(const SizingNetwork& net, const std::vector<double>& sizes,
-                     TimingReport& r, ThreadArena* arena) {
-  const std::size_t n = static_cast<std::size_t>(net.num_vertices());
-  r.delay.resize(n);
-  r.at.assign(n, 0.0);
-  r.rt.assign(n, kInf);
-  r.slack.resize(n);
-  if (multi_thread(arena)) {
-    arena->parallel_for(net.num_vertices(), kDelayGrain,
-                        [&](int, int begin, int end) {
-                          for (NodeId v = begin; v < end; ++v)
-                            r.delay[static_cast<std::size_t>(v)] =
-                                net.delay(v, sizes);
-                        });
-  } else {
-    for (NodeId v = 0; v < net.num_vertices(); ++v)
-      r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
-  }
+// Recomputes every per-vertex delay, streaming the plan's load CSR in
+// sweep-position order. Shared by the two-arg run_sta and the scratch
+// overload's first run so the full and incremental paths cannot drift
+// apart.
+void full_delay_pos(const SweepPlan& pl, const std::vector<double>& sizes_pos,
+                    std::vector<double>& delay_pos, ThreadArena* arena,
+                    bool fast) {
+  delay_pos.resize(static_cast<std::size_t>(pl.n));
+  auto body = [&](int, int begin, int end) {
+    if (fast) {
+      for (int p = begin; p < end; ++p)
+        delay_pos[static_cast<std::size_t>(p)] = pl.delay_at_fast(p, sizes_pos);
+    } else {
+      for (int p = begin; p < end; ++p)
+        delay_pos[static_cast<std::size_t>(p)] = pl.delay_at(p, sizes_pos);
+    }
+  };
+  if (multi_thread(arena))
+    arena->parallel_for(pl.n, kDelayGrain, body);
+  else
+    body(0, 0, pl.n);
 }
 
-// Forward/backward sweeps over already-computed per-vertex delays. Shared
-// by the full and incremental paths so both produce identical reports.
-void run_sweeps_sequential(const SizingNetwork& net, TimingReport& r) {
-  const Digraph& g = net.dag();
+// Forward/backward sweeps over already-computed per-vertex delays, in
+// sweep-position order (a valid topological order — SweepPlan). Shared by
+// the full and incremental paths so both produce identical reports.
+//
+// Bit-identity to the historical id-space topological walk: every fanin/
+// fanout fold reads only strictly earlier/later levels (fully settled in
+// either walk order) and folds the vertex's own arc list in its original
+// stored order; the cp winner "first in topological order attaining the
+// max" is equivalently "max end, lowest topological position on exact
+// ties", which is the explicit rule used here and by the parallel merge.
+void run_sweeps_sequential(const SweepPlan& pl,
+                           const std::vector<double>& delay_pos,
+                           std::vector<double>& at_pos,
+                           std::vector<double>& rt_pos, double& critical_path,
+                           NodeId& cp_vertex) {
+  const int n = pl.n;
+  at_pos.resize(static_cast<std::size_t>(n));
+  rt_pos.resize(static_cast<std::size_t>(n));
 
   // Forward: AT(v) = max over fanin j of AT(j) + delay(j); 0 at sources.
-  r.critical_path = 0.0;
-  r.cp_vertex = kInvalidNode;
-  for (NodeId v : net.topological_order()) {
+  critical_path = 0.0;
+  cp_vertex = kInvalidNode;
+  int cp_tp = INT_MAX;
+  for (int p = 0; p < n; ++p) {
+    const std::size_t pi = static_cast<std::size_t>(p);
     double at = 0.0;
-    for (ArcId a : g.in_arcs(v)) {
-      const NodeId j = g.tail(a);
-      at = std::max(at, r.at[static_cast<std::size_t>(j)] +
-                            r.delay[static_cast<std::size_t>(j)]);
+    for (int k = pl.fanin_off[pi]; k < pl.fanin_off[pi + 1]; ++k) {
+      const std::size_t j =
+          static_cast<std::size_t>(pl.fanin_pos[static_cast<std::size_t>(k)]);
+      at = std::max(at, at_pos[j] + delay_pos[j]);
     }
-    r.at[static_cast<std::size_t>(v)] = at;
-    const double end = at + r.delay[static_cast<std::size_t>(v)];
-    if (r.cp_vertex == kInvalidNode || end > r.critical_path) {
-      r.critical_path = end;
-      r.cp_vertex = v;
+    at_pos[pi] = at;
+    const double end = at + delay_pos[pi];
+    const int tp = pl.topo_pos[pi];
+    if (cp_vertex == kInvalidNode || end > critical_path ||
+        (end == critical_path && tp < cp_tp)) {
+      critical_path = end;
+      cp_vertex = pl.vid[pi];
+      cp_tp = tp;
     }
   }
 
   // Backward: RT(v) = CP − delay(v) at POs, min over fanouts elsewhere.
-  const auto& topo = net.topological_order();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const NodeId v = *it;
+  for (int p = n - 1; p >= 0; --p) {
+    const std::size_t pi = static_cast<std::size_t>(p);
     double rt = kInf;
-    if (net.vertex(v).is_po || g.out_degree(v) == 0)
-      rt = r.critical_path - r.delay[static_cast<std::size_t>(v)];
-    for (ArcId a : g.out_arcs(v)) {
-      const NodeId j = g.head(a);
-      rt = std::min(rt, r.rt[static_cast<std::size_t>(j)] -
-                            r.delay[static_cast<std::size_t>(v)]);
-    }
-    r.rt[static_cast<std::size_t>(v)] = rt;
-    r.slack[static_cast<std::size_t>(v)] =
-        rt - r.at[static_cast<std::size_t>(v)];
+    if (pl.sink[pi]) rt = critical_path - delay_pos[pi];
+    for (int k = pl.fanout_off[pi]; k < pl.fanout_off[pi + 1]; ++k)
+      rt = std::min(rt, rt_pos[static_cast<std::size_t>(pl.fanout_pos[
+                             static_cast<std::size_t>(k)])] -
+                            delay_pos[pi]);
+    rt_pos[pi] = rt;
   }
 }
 
-// Level-parallel sweeps: within a level no two vertices share an arc, so
-// the per-vertex updates are the sequential ones verbatim, run concurrently
-// one level at a time. Bit-identical to run_sweeps_sequential: AT/RT read
-// only earlier/later levels, and the cp argmax is reduced per thread and
-// merged by (max end, lowest topological position on exact ties) — the
-// same winner as the sequential first-attaining-the-max rule.
-void run_sweeps_parallel(const SizingNetwork& net, TimingReport& r,
-                         ThreadArena& arena) {
-  const Digraph& g = net.dag();
-  const auto& order = net.level_order();
-  const auto& off = net.level_offsets();
-  const auto& pos = net.topo_position();
-  const int levels = net.num_levels();
+// Level-parallel sweeps: a level is a contiguous position range and within
+// a level no two vertices share an arc, so the per-vertex updates are the
+// sequential ones verbatim, run concurrently one level at a time. The cp
+// argmax is reduced per thread and merged by (max end, lowest topological
+// position on exact ties) — the same rule as the sequential sweep above.
+void run_sweeps_parallel(const SweepPlan& pl,
+                         const std::vector<int>& level_off,
+                         const std::vector<double>& delay_pos,
+                         std::vector<double>& at_pos,
+                         std::vector<double>& rt_pos, double& critical_path,
+                         NodeId& cp_vertex, ThreadArena& arena) {
+  const int n = pl.n;
+  at_pos.resize(static_cast<std::size_t>(n));
+  rt_pos.resize(static_cast<std::size_t>(n));
+  const int levels = static_cast<int>(level_off.size()) - 1;
 
   struct alignas(64) CpLocal {
     double end = -kInf;
@@ -107,25 +123,25 @@ void run_sweeps_parallel(const SizingNetwork& net, TimingReport& r,
   std::vector<CpLocal> cp(static_cast<std::size_t>(arena.threads()));
 
   for (int l = 0; l < levels; ++l) {
-    const int base = off[static_cast<std::size_t>(l)];
-    const int width = off[static_cast<std::size_t>(l) + 1] - base;
+    const int base = level_off[static_cast<std::size_t>(l)];
+    const int width = level_off[static_cast<std::size_t>(l) + 1] - base;
     arena.parallel_for(width, kSweepGrain, [&](int thread, int begin, int end) {
       CpLocal& local = cp[static_cast<std::size_t>(thread)];
       for (int i = begin; i < end; ++i) {
-        const NodeId v = order[static_cast<std::size_t>(base + i)];
+        const std::size_t pi = static_cast<std::size_t>(base + i);
         double at = 0.0;
-        for (ArcId a : g.in_arcs(v)) {
-          const NodeId j = g.tail(a);
-          at = std::max(at, r.at[static_cast<std::size_t>(j)] +
-                                r.delay[static_cast<std::size_t>(j)]);
+        for (int k = pl.fanin_off[pi]; k < pl.fanin_off[pi + 1]; ++k) {
+          const std::size_t j = static_cast<std::size_t>(
+              pl.fanin_pos[static_cast<std::size_t>(k)]);
+          at = std::max(at, at_pos[j] + delay_pos[j]);
         }
-        r.at[static_cast<std::size_t>(v)] = at;
-        const double vend = at + r.delay[static_cast<std::size_t>(v)];
-        const int vpos = pos[static_cast<std::size_t>(v)];
+        at_pos[pi] = at;
+        const double vend = at + delay_pos[pi];
+        const int vpos = pl.topo_pos[pi];
         if (vend > local.end || (vend == local.end && vpos < local.pos)) {
           local.end = vend;
           local.pos = vpos;
-          local.v = v;
+          local.v = pl.vid[pi];
         }
       }
     });
@@ -138,36 +154,56 @@ void run_sweeps_parallel(const SizingNetwork& net, TimingReport& r,
         (local.end == best.end && local.pos < best.pos))
       best = local;
   }
-  r.critical_path = best.v == kInvalidNode ? 0.0 : best.end;
-  r.cp_vertex = best.v;
+  critical_path = best.v == kInvalidNode ? 0.0 : best.end;
+  cp_vertex = best.v;
 
   for (int l = levels - 1; l >= 0; --l) {
-    const int base = off[static_cast<std::size_t>(l)];
-    const int width = off[static_cast<std::size_t>(l) + 1] - base;
+    const int base = level_off[static_cast<std::size_t>(l)];
+    const int width = level_off[static_cast<std::size_t>(l) + 1] - base;
     arena.parallel_for(width, kSweepGrain, [&](int, int begin, int end) {
       for (int i = begin; i < end; ++i) {
-        const NodeId v = order[static_cast<std::size_t>(base + i)];
+        const std::size_t pi = static_cast<std::size_t>(base + i);
         double rt = kInf;
-        if (net.vertex(v).is_po || g.out_degree(v) == 0)
-          rt = r.critical_path - r.delay[static_cast<std::size_t>(v)];
-        for (ArcId a : g.out_arcs(v)) {
-          const NodeId j = g.head(a);
-          rt = std::min(rt, r.rt[static_cast<std::size_t>(j)] -
-                                r.delay[static_cast<std::size_t>(v)]);
-        }
-        r.rt[static_cast<std::size_t>(v)] = rt;
-        r.slack[static_cast<std::size_t>(v)] =
-            rt - r.at[static_cast<std::size_t>(v)];
+        if (pl.sink[pi]) rt = critical_path - delay_pos[pi];
+        for (int k = pl.fanout_off[pi]; k < pl.fanout_off[pi + 1]; ++k)
+          rt = std::min(rt, rt_pos[static_cast<std::size_t>(pl.fanout_pos[
+                                 static_cast<std::size_t>(k)])] -
+                                delay_pos[pi]);
+        rt_pos[pi] = rt;
       }
     });
   }
 }
 
-void run_sweeps(const SizingNetwork& net, TimingReport& r, ThreadArena* arena) {
+void run_sweeps(const SizingNetwork& net, const std::vector<double>& delay_pos,
+                std::vector<double>& at_pos, std::vector<double>& rt_pos,
+                double& critical_path, NodeId& cp_vertex, ThreadArena* arena) {
   if (multi_thread(arena))
-    run_sweeps_parallel(net, r, *arena);
+    run_sweeps_parallel(net.plan(), net.level_offsets(), delay_pos, at_pos,
+                        rt_pos, critical_path, cp_vertex, *arena);
   else
-    run_sweeps_sequential(net, r);
+    run_sweeps_sequential(net.plan(), delay_pos, at_pos, rt_pos, critical_path,
+                          cp_vertex);
+}
+
+// Translate the position-space working set into the id-indexed public
+// report: linear writes over the four report arrays, gathered reads from
+// the position arrays.
+void export_report(const SweepPlan& pl, const std::vector<double>& delay_pos,
+                   const std::vector<double>& at_pos,
+                   const std::vector<double>& rt_pos, TimingReport& r) {
+  const std::size_t n = static_cast<std::size_t>(pl.n);
+  r.delay.resize(n);
+  r.at.resize(n);
+  r.rt.resize(n);
+  r.slack.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t p = static_cast<std::size_t>(pl.pos_of[v]);
+    r.delay[v] = delay_pos[p];
+    r.at[v] = at_pos[p];
+    r.rt[v] = rt_pos[p];
+    r.slack[v] = rt_pos[p] - at_pos[p];
+  }
 }
 
 // Shared incremental driver; `changed` selects the hinted or scanning path.
@@ -178,30 +214,45 @@ const TimingReport& run_sta_incremental(const SizingNetwork& net,
   MFT_CHECK(net.frozen());
   MFT_CHECK(static_cast<int>(sizes.size()) == net.num_vertices());
   const std::size_t n = static_cast<std::size_t>(net.num_vertices());
+  const SweepPlan& pl = net.plan();
   TimingReport& r = scratch.report;
 
-  if (!scratch.valid || scratch.net_serial != net.serial()) {
-    // First run on this scratch (or a different network): full recompute.
-    full_delay_init(net, sizes, r, scratch.arena);
+  if (!scratch.valid || scratch.net_serial != net.serial() ||
+      scratch.fast_math != scratch.last_fast_math) {
+    // First run on this scratch (or a different network, or a delay-mode
+    // flip — exact and fast delays must never mix): full recompute.
+    pl.gather(sizes, scratch.sizes_pos);
+    full_delay_pos(pl, scratch.sizes_pos, scratch.delay_pos, scratch.arena,
+                   scratch.fast_math);
     scratch.is_dirty.assign(n, 0);
     scratch.last_sizes = sizes;
     scratch.valid = true;
     scratch.net_serial = net.serial();
+    scratch.last_fast_math = scratch.fast_math;
     ++scratch.full_runs;
     scratch.delays_recomputed += static_cast<std::int64_t>(n);
   } else {
     // Incremental: a vertex's delay depends on its own size and the sizes
-    // it loads, so the invalidated set is {changed} ∪ reverse_loads of the
-    // changed vertices.
+    // it loads, so the invalidated set is {changed} ∪ reverse loads of the
+    // changed vertices — all found on the flat reverse-load CSR, tracked
+    // as sweep positions.
     auto& dirty = scratch.dirty;
     dirty.clear();
-    const auto& rev = net.reverse_loads();
-    auto mark = [&](NodeId v) {
-      const std::size_t i = static_cast<std::size_t>(v);
+    auto mark = [&](int p) {
+      const std::size_t i = static_cast<std::size_t>(p);
       if (!scratch.is_dirty[i]) {
         scratch.is_dirty[i] = 1;
-        dirty.push_back(v);
+        dirty.push_back(p);
       }
+    };
+    auto mark_changed = [&](NodeId v) {
+      const int p = pl.pos_of[static_cast<std::size_t>(v)];
+      scratch.sizes_pos[static_cast<std::size_t>(p)] =
+          sizes[static_cast<std::size_t>(v)];
+      mark(p);
+      for (int k = pl.rload_off[static_cast<std::size_t>(p)];
+           k < pl.rload_off[static_cast<std::size_t>(p) + 1]; ++k)
+        mark(pl.rload_pos[static_cast<std::size_t>(k)]);
     };
     if (changed != nullptr) {
       // Hinted path: trust the caller's change set, touch nothing else.
@@ -209,8 +260,7 @@ const TimingReport& run_sta_incremental(const SizingNetwork& net,
         const std::size_t i = static_cast<std::size_t>(v);
         if (sizes[i] == scratch.last_sizes[i]) continue;
         scratch.last_sizes[i] = sizes[i];
-        mark(v);
-        for (const LoadTerm& t : rev[i]) mark(t.vertex);
+        mark_changed(v);
       }
 #ifndef NDEBUG
       // A hint that misses a resized vertex silently corrupts every later
@@ -224,32 +274,39 @@ const TimingReport& run_sta_incremental(const SizingNetwork& net,
       for (NodeId v = 0; v < net.num_vertices(); ++v) {
         const std::size_t i = static_cast<std::size_t>(v);
         if (sizes[i] == scratch.last_sizes[i]) continue;
-        mark(v);
-        for (const LoadTerm& t : rev[i]) mark(t.vertex);
+        mark_changed(v);
       }
       scratch.last_sizes = sizes;
     }
-    if (multi_thread(scratch.arena)) {
-      scratch.arena->parallel_for(
-          static_cast<int>(dirty.size()), kDelayGrain,
-          [&](int, int begin, int end) {
-            for (int i = begin; i < end; ++i) {
-              const NodeId v = dirty[static_cast<std::size_t>(i)];
-              r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
-              scratch.is_dirty[static_cast<std::size_t>(v)] = 0;
-            }
-          });
-    } else {
-      for (const NodeId v : dirty) {
-        r.delay[static_cast<std::size_t>(v)] = net.delay(v, sizes);
-        scratch.is_dirty[static_cast<std::size_t>(v)] = 0;
+    auto recompute = [&](int, int begin, int end) {
+      if (scratch.fast_math) {
+        for (int i = begin; i < end; ++i) {
+          const int p = dirty[static_cast<std::size_t>(i)];
+          scratch.delay_pos[static_cast<std::size_t>(p)] =
+              pl.delay_at_fast(p, scratch.sizes_pos);
+          scratch.is_dirty[static_cast<std::size_t>(p)] = 0;
+        }
+      } else {
+        for (int i = begin; i < end; ++i) {
+          const int p = dirty[static_cast<std::size_t>(i)];
+          scratch.delay_pos[static_cast<std::size_t>(p)] =
+              pl.delay_at(p, scratch.sizes_pos);
+          scratch.is_dirty[static_cast<std::size_t>(p)] = 0;
+        }
       }
-    }
+    };
+    if (multi_thread(scratch.arena))
+      scratch.arena->parallel_for(static_cast<int>(dirty.size()), kDelayGrain,
+                                  recompute);
+    else
+      recompute(0, 0, static_cast<int>(dirty.size()));
     ++scratch.incremental_runs;
     scratch.delays_recomputed += static_cast<std::int64_t>(dirty.size());
   }
 
-  run_sweeps(net, r, scratch.arena);
+  run_sweeps(net, scratch.delay_pos, scratch.at_pos, scratch.rt_pos,
+             r.critical_path, r.cp_vertex, scratch.arena);
+  export_report(pl, scratch.delay_pos, scratch.at_pos, scratch.rt_pos, r);
   return r;
 }
 }  // namespace
@@ -257,9 +314,14 @@ const TimingReport& run_sta_incremental(const SizingNetwork& net,
 TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes) {
   MFT_CHECK(net.frozen());
   MFT_CHECK(static_cast<int>(sizes.size()) == net.num_vertices());
+  const SweepPlan& pl = net.plan();
   TimingReport r;
-  full_delay_init(net, sizes, r, nullptr);
-  run_sweeps_sequential(net, r);
+  std::vector<double> sizes_pos, delay_pos, at_pos, rt_pos;
+  pl.gather(sizes, sizes_pos);
+  full_delay_pos(pl, sizes_pos, delay_pos, nullptr, /*fast=*/false);
+  run_sweeps_sequential(pl, delay_pos, at_pos, rt_pos, r.critical_path,
+                        r.cp_vertex);
+  export_report(pl, delay_pos, at_pos, rt_pos, r);
   return r;
 }
 

@@ -5,10 +5,10 @@
 // Entry points:
 //  - run_sta(net, sizes): full recompute, allocates a fresh report.
 //  - run_sta(net, sizes, scratch): incremental. The scratch remembers the
-//    sizes of the previous call and only recomputes net.delay(v, ...) for
+//    sizes of the previous call and only recomputes the delay for
 //    vertices whose delay can actually have changed (the resized vertices
-//    plus everything loaded by them, via reverse_loads), found by an O(n)
-//    scan against the remembered sizes.
+//    plus everything loaded by them, via the reverse-load CSR), found by an
+//    O(n) scan against the remembered sizes.
 //  - run_sta(net, sizes, scratch, changed): same, but the caller names the
 //    resized vertices up front and the O(n) scan is skipped — the right
 //    form for callers that know their own update (TILOS bumps one vertex
@@ -19,12 +19,26 @@
 // All paths produce bit-identical reports; the tier-1 suite asserts the
 // equivalences on randomized size updates.
 //
+// Layout: the kernels never walk SizingVertex records. All hot state lives
+// in sweep-position order (SizingNetwork::plan()): the delay recompute and
+// the AT/RT sweeps stream the plan's SoA/CSR arrays level-contiguously,
+// and one final pass exports the id-indexed TimingReport. Values are
+// bit-identical to the historical id-order walks (term order per vertex is
+// preserved; max/min folds are exact under reordering).
+//
 // Parallelism: when scratch.arena points at a multi-thread ThreadArena,
-// the delay recompute runs partitioned over the vertices and the AT/RT
-// sweeps run level-parallel over SizingNetwork's cached levelization —
-// still bit-identical to the sequential sweeps (per-vertex arithmetic is
+// the delay recompute runs partitioned over the dirty set and the AT/RT
+// sweeps run level-parallel over the same position arrays — still
+// bit-identical to the sequential sweeps (per-vertex arithmetic is
 // unchanged; the cp argmax is merged max-end-first, lowest-topological-
 // position-on-ties, exactly the sequential rule).
+//
+// Fast math: scratch.fast_math opts into FP-reassociated load folds
+// (SweepPlan::delay_at_fast) for the delay recompute. Off by default;
+// results then differ from the exact mode only by reassociation rounding
+// in each vertex's load sum (max/min sweep folds stay exact). Flipping the
+// flag forces a full recompute so exact and fast delays never mix in one
+// report. The plain run_sta(net, sizes) overload is always exact.
 #pragma once
 
 #include <cstdint>
@@ -62,8 +76,15 @@ struct TimingReport {
 /// many times on one network (W-phase/backoff loop, D-phase workspace).
 struct TimingScratch {
   TimingReport report;             ///< result storage, reused across calls
-  std::vector<double> last_sizes;  ///< sizes of the previous run
-  std::vector<NodeId> dirty;       ///< scratch: vertices to re-delay
+  std::vector<double> last_sizes;  ///< sizes of the previous run (by id)
+  /// Persistent sweep-position-order working set (see SizingNetwork::plan):
+  /// the kernels read and write only these; `report` is exported from them
+  /// at the end of each run.
+  std::vector<double> sizes_pos;
+  std::vector<double> delay_pos;
+  std::vector<double> at_pos;
+  std::vector<double> rt_pos;
+  std::vector<int> dirty;          ///< scratch: positions to re-delay
   std::vector<char> is_dirty;      ///< scratch: dedup mask for `dirty`
   bool valid = false;              ///< false until the first (full) run
   std::uint64_t net_serial = 0;    ///< SizingNetwork::serial() of the run
@@ -72,6 +93,10 @@ struct TimingScratch {
   /// (engine worker, bench) must keep it alive across runs. Results are
   /// bit-identical at any thread count.
   ThreadArena* arena = nullptr;
+  /// Opt-in FP-reassociated delay folds (see the header comment). Owned by
+  /// SizingContext::set_fast_math in the engine; never set by default.
+  bool fast_math = false;
+  bool last_fast_math = false;     ///< mode the cached delays were built in
 
   // Instrumentation for tests and benches.
   std::int64_t full_runs = 0;
@@ -92,7 +117,9 @@ struct TimingScratch {
   }
 };
 
-/// Full forward/backward sweep. `sizes` indexed by vertex id.
+/// Full forward/backward sweep. `sizes` indexed by vertex id. Always exact
+/// (no fast-math variant): this is the reference every other path is
+/// compared against.
 TimingReport run_sta(const SizingNetwork& net, const std::vector<double>& sizes);
 
 /// Incremental sweep: recomputes only the delays invalidated since the

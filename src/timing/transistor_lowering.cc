@@ -133,9 +133,9 @@ LoweredCircuit lower_transistor_level(const Netlist& nl, const Tech& tech) {
     if (gate.kind == GateKind::kInput) {
       SizingVertex v;
       v.kind = VertexKind::kSource;
-      v.name = gate.name;
       v.origin_gate = g;
-      source_vtx[static_cast<std::size_t>(g)] = net.add_vertex(std::move(v));
+      source_vtx[static_cast<std::size_t>(g)] =
+          net.add_vertex(std::move(v), gate.name);
       out.gate_vertices[static_cast<std::size_t>(g)] = {
           source_vtx[static_cast<std::size_t>(g)]};
       continue;
@@ -149,9 +149,10 @@ LoweredCircuit lower_transistor_level(const Netlist& nl, const Tech& tech) {
       for (std::size_t d = 0; d < plane.devices.size(); ++d) {
         SizingVertex v;
         v.kind = VertexKind::kTransistor;
-        v.name = strf("%s_%s%zu", gate.name.c_str(), pl == 0 ? "n" : "p", d);
         v.origin_gate = g;
-        plane.devices[d].vertex = net.add_vertex(std::move(v));
+        plane.devices[d].vertex = net.add_vertex(
+            std::move(v),
+            strf("%s_%s%zu", gate.name.c_str(), pl == 0 ? "n" : "p", d));
         out.gate_vertices[static_cast<std::size_t>(g)].push_back(
             plane.devices[d].vertex);
       }

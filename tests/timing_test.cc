@@ -22,17 +22,15 @@ struct FixedDelayNet {
   NodeId source(const std::string& name) {
     SizingVertex s;
     s.kind = VertexKind::kSource;
-    s.name = name;
-    v.push_back(net.add_vertex(std::move(s)));
+    v.push_back(net.add_vertex(std::move(s), name));
     return v.back();
   }
   NodeId vertex(const std::string& name, double delay, bool po = false) {
     SizingVertex s;
     s.kind = VertexKind::kGate;
-    s.name = name;
     s.b = delay;
     s.is_po = po;
-    v.push_back(net.add_vertex(std::move(s)));
+    v.push_back(net.add_vertex(std::move(s), name));
     return v.back();
   }
   std::vector<double> unit_sizes() const {
@@ -281,13 +279,11 @@ TEST(SizingNetwork, InvariantsEnforced) {
   SizingNetwork net{Tech{}};
   SizingVertex src;
   src.kind = VertexKind::kSource;
-  src.name = "s";
-  const NodeId s = net.add_vertex(src);
+  const NodeId s = net.add_vertex(src, "s");
   SizingVertex g;
   g.kind = VertexKind::kGate;
-  g.name = "g";
   g.b = 1.0;
-  const NodeId v = net.add_vertex(g);
+  const NodeId v = net.add_vertex(g, "g");
   EXPECT_THROW(net.add_load(v, s, 1.0), CheckError);   // loads on sources
   EXPECT_THROW(net.add_load(v, v, 1.0), CheckError);   // self-load
   net.add_arc(s, v);
@@ -297,8 +293,7 @@ TEST(SizingNetwork, InvariantsEnforced) {
   SizingNetwork bad{Tech{}};
   SizingVertex z;
   z.kind = VertexKind::kGate;
-  z.name = "z";
-  bad.add_vertex(z);
+  bad.add_vertex(z, "z");
   EXPECT_THROW(bad.freeze(), CheckError);
 }
 
@@ -307,11 +302,9 @@ TEST(SizingNetwork, CycleRejectedAtFreeze) {
   SizingVertex a;
   a.kind = VertexKind::kGate;
   a.b = 1.0;
-  a.name = "a";
   SizingVertex b = a;
-  b.name = "b";
-  const NodeId va = net.add_vertex(a);
-  const NodeId vb = net.add_vertex(b);
+  const NodeId va = net.add_vertex(a, "a");
+  const NodeId vb = net.add_vertex(b, "b");
   net.add_arc(va, vb);
   net.add_arc(vb, va);
   EXPECT_THROW(net.freeze(), CheckError);

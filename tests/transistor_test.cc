@@ -68,7 +68,7 @@ TEST(TransistorLowering, Nand2StackMatchesEquationTwo) {
   //                  = 0.7 + 1.05 + 4 = 5.75.
   double d_n0 = -1, d_n1 = -1;
   for (NodeId v : lc.gate_vertices[static_cast<std::size_t>(g)]) {
-    const std::string& name = lc.net.vertex(v).name;
+    const std::string& name = lc.net.name(v);
     if (name == "g_n0") d_n0 = lc.net.delay(v, x);
     if (name == "g_n1") d_n1 = lc.net.delay(v, x);
   }
@@ -94,7 +94,7 @@ TEST(TransistorLowering, CrossGateArcsSwapPlanes) {
 
   auto find_vertex = [&](const std::string& name) {
     for (NodeId v = 0; v < lc.net.num_vertices(); ++v)
-      if (lc.net.vertex(v).name == name) return v;
+      if (lc.net.name(v) == name) return v;
     return kInvalidNode;
   };
   const NodeId inv_n = find_vertex("inv_n0");
@@ -127,7 +127,7 @@ TEST(TransistorLowering, NandRootsReachOnlyDrivenParallelBranch) {
   const Digraph& dag = lc.net.dag();
   auto find_vertex = [&](const std::string& name) {
     for (NodeId v = 0; v < lc.net.num_vertices(); ++v)
-      if (lc.net.vertex(v).name == name) return v;
+      if (lc.net.name(v) == name) return v;
     return kInvalidNode;
   };
   const NodeId inv_n = find_vertex("inv_n0");
