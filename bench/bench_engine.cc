@@ -1,7 +1,8 @@
 // Engine batch-throughput benchmark: the same 8-job area-delay sweep of
 // c3540 executed sequentially (1 thread), on a multi-thread batch pool,
 // and through the persistent StreamingRunner (submit-all / wait-all over
-// the MPMC queue), plus bit-exactness cross-checks between all three runs
+// the scheduler queue), plus bit-exactness cross-checks between all three
+// runs
 // (the engine's determinism contract: scheduling, and now arrival
 // interleaving, must never change results).
 //
@@ -119,15 +120,28 @@ int main(int argc, char** argv) {
                                    ? jobs.size() / streamed.wall_seconds
                                    : 0.0;
     for (const JobResult& r : streamed.results)
-      std::printf("  %-12s %6.2fs  thread %d\n", r.label.c_str(),
-                  r.wall_seconds, r.thread);
-    std::printf("  -> %d jobs in %.2fs (%.3f jobs/s)\n\n",
+      std::printf("  %-12s %6.2fs  thread %d (queued %.3fs)\n",
+                  r.label.c_str(), r.wall_seconds, r.thread, r.queue_seconds);
+    std::printf("  -> %d jobs in %.2fs (%.3f jobs/s)\n",
                 static_cast<int>(streamed.results.size()),
                 streamed.wall_seconds, streamed.jobs_per_second);
+    // Scheduler-queue health: the high-water mark and the total
+    // ticket-seconds spent queued vs running. With submit-all-up-front the
+    // peak is jobs - workers_that_grabbed_immediately; queue wait shrinks
+    // as the pool widens.
+    const StreamStats stats = stream.stats();
+    std::printf(
+        "  queue: peak depth %llu, %.2fs total queue wait, %.2fs total "
+        "run\n\n",
+        static_cast<unsigned long long>(stats.queue_peak),
+        stats.queue_wait_seconds, stats.run_seconds);
     json.add(strf("engine/stream8_t%d", par_threads), streamed.wall_seconds,
              {{"threads", static_cast<double>(streamed.threads_used)},
               {"jobs", static_cast<double>(streamed.results.size())},
-              {"jobs_per_second", streamed.jobs_per_second}});
+              {"jobs_per_second", streamed.jobs_per_second},
+              {"queue_peak", static_cast<double>(stats.queue_peak)},
+              {"queue_wait_seconds", stats.queue_wait_seconds},
+              {"run_seconds", stats.run_seconds}});
   }
 
   const bool deterministic = identical(runs[0], runs[1]);

@@ -51,6 +51,13 @@
 //   --cancel-after S      streaming modes only: cancel every in-flight
 //                         ticket S seconds after submission (exercises
 //                         StreamingRunner::cancel)
+//   --priority N          streaming only: submit every job at scheduler
+//                         priority N (higher dispatches first; results
+//                         stay bit-identical — only dispatch order moves)
+//   --shed                streaming only: enable overload shedding —
+//                         queued jobs whose --deadline has already expired
+//                         at dispatch fail fast with status "shed" instead
+//                         of burning a worker
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -95,6 +102,8 @@ struct Args {
   int context_cache = 0;  // 0 = unbounded context pools
   double deadline = 0.0;      // 0 = no deadline
   double cancel_after = -1.0; // < 0 = never cancel
+  int priority = 0;           // streaming scheduler priority for all jobs
+  bool shed = false;          // streaming: fail expired queued jobs fast
   bool streaming = false;
   bool sweep = false;
   bool wires = false;
@@ -132,6 +141,11 @@ const char* option_listing() {
       "degraded\n"
       "  --cancel-after S      streaming modes only: cancel every ticket S\n"
       "                        seconds after submission\n"
+      "  --priority N          streaming only: scheduler priority for every\n"
+      "                        job (higher dispatches first; bit-identical\n"
+      "                        results, only dispatch order moves)\n"
+      "  --shed                streaming only: shed queued jobs whose\n"
+      "                        --deadline already expired at dispatch\n"
       "  --fast-math           FP-reassociated delay folds: faster, "
       "reproducible\n"
       "                        for a fixed binary but NOT bit-identical to "
@@ -239,6 +253,15 @@ Args parse(int argc, char** argv) {
         usage(("bad " + f + " value '" + std::string(s) + "'").c_str());
       (f == "--deadline" ? a.deadline : a.cancel_after) = v;
     }
+    else if (f == "--priority") {
+      const char* s = value(i);
+      char* end = nullptr;
+      const long v = std::strtol(s, &end, 10);  // negative priorities allowed
+      if (end == s || *end != '\0')
+        usage(("bad --priority value '" + std::string(s) + "'").c_str());
+      a.priority = static_cast<int>(v);
+    }
+    else if (f == "--shed") a.shed = true;
     else if (f == "--streaming") a.streaming = true;
     else if (f == "--fast-math") a.fast_math = true;
     else if (f == "--list-circuits") {
@@ -261,6 +284,10 @@ Args parse(int argc, char** argv) {
     usage("--shards is a single-target mode; drop --sweep");
   if (a.cancel_after >= 0.0 && !a.streaming)
     usage("--cancel-after needs --streaming (it cancels tickets)");
+  if (a.priority != 0 && !a.streaming)
+    usage("--priority needs --streaming (the batch engine ignores it)");
+  if (a.shed && !a.streaming)
+    usage("--shed needs --streaming (shedding is a queue policy)");
   if (a.fast_math && a.shards > 0)
     usage(
         "--fast-math cannot be combined with --shards: shard "
@@ -326,13 +353,16 @@ JobRunnerOptions make_runner_options(const Args& args) {
 /// the submit/poll engine.
 BatchResult run_streaming(const Args& args, const SizingNetwork& net,
                           std::vector<SizingJob> jobs, bool report) {
-  const JobRunnerOptions ropt = make_runner_options(args);
+  JobRunnerOptions ropt = make_runner_options(args);
+  ropt.shed = args.shed;
   Stopwatch sw;
   StreamingRunner stream(ropt);
   const std::vector<int> inner = resolve_batch_inner_threads(
       {&net}, jobs, stream.threads(), ropt.inner_threads);
-  for (std::size_t i = 0; i < jobs.size(); ++i)
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
     jobs[i].inner_threads = inner[i];
+    jobs[i].priority = args.priority;
+  }
   const int total = static_cast<int>(jobs.size());
   int done = 0;  // callbacks are serialized by the runner
   std::vector<JobTicket> tickets;
@@ -365,6 +395,14 @@ BatchResult run_streaming(const Args& args, const SizingNetwork& net,
   BatchResult batch;
   for (const JobTicket t : tickets)
     batch.results.push_back(stream.wait(t));
+  if (args.shed) {
+    const StreamStats stats = stream.stats();
+    if (stats.shed > 0)
+      std::printf("  shed %llu queued job%s (deadline expired before "
+                  "dispatch)\n",
+                  static_cast<unsigned long long>(stats.shed),
+                  stats.shed == 1 ? "" : "s");
+  }
   batch.threads_used = stream.threads();
   batch.wall_seconds = sw.seconds();
   batch.jobs_per_second =

@@ -1,0 +1,190 @@
+// mftd — headless sizing daemon over JSON-lines.
+//
+// Usage:
+//   mftd [--threads N] [--inner-threads N] [--context-cache N]
+//        [--max-queue N] [--pressure X] [--no-shed] [--socket PATH]
+//
+// Default transport is stdin/stdout: one request object per input line,
+// one event object per output line (see engine/daemon.h for the
+// protocol). --socket PATH serves the same protocol over a Unix stream
+// socket instead, one client at a time; the daemon exits after a client
+// sends {"op":"shutdown"} (or, in stdio mode, at EOF).
+//
+// All engine semantics live in SizingDaemon (src/engine/daemon.{h,cc});
+// this file is transport only, so tests and sanitizer runs cover the
+// daemon through the library rather than through a subprocess.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "engine/daemon.h"
+
+namespace {
+
+struct Flags {
+  mft::DaemonOptions daemon;
+  std::string socket_path;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: mftd [options]\n"
+      "  --threads N        engine worker threads (0 = hardware)\n"
+      "  --inner-threads N  default inner-loop threads per job\n"
+      "  --context-cache N  per-worker context LRU bound (0 = unbounded)\n"
+      "  --max-queue N      reject submits at queue depth N (0 = unbounded)\n"
+      "  --pressure X       reject deadlined submits whose predicted wait\n"
+      "                     exceeds deadline*X (0 = off)\n"
+      "  --no-shed          disable overload shedding (on by default)\n"
+      "  --socket PATH      serve a Unix stream socket instead of stdio\n"
+      "  --help             this text\n");
+  std::exit(code);
+}
+
+Flags parse(int argc, char** argv) {
+  Flags f;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  auto int_value = [&](int& i) {
+    const char* s = value(i);
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "error: bad value '%s' for %s\n", s, argv[i - 1]);
+      std::exit(2);
+    }
+    return static_cast<int>(v);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--threads") f.daemon.engine.threads = int_value(i);
+    else if (flag == "--inner-threads")
+      f.daemon.engine.inner_threads = int_value(i);
+    else if (flag == "--context-cache")
+      f.daemon.engine.context_cache_limit = int_value(i);
+    else if (flag == "--max-queue")
+      f.daemon.max_queue_depth = static_cast<std::size_t>(int_value(i));
+    else if (flag == "--pressure") {
+      const char* s = value(i);
+      char* end = nullptr;
+      f.daemon.deadline_pressure = std::strtod(s, &end);
+      if (end == s || *end != '\0' || f.daemon.deadline_pressure < 0) {
+        std::fprintf(stderr, "error: bad --pressure value '%s'\n", s);
+        std::exit(2);
+      }
+    } else if (flag == "--no-shed")
+      f.daemon.shed = false;
+    else if (flag == "--socket")
+      f.socket_path = value(i);
+    else if (flag == "--help" || flag == "-h")
+      usage(0);
+    else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+      usage(2);
+    }
+  }
+  return f;
+}
+
+int serve_stdio(const mft::DaemonOptions& opt) {
+  mft::SizingDaemon daemon(opt, [](const std::string& line) {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  });
+  std::string line;
+  while (!daemon.shutdown_requested() && std::getline(std::cin, line))
+    daemon.handle_line(line);
+  daemon.drain();
+  return 0;
+}
+
+#ifndef _WIN32
+int serve_socket(const mft::DaemonOptions& opt, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("mftd: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: --socket path too long\n");
+    return 2;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 1) < 0) {
+    std::perror("mftd: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  int client = -1;
+  mft::SizingDaemon daemon(opt, [&client](const std::string& line) {
+    if (client < 0) return;
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(client, out.data() + off, out.size() - off);
+      if (n <= 0) break;  // client went away; results keep draining
+      off += static_cast<std::size_t>(n);
+    }
+  });
+  // One client at a time: accept, serve its lines, loop on disconnect
+  // until a client asks for shutdown.
+  std::string buf;
+  while (!daemon.shutdown_requested()) {
+    client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) break;
+    buf.clear();
+    char chunk[4096];
+    ssize_t n;
+    while (!daemon.shutdown_requested() &&
+           (n = ::read(client, chunk, sizeof(chunk))) > 0) {
+      buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t nl;
+      while ((nl = buf.find('\n')) != std::string::npos) {
+        daemon.handle_line(buf.substr(0, nl));
+        buf.erase(0, nl + 1);
+      }
+    }
+    daemon.drain();  // flush results to this client before it goes away
+    ::close(client);
+    client = -1;
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = parse(argc, argv);
+  if (!flags.socket_path.empty()) {
+#ifndef _WIN32
+    return serve_socket(flags.daemon, flags.socket_path);
+#else
+    std::fprintf(stderr, "error: --socket is not supported on this platform\n");
+    return 2;
+#endif
+  }
+  return serve_stdio(flags.daemon);
+}

@@ -1,0 +1,585 @@
+#include "engine/daemon.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "gen/blocks.h"
+#include "gen/iscas_analog.h"
+#include "gen/tiled.h"
+#include "util/check.h"
+#include "util/fault.h"
+#include "util/str.h"
+
+namespace mft {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flat-object JSON (the protocol subset)
+// ---------------------------------------------------------------------------
+//
+// Requests are one flat JSON object per line — string/number/bool/null
+// values only, no nesting. A dedicated ~100-line parser keeps the daemon
+// dependency-free and makes "malformed" a precise, testable notion: any
+// deviation is a parse error carried back as kInvalidInput, never an
+// aborted daemon.
+
+struct JsonVal {
+  enum Kind { kString, kNumber, kBool, kNull } kind = kNull;
+  std::string str;
+  double num = 0.0;
+  bool b = false;
+};
+
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& s) : s_(s) {}
+
+  bool parse(std::map<std::string, JsonVal>& out, std::string& err) {
+    skip_ws();
+    if (!eat('{')) return fail(err, "expected '{'");
+    skip_ws();
+    if (eat('}')) return finish(err);
+    while (true) {
+      skip_ws();
+      JsonVal key;
+      if (!parse_string(key.str)) return fail(err, "expected string key");
+      skip_ws();
+      if (!eat(':')) return fail(err, "expected ':'");
+      skip_ws();
+      JsonVal val;
+      if (!parse_value(val)) return fail(err, "bad value");
+      out[key.str] = std::move(val);
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return finish(err);
+      return fail(err, "expected ',' or '}'");
+    }
+  }
+
+ private:
+  bool finish(std::string& err) {
+    skip_ws();
+    if (pos_ != s_.size()) return fail(err, "trailing characters");
+    return true;
+  }
+
+  bool fail(std::string& err, const char* what) {
+    err = strf("%s at byte %zu", what, pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          // Protocol strings are names and tags; BMP code points encoded
+          // as UTF-8 are all the daemon ever needs to round-trip.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(JsonVal& out) {
+    if (pos_ < s_.size() && s_[pos_] == '"') {
+      out.kind = JsonVal::kString;
+      return parse_string(out.str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out.kind = JsonVal::kBool;
+      out.b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out.kind = JsonVal::kBool;
+      out.b = false;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      out.kind = JsonVal::kNull;
+      pos_ += 4;
+      return true;
+    }
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return false;
+    out.kind = JsonVal::kNumber;
+    out.num = v;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+using JsonObj = std::map<std::string, JsonVal>;
+
+std::string get_string(const JsonObj& obj, const char* key,
+                       const std::string& fallback = {}) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonVal::kString) return fallback;
+  return it->second.str;
+}
+
+double get_number(const JsonObj& obj, const char* key, double fallback,
+                  bool* present = nullptr) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonVal::kNumber) {
+    if (present != nullptr) *present = false;
+    return fallback;
+  }
+  if (present != nullptr) *present = true;
+  return it->second.num;
+}
+
+void json_escape(std::string& dst, const std::string& s) {
+  char buf[8];
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      dst.push_back('\\');
+      dst.push_back(c);
+    } else if (c == '\n') {
+      dst += "\\n";
+    } else if (c == '\t') {
+      dst += "\\t";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      dst += buf;
+    } else {
+      dst.push_back(c);
+    }
+  }
+}
+
+/// Incremental JSON-object line builder for responses.
+class JsonLine {
+ public:
+  JsonLine& str(const char* key, const std::string& v) {
+    open(key);
+    out_.push_back('"');
+    json_escape(out_, v);
+    out_.push_back('"');
+    return *this;
+  }
+  JsonLine& num(const char* key, double v) {
+    open(key);
+    out_ += strf("%.17g", v);
+    return *this;
+  }
+  JsonLine& integer(const char* key, long long v) {
+    open(key);
+    out_ += strf("%lld", v);
+    return *this;
+  }
+  JsonLine& uinteger(const char* key, unsigned long long v) {
+    open(key);
+    out_ += strf("%llu", v);
+    return *this;
+  }
+  JsonLine& boolean(const char* key, bool v) {
+    open(key);
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  std::string done() {
+    out_.push_back('}');
+    return std::move(out_);
+  }
+
+ private:
+  void open(const char* key) {
+    out_.push_back(out_.empty() ? '{' : ',');
+    out_.push_back('"');
+    out_ += key;
+    out_ += "\":";
+  }
+  std::string out_;
+};
+
+/// FNV-1a over the solution vector's IEEE-754 bit patterns: two results
+/// hash equal iff their sizes are bit-identical, which is how the protocol
+/// exposes the engine's determinism contract without shipping the vector.
+std::uint64_t sizes_hash(const std::vector<double>& sizes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const double d : sizes) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+bool parse_tiled(const std::string& name, TiledDatapathParams& p) {
+  int lanes = 0, stages = 0, bits = 0;
+  char tail = '\0';
+  if (std::sscanf(name.c_str(), "tiled%dx%dx%d%c", &lanes, &stages, &bits,
+                  &tail) != 3 ||
+      lanes < 1 || stages < 1 || bits < 1)
+    return false;
+  p.lanes = lanes;
+  p.stages = stages;
+  p.bits = bits;
+  return true;
+}
+
+Netlist build_circuit(const std::string& name) {
+  if (name == "c17") return make_c17();
+  if (name.rfind("adder", 0) == 0) {
+    const int bits = std::atoi(name.c_str() + 5);
+    if (bits >= 1) return make_ripple_adder(bits);
+  }
+  TiledDatapathParams tp;
+  if (parse_tiled(name, tp)) return make_tiled_datapath(tp);
+  try {
+    return make_iscas_analog(name);
+  } catch (const std::exception& e) {
+    throw EngineError(EngineStatus::kInvalidInput,
+                      strf("unknown circuit '%s': %s", name.c_str(), e.what()));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SizingDaemon
+// ---------------------------------------------------------------------------
+
+struct SizingDaemon::ParsedSubmit {
+  std::string id;
+  std::string circuit;
+  SizingJob job;
+};
+
+SizingDaemon::SizingDaemon(DaemonOptions opt, Emit emit)
+    : opt_(std::move(opt)), emit_(std::move(emit)) {
+  MFT_CHECK_MSG(emit_ != nullptr, "SizingDaemon needs an emit callback");
+  JobRunnerOptions engine = opt_.engine;
+  engine.shed = opt_.shed;
+  runner_ = std::make_unique<StreamingRunner>(std::move(engine));
+}
+
+SizingDaemon::~SizingDaemon() {
+  drain();
+  runner_->shutdown(StreamingRunner::ShutdownMode::kDrain);
+}
+
+bool SizingDaemon::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+void SizingDaemon::drain() { runner_->wait_all(); }
+
+void SizingDaemon::handle_line(const std::string& line) {
+  // Blank lines are keep-alive noise, not requests; everything else gets
+  // exactly one terminal response, whatever goes wrong below.
+  if (trim(line).empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+  }
+  std::string id;
+  try {
+    MFT_FAULT_POINT("daemon.parse");
+    JsonObj obj;
+    std::string err;
+    if (!FlatJsonParser(line).parse(obj, err))
+      throw EngineError(EngineStatus::kInvalidInput,
+                        "malformed request: " + err);
+    id = get_string(obj, "id");
+    const std::string op = get_string(obj, "op");
+    if (op == "submit") {
+      ParsedSubmit req;
+      req.id = id;
+      req.circuit = get_string(obj, "circuit");
+      if (req.circuit.empty())
+        throw EngineError(EngineStatus::kInvalidInput,
+                          "submit needs a \"circuit\"");
+      req.job.label = get_string(obj, "label", req.circuit);
+      req.job.target_ratio = get_number(obj, "ratio", 0.6);
+      req.job.target_delay = get_number(obj, "target", 0.0);
+      req.job.priority = static_cast<int>(get_number(obj, "priority", 0.0));
+      req.job.deadline_seconds = get_number(obj, "deadline", 0.0);
+      req.job.max_steps =
+          static_cast<std::int64_t>(get_number(obj, "max_steps", 0.0));
+      req.job.inner_threads =
+          static_cast<int>(get_number(obj, "inner_threads", 0.0));
+      req.job.seed = static_cast<std::uint64_t>(get_number(obj, "seed", 0.0));
+      do_submit(req);
+    } else if (op == "cancel") {
+      bool present = false;
+      const double t = get_number(obj, "ticket", -1.0, &present);
+      if (!present || t < 0)
+        throw EngineError(EngineStatus::kInvalidInput,
+                          "cancel needs a non-negative \"ticket\"");
+      bool ok = false;
+      std::string note;
+      try {
+        ok = runner_->cancel(static_cast<JobTicket>(t));
+        if (!ok) note = "already completed";
+      } catch (const std::exception& e) {
+        note = e.what();  // never-issued ticket
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      JsonLine out;
+      out.str("event", "cancel");
+      if (!id.empty()) out.str("id", id);
+      out.uinteger("ticket", static_cast<unsigned long long>(t))
+          .boolean("ok", ok);
+      if (!note.empty()) out.str("error", note);
+      emit_locked(out.done());
+    } else if (op == "stats") {
+      std::lock_guard<std::mutex> lock(mu_);
+      const DaemonStats s = stats_locked();
+      JsonLine out;
+      out.str("event", "stats");
+      if (!id.empty()) out.str("id", id);
+      emit_locked(
+          out.uinteger("requests", s.requests)
+              .uinteger("admitted", s.admitted)
+              .uinteger("rejected", s.rejected)
+              .uinteger("invalid", s.invalid)
+              .uinteger("results", s.results)
+              .uinteger("submitted", s.engine.submitted)
+              .uinteger("completed", s.engine.completed)
+              .uinteger("canceled", s.engine.canceled)
+              .uinteger("degraded", s.engine.degraded)
+              .uinteger("shed", s.engine.shed)
+              .uinteger("queue_depth",
+                        static_cast<unsigned long long>(s.engine.queue_depth))
+              .uinteger("queue_peak",
+                        static_cast<unsigned long long>(s.engine.queue_peak))
+              .num("queue_wait_seconds", s.engine.queue_wait_seconds)
+              .num("run_seconds", s.engine.run_seconds)
+              .num("p50_seconds", s.p50_seconds)
+              .num("p99_seconds", s.p99_seconds)
+              .integer("workers", runner_->threads())
+              .done());
+    } else if (op == "shutdown") {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+      emit_locked(JsonLine()
+                      .str("event", "shutdown")
+                      .uinteger("outstanding", admitted_ - results_)
+                      .done());
+    } else {
+      throw EngineError(
+          EngineStatus::kInvalidInput,
+          op.empty() ? std::string("request has no \"op\"")
+                     : strf("unknown op '%s'", op.c_str()));
+    }
+  } catch (const EngineError& e) {
+    respond_error(id, e.status(), e.what());
+  } catch (const std::exception& e) {
+    // Includes injected faults at daemon.parse/daemon.accept: a
+    // structured internal error, and the daemon keeps serving.
+    respond_error(id, EngineStatus::kInternal, e.what());
+  }
+}
+
+void SizingDaemon::do_submit(const ParsedSubmit& req) {
+  // Admission seam (fault-injectable) and circuit resolution (throws
+  // kInvalidInput for an unknown name) both run before mu_ is taken —
+  // their exceptions unwind to handle_line's respond_error, which locks.
+  MFT_FAULT_POINT("daemon.accept");
+  const SizingNetwork& net = circuit(req.circuit);
+  const std::string id = req.id;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string refusal;
+  if (shutdown_) {
+    refusal = "daemon is shutting down";
+  } else {
+    const StreamStats es = runner_->stats();
+    if (opt_.max_queue_depth > 0 && es.queue_depth >= opt_.max_queue_depth) {
+      refusal = strf("queue full: depth %zu at bound %zu", es.queue_depth,
+                     opt_.max_queue_depth);
+    } else if (opt_.deadline_pressure > 0.0 &&
+               req.job.deadline_seconds > 0.0 && ewma_run_seconds_ > 0.0) {
+      const double predicted = ewma_run_seconds_ *
+                               static_cast<double>(es.queue_depth) /
+                               static_cast<double>(runner_->threads());
+      if (predicted > req.job.deadline_seconds * opt_.deadline_pressure)
+        refusal = strf(
+            "deadline pressure: predicted wait %.3gs exceeds deadline %.3gs",
+            predicted, req.job.deadline_seconds);
+    }
+  }
+  if (!refusal.empty()) {
+    respond_error_locked(id, EngineStatus::kRejected, refusal);
+    return;
+  }
+  // Submit while still holding mu_: the result callback also takes mu_,
+  // so the "accepted" ack below always precedes the job's result event
+  // even if a worker finishes it instantly. (Lock order is daemon mu_ ->
+  // runner internals; callbacks take them in the compatible order
+  // callback_mu_ -> daemon mu_.)
+  const JobTicket t = runner_->submit_detached(
+      net, req.job,
+      [this, id](const JobResult& r) { on_result(id, r); });
+  ++admitted_;
+  JsonLine out;
+  out.str("event", "accepted");
+  if (!id.empty()) out.str("id", id);
+  emit_locked(out.uinteger("ticket", t).done());
+}
+
+void SizingDaemon::on_result(const std::string& id, const JobResult& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (r.wall_seconds > 0.0)
+    ewma_run_seconds_ = ewma_run_seconds_ == 0.0
+                            ? r.wall_seconds
+                            : 0.3 * r.wall_seconds + 0.7 * ewma_run_seconds_;
+  latency_.record(r.queue_seconds + r.wall_seconds);
+  ++results_;
+  JsonLine out;
+  out.str("event", "result");
+  if (!id.empty()) out.str("id", id);
+  out.integer("ticket", r.job)
+      .str("status", to_string(r.status))
+      .boolean("ok", r.ok)
+      .boolean("degraded", r.degraded)
+      .str("label", r.label)
+      .integer("priority", r.priority)
+      .uinteger("seed", r.seed)
+      .num("queue_seconds", r.queue_seconds)
+      .num("wall_seconds", r.wall_seconds);
+  if (r.ok) {
+    out.num("area", r.result.area)
+        .num("delay", r.result.delay)
+        .num("target", r.target)
+        .uinteger("sizes_hash", sizes_hash(r.result.sizes));
+  } else {
+    out.str("error", r.error);
+  }
+  emit_locked(out.done());
+}
+
+void SizingDaemon::respond_error(const std::string& id, EngineStatus status,
+                                 const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  respond_error_locked(id, status, message);
+}
+
+void SizingDaemon::respond_error_locked(const std::string& id,
+                                        EngineStatus status,
+                                        const std::string& message) {
+  if (status == EngineStatus::kRejected)
+    ++rejected_;
+  else
+    ++invalid_;
+  JsonLine out;
+  out.str("event", "result");
+  if (!id.empty()) out.str("id", id);
+  emit_locked(out.integer("ticket", -1)
+                  .str("status", to_string(status))
+                  .boolean("ok", false)
+                  .str("error", message)
+                  .done());
+}
+
+void SizingDaemon::emit_locked(const std::string& line) { emit_(line); }
+
+const SizingNetwork& SizingDaemon::circuit(const std::string& name) {
+  // Only handle_line's thread touches the cache; workers hold pointers
+  // into entries but never the map. Entries live for the daemon's
+  // lifetime, so queued jobs' network pointers stay valid.
+  auto it = circuits_.find(name);
+  if (it == circuits_.end()) {
+    Netlist nl = build_circuit(name);
+    auto lowered =
+        std::make_unique<LoweredCircuit>(lower_gate_level(nl, Tech{}));
+    it = circuits_.emplace(name, std::move(lowered)).first;
+  }
+  return it->second->net;
+}
+
+DaemonStats SizingDaemon::stats_locked() const {
+  DaemonStats s;
+  s.requests = requests_;
+  s.admitted = admitted_;
+  s.rejected = rejected_;
+  s.invalid = invalid_;
+  s.results = results_;
+  s.p50_seconds = latency_.quantile(0.50);
+  s.p99_seconds = latency_.quantile(0.99);
+  s.engine = runner_->stats();
+  return s;
+}
+
+DaemonStats SizingDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_locked();
+}
+
+}  // namespace mft

@@ -1,0 +1,159 @@
+// Engine layer, service front-end: SizingDaemon turns the StreamingRunner
+// into a headless request/response service speaking JSON-lines — one flat
+// JSON object per request line in, one-or-more JSON event lines out
+// through an emit callback the transport owns (stdout, a Unix socket, a
+// test vector — the daemon never touches an fd itself).
+//
+// Protocol (requests):
+//   {"op":"submit","circuit":"c17","ratio":0.8,"priority":2,
+//    "deadline":0.5,"max_steps":0,"inner_threads":0,"seed":0,
+//    "label":"...","id":"client-tag"}      // only op+circuit required
+//   {"op":"cancel","ticket":3}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// Responses (events; "id" echoes the request's id when given):
+//   {"event":"accepted","id":...,"ticket":3}           // submit admitted
+//   {"event":"result","id":...,"ticket":3,"status":"ok",...}
+//   {"event":"cancel","ticket":3,"ok":true}
+//   {"event":"stats",...}   {"event":"shutdown",...}
+//
+// The response contract the daemon_test pins: every request line gets
+// exactly one terminal response — an admitted submit exactly one
+// {"event":"result"} (preceded by its "accepted" ack), a rejected submit
+// one result with status "rejected", a malformed or unknown request one
+// result with status "invalid_input", a shed job one result with status
+// "shed". No request hangs and no ticket is lost, including under
+// overload and across injected faults (sites "daemon.parse" at request
+// parsing and "daemon.accept" at admission — an armed fault becomes a
+// structured error response, never a dead daemon).
+//
+// Admission control (DaemonOptions): a submit is refused with kRejected
+// when the scheduler queue is already max_queue_depth deep, or when the
+// request carries a deadline that deadline-pressure estimation (EWMA job
+// runtime × queue depth / workers) says cannot be met. Once admitted,
+// overload is handled by the scheduler itself: deadline-ordered dispatch
+// plus kShed for queued jobs whose deadline lapsed (JobRunnerOptions::
+// shed, on by default here), and the PR-6 best-so-far degradation for
+// jobs already running.
+//
+// Results are delivered through submit_detached, so a long-lived daemon
+// accumulates nothing per request; live stats (queue depth/peak,
+// admit/reject/shed counters, p50/p99 ticket latency from a fixed-bucket
+// histogram) come from the "stats" op at any time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/stream.h"
+#include "timing/lowering.h"
+#include "util/histogram.h"
+
+namespace mft {
+
+struct DaemonOptions {
+  /// Engine configuration for the wrapped StreamingRunner. `shed` is the
+  /// one field whose default differs from the raw engine: the daemon arms
+  /// it unless the caller explicitly turns it off (see shed below).
+  JobRunnerOptions engine;
+  /// Queue-depth admission bound: a submit arriving while the scheduler
+  /// queue is already this deep is refused with kRejected. 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  /// Deadline-pressure admission factor: when > 0, a submit carrying a
+  /// deadline is refused with kRejected if the predicted queue wait
+  /// (EWMA completed-job runtime × queue depth / workers) exceeds
+  /// deadline × this factor — work that would only be shed later is
+  /// turned away up front. 0 disables the estimate (the default: the
+  /// estimator is load-dependent, so tests that need determinism keep it
+  /// off and pin the queue-depth bound instead).
+  double deadline_pressure = 0.0;
+  /// Arm the scheduler's overload shedding (JobRunnerOptions::shed).
+  bool shed = true;
+};
+
+/// Counters the daemon layers on top of StreamStats. Guarded internally;
+/// a stats() snapshot is consistent.
+struct DaemonStats {
+  std::uint64_t requests = 0;   ///< request lines handled (incl. bad ones)
+  std::uint64_t admitted = 0;   ///< submits handed to the engine
+  std::uint64_t rejected = 0;   ///< submits refused by admission control
+  std::uint64_t invalid = 0;    ///< malformed / unknown requests
+  std::uint64_t results = 0;    ///< terminal result events emitted
+  double p50_seconds = 0.0;     ///< median submit→result latency
+  double p99_seconds = 0.0;
+  StreamStats engine;           ///< live engine counters (shed lives here)
+};
+
+class SizingDaemon {
+ public:
+  /// Emits one complete JSON line (no trailing newline) back to the
+  /// client. Called serialized — never concurrently with itself — from
+  /// handle_line's thread and from engine worker threads.
+  using Emit = std::function<void(const std::string& line)>;
+
+  SizingDaemon(DaemonOptions opt, Emit emit);
+  ~SizingDaemon();  ///< drains outstanding jobs, then stops the engine
+
+  SizingDaemon(const SizingDaemon&) = delete;
+  SizingDaemon& operator=(const SizingDaemon&) = delete;
+
+  /// Handles one request line (blank lines are ignored). Every non-blank
+  /// line produces at least one response event; malformed input produces
+  /// a structured invalid_input result. Never throws.
+  void handle_line(const std::string& line);
+
+  /// True once a {"op":"shutdown"} request was handled; the transport
+  /// loop should stop reading and call drain().
+  bool shutdown_requested() const;
+
+  /// Blocks until every admitted job has completed and emitted its
+  /// result event.
+  void drain();
+
+  DaemonStats stats() const;
+
+ private:
+  struct ParsedSubmit;
+
+  void do_submit(const ParsedSubmit& req);
+  void on_result(const std::string& id, const JobResult& r);
+  /// The one-terminal-response path for anything that never reached the
+  /// engine: rejected, malformed, unknown op, internal fault.
+  void respond_error(const std::string& id, EngineStatus status,
+                     const std::string& message);
+  void respond_error_locked(const std::string& id, EngineStatus status,
+                            const std::string& message);
+  void emit_locked(const std::string& line);
+  /// Builds (and caches) the named circuit, lowered and frozen. Throws
+  /// EngineError(kInvalidInput) for an unknown name.
+  const SizingNetwork& circuit(const std::string& name);
+  DaemonStats stats_locked() const;
+
+  DaemonOptions opt_;
+  Emit emit_;
+  /// Lowered circuits by request name; jobs hold pointers into these, so
+  /// entries are never evicted while the daemon lives (the name space is
+  /// the small closed set of built-in generators).
+  std::unordered_map<std::string, std::unique_ptr<LoweredCircuit>> circuits_;
+
+  mutable std::mutex mu_;  ///< emit serialization, counters, histogram
+  std::uint64_t requests_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t invalid_ = 0;
+  std::uint64_t results_ = 0;
+  double ewma_run_seconds_ = 0.0;  ///< EWMA of completed-job wall time
+  LatencyHistogram latency_;       ///< submit→result, per terminal result
+  bool shutdown_ = false;
+
+  /// Declared last: destroyed (drained) before the circuits its queued
+  /// jobs point into.
+  std::unique_ptr<StreamingRunner> runner_;
+};
+
+}  // namespace mft

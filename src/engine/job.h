@@ -42,6 +42,13 @@ struct SizingJob {
   /// seed and the job index" (splitmix64), so a batch is reproducible
   /// regardless of thread count or scheduling order.
   std::uint64_t seed = 0;
+  /// Scheduling priority for the streaming dispatcher: higher-priority
+  /// jobs are dispatched first; ties break on earlier effective deadline,
+  /// then on ticket (submission order), so equal-priority work stays FIFO
+  /// and per-ticket results never depend on what else is queued. The
+  /// default 0 reproduces the plain FIFO engine exactly. Ignored by
+  /// position in the batch API (results there are index-ordered anyway).
+  int priority = 0;
   /// Shard metadata (sizing/shard.h): which shard of a partitioned solve
   /// this job is, and which reconciliation round submitted it. -1/0 for
   /// ordinary (non-sharded) jobs. Echoed into the result and the batch
@@ -82,6 +89,11 @@ struct JobResult {
 
   MinflotransitResult result;  ///< TILOS seed + refined solution
   double wall_seconds = 0.0;   ///< this job alone, on its worker
+  /// Seconds the job sat between submission and dispatch (worker pop, or
+  /// the moment it was plucked/shed). Measured on the runner's clock, so a
+  /// fake clock in tests makes it deterministic.
+  double queue_seconds = 0.0;
+  int priority = 0;            ///< SizingJob::priority, echoed
   int thread = -1;             ///< worker that ran it (informational)
   int inner_threads = 1;       ///< resolved inner-loop thread count
   int shard = -1;              ///< SizingJob::shard, echoed

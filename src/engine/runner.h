@@ -7,7 +7,8 @@
 // consumed in ticket order into a preallocated vector. The batch
 // contracts are unchanged and still pinned by tests/engine_test.cc:
 //
-//  - Load balancing: the MPMC queue hands each worker the next unstarted
+//  - Load balancing: the scheduler queue hands each worker the next
+//    unstarted
 //    job, so the batch load-balances regardless of per-job cost skew (a
 //    c6288 job next to a c17 job is fine).
 //  - Context reuse: every worker keeps a ContextPool — one SizingContext

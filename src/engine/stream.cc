@@ -56,6 +56,7 @@ void execute_job(const SizingJob& job, JobTicket ticket, double dmin,
   out.target =
       job.target_delay > 0.0 ? job.target_delay : job.target_ratio * dmin;
   out.seed = job.seed;
+  out.priority = job.priority;
   out.inner_threads = arena != nullptr ? arena->threads() : 1;
   out.shard = job.shard;
   out.shard_round = job.shard_round;
@@ -143,6 +144,14 @@ StreamingRunner::StreamingRunner(JobRunnerOptions opt,
     : opt_(std::move(opt)),
       own_info_(opt_.context_cache_limit),
       info_(shared_info != nullptr ? shared_info : &own_info_) {
+  if (opt_.clock) {
+    now_ = opt_.clock;
+  } else {
+    // Default runner clock: seconds since construction on steady_clock.
+    // Only differences are used, so the epoch is irrelevant.
+    auto epoch = std::make_shared<Stopwatch>();
+    now_ = [epoch] { return epoch->seconds(); };
+  }
   threads_ = resolve_pool_threads(opt_.threads);
   default_inner_ = opt_.inner_threads > 0 ? opt_.inner_threads
                                           : std::max(1, env_inner_threads());
@@ -196,14 +205,26 @@ JobTicket StreamingRunner::submit_item(
   if (item.job.deadline_seconds > 0)
     item.token->arm_deadline(item.job.deadline_seconds);
   if (item.job.max_steps > 0) item.token->arm_steps(item.job.max_steps);
+  // Dispatch key, fixed at submission: the effective deadline is absolute
+  // on the runner's clock (no deadline = +inf sorts last among equal
+  // priorities before the ticket tiebreak), so the scheduler and the shed
+  // decision agree on one instant per job.
+  item.submit_at = now_();
+  item.key.priority = item.job.priority;
+  item.key.ticket = item.ticket;
+  if (item.job.deadline_seconds > 0)
+    item.key.deadline_at = item.submit_at + item.job.deadline_seconds;
   tokens_.emplace(item.ticket, item.token);
   outstanding_.insert(item.ticket);
   const JobTicket t = item.ticket;
   // Pushed under mu_ so queue order == ticket order even with concurrent
   // submitters, and so a racing shutdown() can never close the queue
-  // between the shutdown_ check and the push.
+  // between the shutdown_ check and the push. (mu_ -> queue mutex is the
+  // one nesting order used anywhere; the queue never calls back out.)
   const bool pushed = queue_.push(std::move(item));
   MFT_CHECK(pushed);
+  const std::size_t depth = queue_.size();
+  if (depth > queue_peak_) queue_peak_ = depth;
   return t;
 }
 
@@ -222,16 +243,8 @@ bool StreamingRunner::cancel(JobTicket t) {
   // (callback + collectible result, like any completion).
   Item item;
   if (queue_.remove_one([t](const Item& i) { return i.ticket == t; }, item)) {
-    JobResult out;
-    out.job = static_cast<int>(item.ticket);
-    out.label = item.job.label;
-    out.seed = item.job.seed;
-    out.shard = item.job.shard;
-    out.shard_round = item.job.shard_round;
-    out.ok = false;
-    out.status = EngineStatus::kCanceled;
-    out.error = "canceled before start";
-    finish(item, std::move(out));
+    finish(item, stub_result(item, EngineStatus::kCanceled,
+                             "canceled before start", now_()));
     return true;
   }
   // In flight (or racing into a worker's hands): interrupt cooperatively.
@@ -278,18 +291,10 @@ void StreamingRunner::shutdown(ShutdownMode mode) {
   }
   if (workers_.empty()) return;
   if (mode == ShutdownMode::kCancel) {
-    std::deque<Item> leftover = queue_.close_and_drain();
+    std::vector<Item> leftover = queue_.close_and_drain();
     for (Item& item : leftover) {
-      JobResult out;
-      out.job = static_cast<int>(item.ticket);
-      out.label = item.job.label;
-      out.seed = item.job.seed;
-      out.shard = item.job.shard;
-      out.shard_round = item.job.shard_round;
-      out.ok = false;
-      out.status = EngineStatus::kCanceled;
-      out.error = "canceled by StreamingRunner shutdown";
-      finish(item, std::move(out));
+      finish(item, stub_result(item, EngineStatus::kCanceled,
+                               "canceled by StreamingRunner shutdown", now_()));
     }
   } else {
     queue_.close();
@@ -316,8 +321,30 @@ StreamStats StreamingRunner::stats() const {
   s.completed = completed_;
   s.canceled = canceled_;
   s.degraded = degraded_;
+  s.shed = shed_;
   s.ready = ready_.size();
+  s.queue_depth = queue_.size();
+  s.queue_peak = queue_peak_;
+  s.queue_wait_seconds = queue_wait_seconds_;
+  s.run_seconds = run_seconds_;
   return s;
+}
+
+JobResult StreamingRunner::stub_result(const Item& item, EngineStatus status,
+                                       const std::string& error,
+                                       double now) const {
+  JobResult out;
+  out.job = static_cast<int>(item.ticket);
+  out.label = item.job.label;
+  out.seed = item.job.seed;
+  out.priority = item.job.priority;
+  out.shard = item.job.shard;
+  out.shard_round = item.job.shard_round;
+  out.queue_seconds = now - item.submit_at;
+  out.ok = false;
+  out.status = status;
+  out.error = error;
+  return out;
 }
 
 void StreamingRunner::finish(Item& item, JobResult out) {
@@ -334,7 +361,10 @@ void StreamingRunner::finish(Item& item, JobResult out) {
     outstanding_.erase(item.ticket);
     tokens_.erase(item.ticket);
     if (out.status == EngineStatus::kCanceled) ++canceled_;
+    if (out.status == EngineStatus::kShed) ++shed_;
     if (out.degraded) ++degraded_;
+    queue_wait_seconds_ += out.queue_seconds;
+    run_seconds_ += out.wall_seconds;
     // Detached jobs never park a result: the callback above was their
     // delivery, so a long-lived callback-driven runner stays flat.
     if (item.retain) ready_.emplace(item.ticket, std::move(out));
@@ -357,19 +387,29 @@ void StreamingRunner::worker_main(int worker_id) {
     // killing the thread — poll()/wait() on the ticket always complete.
     try {
       MFT_FAULT_POINT("stream.worker");
+      const double dispatched_at = now_();
+      // Overload shedding: the deadline already passed while the job sat
+      // queued, so running it cannot produce a result the caller still
+      // wants — fail it now on the runner's clock, before the AbortToken
+      // check, so an armed shed wins over the token's real-clock
+      // kDeadlineExpired and stays deterministic under a fake clock.
+      if (opt_.shed && dispatched_at > item.key.deadline_at) {
+        JobResult out = stub_result(item, EngineStatus::kShed,
+                                    "shed: deadline expired before dispatch",
+                                    dispatched_at);
+        out.thread = worker_id;
+        finish(item, std::move(out));
+        item = Item{};
+        continue;
+      }
       // Canceled (or deadline-expired) before starting: fail without
       // running. step() is safe here — the worker owns the token now.
       if (item.token != nullptr && item.token->step()) {
-        JobResult out;
-        out.job = static_cast<int>(item.ticket);
-        out.label = item.job.label;
-        out.seed = item.job.seed;
-        out.shard = item.job.shard;
-        out.shard_round = item.job.shard_round;
+        const EngineStatus st = item.token->tripped();
+        JobResult out =
+            stub_result(item, st, std::string(to_string(st)) + " before start",
+                        dispatched_at);
         out.thread = worker_id;
-        out.ok = false;
-        out.status = item.token->tripped();
-        out.error = std::string(to_string(out.status)) + " before start";
         finish(item, std::move(out));
         item = Item{};
         continue;
@@ -385,18 +425,13 @@ void StreamingRunner::worker_main(int worker_id) {
                   pool.acquire(*item.net), inner > 1 ? arena.get() : nullptr,
                   item.token.get(), opt_.fast_math, out);
       out.thread = worker_id;
+      out.queue_seconds = dispatched_at - item.submit_at;
       finish(item, std::move(out));
     } catch (const std::exception& e) {
-      JobResult out;
-      out.job = static_cast<int>(item.ticket);
-      out.label = item.job.label;
-      out.seed = item.job.seed;
-      out.shard = item.job.shard;
-      out.shard_round = item.job.shard_round;
+      JobResult out = stub_result(
+          item, EngineStatus::kWorkerDied,
+          std::string("worker died outside the job body: ") + e.what(), now_());
       out.thread = worker_id;
-      out.ok = false;
-      out.status = EngineStatus::kWorkerDied;
-      out.error = std::string("worker died outside the job body: ") + e.what();
       finish(item, std::move(out));
     }
     item = Item{};  // drop the callback/job before parking on the queue

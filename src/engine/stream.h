@@ -1,7 +1,8 @@
 // Engine layer, streaming execution: a StreamingRunner owns a persistent
-// pool of worker threads fed by an MPMC queue — jobs are submitted while
-// workers run, each submission returns a JobTicket, and results are
-// collected by poll/wait (or a per-job completion callback).
+// pool of worker threads fed by a deterministic priority/deadline
+// scheduler queue — jobs are submitted while workers run, each submission
+// returns a JobTicket, and results are collected by poll/wait (or a
+// per-job completion callback).
 //
 // This is the request-serving face of the engine the batch JobRunner
 // (runner.h) is a thin wrapper over:
@@ -16,10 +17,19 @@
 //    Callback-only consumers use submit_detached(), which hands the
 //    result to the callback without retaining it — nothing accumulates
 //    per job in a long-lived runner.
-//  - Queue. MpmcQueue is a FIFO with condition-variable parking on both
-//    sides: producers never spin, idle workers sleep, close() wakes
-//    everyone. This replaces the batch runner's atomic-cursor loop, which
-//    required the whole job list up front.
+//  - Queue. SchedQueue is a priority/deadline scheduler with
+//    condition-variable parking on both sides: producers never spin, idle
+//    workers sleep, close() wakes everyone. Dispatch order is the
+//    deterministic key (priority desc, effective deadline asc, ticket asc)
+//    — all-default jobs reduce it to the FIFO the batch runner relies on,
+//    and per-ticket seeds are resolved at submit, so scheduling order
+//    never changes any job's bits, only when it runs.
+//  - Shedding. With JobRunnerOptions::shed armed, a popped job whose
+//    wall-clock deadline already passed while it sat in the queue is
+//    failed immediately with kShed instead of burning worker time on a
+//    result that cannot meet its deadline; jobs already running keep the
+//    PR-6 best-so-far degradation contract. The shed decision reads the
+//    runner's injectable clock, so tests drive it deterministically.
 //  - Context eviction. Each worker keeps a ContextPool — per-network
 //    SizingContexts keyed by SizingNetwork::serial() under a shared LRU
 //    policy (util/lru.h) bounded by JobRunnerOptions::context_cache_limit
@@ -43,10 +53,11 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -91,6 +102,23 @@ struct JobRunnerOptions {
   /// (sharded solves, streaming-vs-batch equivalence checks); the CLI
   /// rejects the combination. Echoed per job into JobResult::fast_math.
   bool fast_math = false;
+  /// Overload shedding: when true, a job popped off the queue after its
+  /// wall-clock deadline already passed is failed immediately with
+  /// EngineStatus::kShed ("load shed") instead of being run — the deadline
+  /// is measured from submission, so an expired deadline means no amount
+  /// of worker time can produce a result the caller still wants. Off by
+  /// default: the batch wrapper and deadline-free callers never shed, and
+  /// an expired-but-unshed job keeps the PR-6 contract (it runs, trips its
+  /// AbortToken at the first checkpoint, and degrades or fails with
+  /// kDeadlineExpired). Shedding never touches a job already running.
+  bool shed = false;
+  /// Monotonic clock override, in seconds (only differences are
+  /// meaningful). Null = steady_clock since runner construction. The
+  /// scheduler's effective-deadline keys, the shed decision, and the
+  /// queue-wait accounting all read this clock — a test installing a fake
+  /// clock makes shed-vs-run decisions fully deterministic. AbortToken
+  /// deadlines inside a running job still use the real clock.
+  std::function<double()> clock;
   /// Base of the deterministic per-job seed derivation.
   std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
   /// Batch-mode progress hook: called after each job completes with
@@ -118,27 +146,54 @@ int resolve_pool_threads(int requested);
 int env_inner_threads();
 
 // ---------------------------------------------------------------------------
-// MpmcQueue
+// SchedQueue
 // ---------------------------------------------------------------------------
 
-/// Unbounded FIFO multi-producer/multi-consumer queue with
-/// condition-variable parking and explicit close semantics:
+/// Monotone per-runner job handle: the submission index. Issued by
+/// submit(), redeemed exactly once by wait().
+using JobTicket = std::uint64_t;
+
+/// Deterministic dispatch key of one queued job. Ordering (sched_before):
+/// higher priority first, then earlier effective deadline (absolute time
+/// on the runner's clock; no deadline = +inf), then lower ticket. The
+/// ticket tiebreak makes the order a total one that depends only on what
+/// was submitted — never on worker count or pop timing — and reduces the
+/// all-default case (priority 0, no deadlines) to exact FIFO.
+struct SchedKey {
+  int priority = 0;
+  double deadline_at = std::numeric_limits<double>::infinity();
+  JobTicket ticket = 0;
+};
+
+inline bool sched_before(const SchedKey& a, const SchedKey& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline_at != b.deadline_at) return a.deadline_at < b.deadline_at;
+  return a.ticket < b.ticket;
+}
+
+/// Unbounded priority/deadline multi-producer/multi-consumer scheduler
+/// queue with condition-variable parking and explicit close semantics.
+/// T must expose a public `SchedKey key` member; pop() always hands out
+/// the best key currently queued (per sched_before).
 ///  - push() returns false (and drops the item) once closed;
 ///  - pop() blocks while open and empty, returns false only when the
 ///    queue is closed *and* drained — so consumers process every item
 ///    pushed before close();
 ///  - close_and_drain() closes and hands every still-queued item back to
 ///    the caller instead (the cancel path).
-/// FIFO law: items pushed by one producer are popped in push order
-/// (across producers, the order is the queue's arrival interleaving).
+/// FIFO law, generalized: among items whose keys compare equal (same
+/// priority and deadline — ticket ties are impossible, tickets are
+/// unique), dispatch order is ticket order, i.e. submission order. A
+/// stream of all-default submissions therefore behaves exactly like the
+/// FIFO queue this replaced.
 template <typename T>
-class MpmcQueue {
+class SchedQueue {
  public:
   bool push(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
-      items_.push_back(std::move(item));
+      items_.insert(std::move(item));
     }
     cv_.notify_one();
     return true;
@@ -148,8 +203,7 @@ class MpmcQueue {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;  // closed and drained
-    out = std::move(items_.front());
-    items_.pop_front();
+    out = std::move(items_.extract(items_.begin()).value());
     return true;
   }
 
@@ -157,21 +211,20 @@ class MpmcQueue {
   bool try_pop(T& out) {
     std::lock_guard<std::mutex> lock(mu_);
     if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
+    out = std::move(items_.extract(items_.begin()).value());
     return true;
   }
 
-  /// Removes and returns the first queued item matching `pred`; false when
-  /// no queued item matches (it may be in flight or already done). The
-  /// immediate-cancel path: a plucked job never reaches a worker.
+  /// Removes and returns the best-ordered queued item matching `pred`;
+  /// false when no queued item matches (it may be in flight or already
+  /// done). The immediate-cancel path: a plucked job never reaches a
+  /// worker.
   template <typename Pred>
   bool remove_one(Pred pred, T& out) {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = items_.begin(); it != items_.end(); ++it) {
       if (pred(*it)) {
-        out = std::move(*it);
-        items_.erase(it);
+        out = std::move(items_.extract(it).value());
         return true;
       }
     }
@@ -186,12 +239,15 @@ class MpmcQueue {
     cv_.notify_all();
   }
 
-  std::deque<T> close_and_drain() {
-    std::deque<T> leftover;
+  /// Closes and returns every still-queued item in dispatch order.
+  std::vector<T> close_and_drain() {
+    std::vector<T> leftover;
     {
       std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
-      leftover.swap(items_);
+      leftover.reserve(items_.size());
+      while (!items_.empty())
+        leftover.push_back(std::move(items_.extract(items_.begin()).value()));
     }
     cv_.notify_all();
     return leftover;
@@ -208,9 +264,17 @@ class MpmcQueue {
   }
 
  private:
+  struct Before {
+    bool operator()(const T& a, const T& b) const {
+      return sched_before(a.key, b.key);
+    }
+  };
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  /// multiset keeps equivalent keys in insertion order, which is what
+  /// makes the FIFO law hold without encoding the ticket twice.
+  std::multiset<T, Before> items_;
   bool closed_ = false;
 };
 
@@ -297,19 +361,27 @@ class ContextPool {
 // StreamingRunner
 // ---------------------------------------------------------------------------
 
-/// Monotone per-runner job handle: the submission index. Issued by
-/// submit(), redeemed exactly once by wait().
-using JobTicket = std::uint64_t;
-
-/// Aggregate context-pool instrumentation across all workers. Complete
-/// only after shutdown() (workers publish their pool's counters when they
-/// exit); peak_per_worker is the largest pool any single worker grew.
+/// Aggregate runner instrumentation. Counters and queue/latency totals are
+/// live at any time; the context_* fields are complete only after
+/// shutdown() (workers publish their pool's counters when they exit);
+/// context_peak_per_worker is the largest pool any single worker grew.
 struct StreamStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t canceled = 0;  ///< completions with status kCanceled
   std::uint64_t degraded = 0;  ///< completions with the degraded flag
+  std::uint64_t shed = 0;      ///< completions with status kShed
   std::size_t ready = 0;  ///< completed results retained, not yet consumed
+  std::size_t queue_depth = 0;  ///< jobs queued, not yet dispatched (now)
+  std::size_t queue_peak = 0;   ///< high-water mark of queue_depth
+  /// Total seconds jobs spent waiting between submit and dispatch (on the
+  /// runner's clock), summed over completed jobs; divide by completed for
+  /// the mean wait. Canceled-before-start and shed jobs count their full
+  /// wait too — theirs ended at the pluck/shed decision.
+  double queue_wait_seconds = 0.0;
+  /// Total seconds workers spent executing jobs (sum of per-job
+  /// wall_seconds); run/wait together split every ticket's latency.
+  double run_seconds = 0.0;
   std::size_t context_peak_per_worker = 0;
   std::int64_t context_hits = 0;
   std::int64_t context_misses = 0;
@@ -395,6 +467,9 @@ class StreamingRunner {
 
  private:
   struct Item {
+    /// Dispatch key: (job.priority, submit_at + deadline_seconds, ticket).
+    /// Fixed at submit; the queue orders by it.
+    SchedKey key;
     JobTicket ticket = 0;
     const SizingNetwork* net = nullptr;
     SizingJob job;
@@ -402,6 +477,7 @@ class StreamingRunner {
     NetInfo info;           ///< meaningful iff has_info
     bool has_info = false;  ///< caller prefetched the network facts
     bool retain = true;     ///< false: callback-only, result never stored
+    double submit_at = 0.0;  ///< runner-clock time of submission
     /// Per-job abort/budget token, created at submit (deadline measured
     /// from there). Shared with tokens_ so cancel() reaches a job already
     /// handed to a worker.
@@ -413,14 +489,20 @@ class StreamingRunner {
                         const NetInfo* info, bool retain);
   void worker_main(int worker_id);
   void finish(Item& item, JobResult out);
+  /// JobResult skeleton for a job failed without running (pluck-cancel,
+  /// shutdown-cancel, shed): echoes identity fields, stamps the queue wait
+  /// as of `now`, and carries the structured status + message.
+  JobResult stub_result(const Item& item, EngineStatus status,
+                        const std::string& error, double now) const;
 
   JobRunnerOptions opt_;
   int threads_ = 1;
   int default_inner_ = 1;  ///< resolved once: opt.inner_threads or env or 1
+  std::function<double()> now_;  ///< runner clock: opt.clock or steady
   NetInfoCache own_info_;
   NetInfoCache* info_ = nullptr;
 
-  MpmcQueue<Item> queue_;
+  SchedQueue<Item> queue_;
   std::vector<std::thread> workers_;
 
   mutable std::mutex mu_;  ///< tickets, results, outstanding, shutdown flag
@@ -429,6 +511,10 @@ class StreamingRunner {
   std::uint64_t completed_ = 0;
   std::uint64_t canceled_ = 0;
   std::uint64_t degraded_ = 0;
+  std::uint64_t shed_ = 0;
+  std::size_t queue_peak_ = 0;
+  double queue_wait_seconds_ = 0.0;
+  double run_seconds_ = 0.0;
   std::unordered_map<JobTicket, JobResult> ready_;
   std::unordered_set<JobTicket> outstanding_;
   /// Abort token of every not-yet-completed job, for cancel(); erased by

@@ -12,6 +12,16 @@
 // on hits 1..3. Hit counting is global across threads and deterministic
 // whenever the per-site hit order is (e.g. single worker, or sites reached
 // once per job).
+//
+// Named sites compiled in today:
+//   stream.worker    worker loop, outside the job body (→ kWorkerDied)
+//   stream.context   per-worker context acquisition (→ kWorkerDied)
+//   stream.execute   inside the job body (structured kInternal result)
+//   flow.solve       inner flow solve (structured kInternal result)
+//   shard.extract    shard extraction (retried once, then folded back)
+//   daemon.parse     daemon request parsing (structured error response)
+//   daemon.accept    daemon admission, pre-submit (structured error
+//                    response; the engine never sees the job)
 #pragma once
 
 #include <atomic>

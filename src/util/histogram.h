@@ -1,0 +1,77 @@
+// Fixed-bucket latency histogram for service-side quantile reporting.
+//
+// Geometric (power-of-two) bucket edges starting at 1 µs: bucket b covers
+// [1e-6 · 2^b, 1e-6 · 2^(b+1)) seconds, with an underflow bucket below
+// 1 µs and an overflow bucket above ~1.1e6 s. 41 fixed buckets cover nine
+// decades with ≤2x relative quantile error — plenty for p50/p99 dashboards
+// — at a constant 43·8 bytes, no allocation, O(1) record. Quantiles are
+// resolved to the upper edge of the bucket where the cumulative count
+// crosses q·total (conservative: reported p99 ≥ true p99).
+//
+// Not thread-safe; the daemon records under its own mutex.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstddef>
+
+namespace mft {
+
+class LatencyHistogram {
+ public:
+  static constexpr double kBase = 1e-6;  ///< lower edge of bucket 0, seconds
+  static constexpr int kBuckets = 41;    ///< geometric buckets past kBase
+
+  void record(double seconds) {
+    ++counts_[bucket(seconds)];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  /// Smallest bucket upper edge such that at least ceil(q·total) samples
+  /// fall at or below it; 0 when empty. q outside (0,1] is clamped.
+  double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // ceil(q·total) without FP edge cases at q=1.
+    std::uint64_t need =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+    if (need == 0) need = 1;
+    if (need > total_) need = total_;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kBuckets + 2; ++b) {
+      cum += counts_[static_cast<std::size_t>(b)];
+      if (cum >= need) return upper_edge(b);
+    }
+    return upper_edge(kBuckets + 1);
+  }
+
+  void reset() {
+    counts_.fill(0);
+    total_ = 0;
+  }
+
+ private:
+  // Slot 0 = underflow (< kBase), slots 1..kBuckets = geometric buckets,
+  // slot kBuckets+1 = overflow.
+  static int bucket(double seconds) {
+    if (!(seconds >= kBase)) return 0;  // underflow; NaN lands here too
+    const int b = static_cast<int>(std::floor(std::log2(seconds / kBase)));
+    if (b >= kBuckets) return kBuckets + 1;
+    return b + 1;
+  }
+
+  static double upper_edge(int slot) {
+    if (slot <= 0) return kBase;
+    if (slot > kBuckets) return kBase * std::ldexp(1.0, kBuckets);
+    return kBase * std::ldexp(1.0, slot);
+  }
+
+  std::array<std::uint64_t, kBuckets + 2> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mft

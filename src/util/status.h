@@ -16,12 +16,14 @@ namespace mft {
 /// still reports ok=true but carries the budget code that tripped.
 enum class EngineStatus {
   kOk = 0,
-  kInvalidInput,      // malformed netlist / bad job parameters
+  kInvalidInput,      // malformed netlist / bad job parameters / bad request
   kCanceled,          // canceled via StreamingRunner::cancel or shutdown
   kDeadlineExpired,   // wall-clock deadline tripped mid-solve
   kStepBudget,        // virtual-step budget tripped mid-solve
   kWorkerDied,        // worker thread failed outside the job body
   kShardFailed,       // sharded solve exhausted retry + degrade paths
+  kShed,              // load shedding: deadline already unmeetable at dispatch
+  kRejected,          // admission control refused the request up front
   kInternal,          // unclassified exception inside the job body
 };
 
@@ -35,6 +37,8 @@ inline const char* to_string(EngineStatus s) {
     case EngineStatus::kStepBudget: return "step_budget";
     case EngineStatus::kWorkerDied: return "worker_died";
     case EngineStatus::kShardFailed: return "shard_failed";
+    case EngineStatus::kShed: return "shed";
+    case EngineStatus::kRejected: return "rejected";
     case EngineStatus::kInternal: return "internal";
   }
   return "internal";

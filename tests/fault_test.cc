@@ -16,15 +16,20 @@
 //    untripped budget is a pure observer (bit-identical results).
 //  - A randomized multi-worker soak: injected worker deaths and flow
 //    faults plus live cancellations never hang or kill the runner.
+//  - Daemon front-end sites (daemon.parse, daemon.accept): an injected
+//    fault becomes one structured error response, the daemon survives,
+//    and the next request is served clean.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "engine/daemon.h"
 #include "engine/runner.h"
 #include "engine/stream.h"
 #include "gen/blocks.h"
@@ -443,6 +448,53 @@ TEST_F(FaultTest, RandomFaultSoakKeepsTheRunnerServiceable) {
     last.target_ratio = 0.8;
     const JobResult r = stream.wait(stream.submit(c17.net, last));
     EXPECT_TRUE(r.ok) << r.error;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon front-end sites: daemon.parse / daemon.accept
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, DaemonParseAndAcceptFaultsYieldStructuredErrorsAndSurvive) {
+  for (const char* site : {"daemon.parse", "daemon.accept"}) {
+    SCOPED_TRACE(site);
+    FaultInjector::instance().disarm_all();
+    std::mutex mu;
+    std::vector<std::string> lines;
+    DaemonOptions opt;
+    opt.engine.threads = 1;
+    SizingDaemon daemon(opt, [&](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.push_back(line);
+    });
+    // Arm the site for the next request only: the daemon must turn the
+    // injected throw into one structured result, not die.
+    FaultInjector::instance().arm(site, 1);
+    daemon.handle_line(
+        "{\"op\":\"submit\",\"id\":\"faulted\",\"circuit\":\"c17\","
+        "\"ratio\":0.8}");
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ASSERT_EQ(lines.size(), 1u);
+      EXPECT_NE(lines[0].find("\"event\":\"result\""), std::string::npos);
+      EXPECT_NE(lines[0].find("\"status\":\"internal\""), std::string::npos);
+      EXPECT_NE(lines[0].find(site), std::string::npos);
+      EXPECT_EQ(FaultInjector::instance().hits(site), 1);
+      lines.clear();
+    }
+    // The window passed; the very next request is served clean end to end.
+    daemon.handle_line(
+        "{\"op\":\"submit\",\"id\":\"clean\",\"circuit\":\"c17\","
+        "\"ratio\":0.8}");
+    daemon.drain();
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"event\":\"accepted\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"status\":\"ok\""), std::string::npos);
+    const DaemonStats s = daemon.stats();
+    EXPECT_EQ(s.requests, 2u);
+    EXPECT_EQ(s.invalid, 1u);
+    EXPECT_EQ(s.admitted, 1u);
   }
 }
 

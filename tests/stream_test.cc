@@ -1,8 +1,9 @@
 // Streaming engine tests (tier1):
 //
-//  - MpmcQueue laws: FIFO order, push-after-close, drain-then-fail pop,
-//    close waking parked consumers, multi-producer/multi-consumer item
-//    conservation.
+//  - SchedQueue laws: deterministic dispatch order (priority desc,
+//    deadline asc, ticket asc) with the all-default FIFO reduction,
+//    push-after-close, drain-then-fail pop, close waking parked
+//    consumers, multi-producer/multi-consumer item conservation.
 //  - StreamingRunner semantics: submit-while-workers-run, ticket
 //    lifecycle (poll → wait → consumed), wait/submit-after-shutdown error
 //    paths, drain vs cancel shutdown, completion callbacks firing exactly
@@ -17,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <thread>
@@ -37,48 +39,107 @@ LoweredCircuit lower(const Netlist& nl) {
 }
 
 // ---------------------------------------------------------------------------
-// MpmcQueue
+// SchedQueue
 // ---------------------------------------------------------------------------
 
-TEST(MpmcQueue, SingleConsumerSeesFifoOrder) {
-  MpmcQueue<int> q;
-  for (int i = 0; i < 100; ++i) ASSERT_TRUE(q.push(i));
+/// Minimal schedulable payload: the queue only requires a public `key`.
+struct QItem {
+  SchedKey key;
+  int value = 0;
+};
+
+/// All-default key except the ticket — the FIFO-equivalent shape every
+/// plain submission has.
+QItem fifo_item(int i) {
+  QItem it;
+  it.key.ticket = static_cast<JobTicket>(i);
+  it.value = i;
+  return it;
+}
+
+QItem sched_item(int value, int priority, double deadline_at, JobTicket t) {
+  QItem it;
+  it.key.priority = priority;
+  it.key.deadline_at = deadline_at;
+  it.key.ticket = t;
+  it.value = value;
+  return it;
+}
+
+TEST(SchedQueue, AllDefaultKeysDispatchInTicketOrder) {
+  SchedQueue<QItem> q;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(q.push(fifo_item(i)));
   EXPECT_EQ(q.size(), 100u);
-  int out = -1;
+  QItem out;
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(q.pop(out));
-    EXPECT_EQ(out, i);  // FIFO: pop order == push order
+    EXPECT_EQ(out.value, i);  // FIFO reduction: pop order == push order
   }
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(MpmcQueue, PushAfterCloseFailsAndDropsTheItem) {
-  MpmcQueue<int> q;
-  ASSERT_TRUE(q.push(1));
+TEST(SchedQueue, OrdersByPriorityThenDeadlineThenTicket) {
+  const double inf = std::numeric_limits<double>::infinity();
+  SchedQueue<QItem> q;
+  ASSERT_TRUE(q.push(sched_item(0, /*priority=*/0, inf, /*ticket=*/0)));
+  ASSERT_TRUE(q.push(sched_item(1, /*priority=*/5, inf, /*ticket=*/1)));
+  ASSERT_TRUE(q.push(sched_item(2, /*priority=*/5, /*deadline_at=*/1.0,
+                                /*ticket=*/2)));
+  ASSERT_TRUE(q.push(sched_item(3, /*priority=*/-1, inf, /*ticket=*/3)));
+  ASSERT_TRUE(q.push(sched_item(4, /*priority=*/0, /*deadline_at=*/2.0,
+                                /*ticket=*/4)));
+  // Priority desc first, then earlier deadline, then ticket; no-deadline
+  // (+inf) sorts after any finite deadline at the same priority.
+  const int expected[] = {2, 1, 4, 0, 3};
+  QItem out;
+  for (int e : expected) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.value, e);
+  }
+}
+
+TEST(SchedQueue, EqualKeysPreserveInsertionOrder) {
+  // Fully equal keys (same priority, deadline, even ticket): dispatch must
+  // still be insertion order — the multiset-stability backstop behind the
+  // equal-priority FIFO law.
+  SchedQueue<QItem> q;
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(q.push(sched_item(i, /*priority=*/3, /*deadline_at=*/7.0,
+                                  /*ticket=*/42)));
+  QItem out;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.value, i);
+  }
+}
+
+TEST(SchedQueue, PushAfterCloseFailsAndDropsTheItem) {
+  SchedQueue<QItem> q;
+  ASSERT_TRUE(q.push(fifo_item(1)));
   q.close();
   EXPECT_TRUE(q.closed());
-  EXPECT_FALSE(q.push(2));
+  EXPECT_FALSE(q.push(fifo_item(2)));
   EXPECT_EQ(q.size(), 1u);  // the rejected item was not enqueued
 }
 
-TEST(MpmcQueue, PopDrainsEverythingPushedBeforeCloseThenFails) {
-  MpmcQueue<int> q;
-  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+TEST(SchedQueue, PopDrainsEverythingPushedBeforeCloseThenFails) {
+  SchedQueue<QItem> q;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(fifo_item(i)));
   q.close();
-  int out = -1;
+  QItem out;
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(q.pop(out));  // close never loses queued items
-    EXPECT_EQ(out, i);
+    EXPECT_EQ(out.value, i);
   }
   EXPECT_FALSE(q.pop(out));  // closed and drained
   EXPECT_FALSE(q.try_pop(out));
 }
 
-TEST(MpmcQueue, CloseWakesAParkedConsumer) {
-  MpmcQueue<int> q;
+TEST(SchedQueue, CloseWakesAParkedConsumer) {
+  SchedQueue<QItem> q;
   std::atomic<bool> returned{false};
   std::thread consumer([&] {
-    int out = 0;
+    QItem out;
     const bool got = q.pop(out);  // parks: queue is empty and open
     EXPECT_FALSE(got);
     returned.store(true);
@@ -90,17 +151,17 @@ TEST(MpmcQueue, CloseWakesAParkedConsumer) {
   EXPECT_TRUE(returned.load());
 }
 
-TEST(MpmcQueue, MultiProducerMultiConsumerConservesItems) {
-  MpmcQueue<int> q;
+TEST(SchedQueue, MultiProducerMultiConsumerConservesItems) {
+  SchedQueue<QItem> q;
   constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 200;
   std::vector<std::thread> threads;
   std::mutex collected_mu;
   std::vector<int> collected;
   for (int c = 0; c < kConsumers; ++c)
     threads.emplace_back([&] {
-      int out = 0;
+      QItem out;
       std::vector<int> mine;
-      while (q.pop(out)) mine.push_back(out);
+      while (q.pop(out)) mine.push_back(out.value);
       std::lock_guard<std::mutex> lock(collected_mu);
       collected.insert(collected.end(), mine.begin(), mine.end());
     });
@@ -108,7 +169,7 @@ TEST(MpmcQueue, MultiProducerMultiConsumerConservesItems) {
   for (int p = 0; p < kProducers; ++p)
     producers.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i)
-        ASSERT_TRUE(q.push(p * kPerProducer + i));
+        ASSERT_TRUE(q.push(fifo_item(p * kPerProducer + i)));
     });
   for (std::thread& t : producers) t.join();
   q.close();
@@ -120,13 +181,17 @@ TEST(MpmcQueue, MultiProducerMultiConsumerConservesItems) {
     ASSERT_EQ(collected[static_cast<std::size_t>(i)], i);  // each exactly once
 }
 
-TEST(MpmcQueue, CloseAndDrainHandsLeftoverItemsBack) {
-  MpmcQueue<int> q;
-  for (int i = 0; i < 7; ++i) ASSERT_TRUE(q.push(i));
-  const std::deque<int> leftover = q.close_and_drain();
-  ASSERT_EQ(leftover.size(), 7u);
-  for (int i = 0; i < 7; ++i) EXPECT_EQ(leftover[static_cast<std::size_t>(i)], i);
-  int out = 0;
+TEST(SchedQueue, CloseAndDrainHandsLeftoverItemsBackInDispatchOrder) {
+  SchedQueue<QItem> q;
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(q.push(fifo_item(i)));
+  ASSERT_TRUE(q.push(sched_item(99, /*priority=*/9, /*deadline_at=*/1.0,
+                                /*ticket=*/7)));
+  const std::vector<QItem> leftover = q.close_and_drain();
+  ASSERT_EQ(leftover.size(), 8u);
+  EXPECT_EQ(leftover[0].value, 99);  // best key first
+  for (int i = 0; i < 7; ++i)
+    EXPECT_EQ(leftover[static_cast<std::size_t>(i + 1)].value, i);
+  QItem out;
   EXPECT_FALSE(q.pop(out));  // closed and empty
 }
 
@@ -550,6 +615,145 @@ TEST(StreamingRunner, CanceledThenResubmittedJobsAreBitIdentical) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Scheduler determinism
+// ---------------------------------------------------------------------------
+
+TEST(StreamingRunner, PriorityJumpsTheQueueButEqualPriorityStaysFifo) {
+  Netlist nl = make_c17();
+  LoweredCircuit lc = lower(nl);
+  JobRunnerOptions opt;
+  opt.threads = 1;
+  StreamingRunner stream(opt);
+
+  // Gate the single worker inside the blocker's completion callback so
+  // every job below is still queued when the high-priority one arrives;
+  // the tail callbacks fire on the same worker after the gate opens, so
+  // recording order through them is race-free.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  SizingJob blocker;
+  blocker.target_ratio = 0.8;
+  stream.submit(lc.net, blocker,
+                [opened](const JobResult&) { opened.wait(); });
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto record = [&](const JobResult& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(r.label);
+  };
+  for (int i = 0; i < 4; ++i) {
+    SizingJob job;
+    job.target_ratio = 0.8;
+    job.label = "low" + std::to_string(i);
+    stream.submit(lc.net, job, record);
+  }
+  // Submitted last, behind four queued equal-priority jobs: dispatched
+  // first — and its presence must not reorder the equal-priority tail
+  // (priority inversion never breaks the FIFO law).
+  SizingJob urgent;
+  urgent.target_ratio = 0.8;
+  urgent.priority = 7;
+  urgent.label = "urgent";
+  stream.submit(lc.net, urgent, record);
+
+  gate.set_value();
+  stream.wait_all();
+  std::lock_guard<std::mutex> lock(mu);
+  const std::vector<std::string> expected = {"urgent", "low0", "low1", "low2",
+                                             "low3"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(StreamingRunner, MixedPrioritiesStayBitIdenticalToTheBatch) {
+  // Priorities reorder *dispatch*, never bits: seeds are ticket-derived at
+  // submit, so the scheduled stream must equal the FIFO batch
+  // result-for-result at any worker count.
+  StreamFixture f;
+  JobRunnerOptions bopt;
+  bopt.threads = 1;
+  const BatchResult reference = JobRunner(bopt).run(f.networks, f.jobs);
+  for (const JobResult& r : reference.results) ASSERT_TRUE(r.ok) << r.error;
+
+  const int priorities[] = {2, 0, 5, 0, 3, 1};
+  for (int workers : {1, 2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    JobRunnerOptions opt;
+    opt.threads = workers;
+    StreamingRunner stream(opt);
+    std::vector<JobTicket> tickets;
+    for (std::size_t i = 0; i < f.jobs.size(); ++i) {
+      SizingJob job = f.jobs[i];
+      job.priority = priorities[i];
+      tickets.push_back(stream.submit(
+          *f.networks[static_cast<std::size_t>(job.network)], job));
+    }
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const JobResult r = stream.wait(tickets[i]);
+      const JobResult& x = reference.results[i];
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(r.priority, priorities[i]);
+      EXPECT_EQ(r.seed, x.seed);
+      ASSERT_EQ(r.result.sizes, x.result.sizes);
+      EXPECT_EQ(r.result.area, x.result.area);
+      EXPECT_EQ(r.result.delay, x.result.delay);
+    }
+  }
+}
+
+TEST(StreamingRunner, ShedDecisionsAreDeterministicUnderAFakeClock) {
+  Netlist nl = make_c17();
+  LoweredCircuit lc = lower(nl);
+  auto fake = std::make_shared<std::atomic<double>>(0.0);
+  JobRunnerOptions opt;
+  opt.threads = 1;
+  opt.shed = true;
+  opt.clock = [fake] { return fake->load(); };
+  StreamingRunner stream(opt);
+
+  // Gate the worker, then queue one job whose (fake-clock) deadline will
+  // lapse before dispatch and one whose deadline will not. Deadlines are
+  // huge in real-clock terms, so the jobs' AbortTokens (real clock) never
+  // trip — the shed-vs-run split is decided purely by the fake clock.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  SizingJob blocker;
+  blocker.target_ratio = 0.8;
+  const JobTicket tb = stream.submit(
+      lc.net, blocker, [opened](const JobResult&) { opened.wait(); });
+
+  SizingJob tight;
+  tight.target_ratio = 0.8;
+  tight.deadline_seconds = 100.0;  // deadline_at = 0 + 100 on the fake clock
+  const JobTicket t_shed = stream.submit(lc.net, tight);
+  SizingJob loose;
+  loose.target_ratio = 0.8;
+  loose.deadline_seconds = 5000.0;
+  const JobTicket t_run = stream.submit(lc.net, loose);
+
+  fake->store(200.0);  // past tight's deadline, before loose's
+  gate.set_value();
+
+  const JobResult shed = stream.wait(t_shed);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.status, EngineStatus::kShed);
+  EXPECT_NE(shed.error.find("shed"), std::string::npos) << shed.error;
+  EXPECT_EQ(shed.queue_seconds, 200.0);  // fake-clock wait, exact
+
+  const JobResult run = stream.wait(t_run);
+  EXPECT_TRUE(run.ok) << run.error;
+  EXPECT_FALSE(run.degraded);
+
+  EXPECT_TRUE(stream.wait(tb).ok);
+  const StreamStats stats = stream.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_GE(stats.queue_peak, 2u);
+  EXPECT_GE(stats.queue_wait_seconds, 200.0);
+}
+
 
 }  // namespace
 }  // namespace mft
