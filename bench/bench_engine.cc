@@ -23,6 +23,7 @@
 
 #include "bench_common.h"
 #include "engine/stream.h"
+#include "util/journal.h"
 #include "util/str.h"
 
 using namespace mft;
@@ -93,12 +94,18 @@ int main(int argc, char** argv) {
   // Streaming arm: the same jobs submitted through the persistent
   // StreamingRunner at the batch pool width, consumed in ticket order.
   // Submission order equals batch order, so the ticket-derived seeds must
-  // equal the batch's index-derived seeds and every bit must match.
+  // equal the batch's index-derived seeds and every bit must match. The
+  // full supervision stack is armed — watchdog at a generous timeout plus
+  // a 2-attempt retry policy — precisely because on a healthy run it must
+  // be a pure observer: the bit-exactness gate below fails the bench if
+  // supervision ever perturbs a result.
   BatchResult streamed;
   {
     JobRunnerOptions ropt;
     ropt.threads = par_threads;
-    std::printf("streaming, %d workers:\n", par_threads);
+    ropt.hang_timeout = 300.0;  // far beyond any honest c3540 solve
+    ropt.retry.max_attempts = 2;
+    std::printf("streaming (supervised), %d workers:\n", par_threads);
     Stopwatch sw;
     StreamingRunner stream(ropt);
     // Same per-job inner widths as the batch arm (the whole list is known
@@ -132,16 +139,54 @@ int main(int argc, char** argv) {
     const StreamStats stats = stream.stats();
     std::printf(
         "  queue: peak depth %llu, %.2fs total queue wait, %.2fs total "
-        "run\n\n",
+        "run\n",
         static_cast<unsigned long long>(stats.queue_peak),
         stats.queue_wait_seconds, stats.run_seconds);
+    std::printf(
+        "  supervision: %llu retries, %llu hang cancels, %llu hangs, "
+        "%llu respawns, heartbeat age peak %.3fs\n\n",
+        static_cast<unsigned long long>(stats.retries),
+        static_cast<unsigned long long>(stats.hang_cancels),
+        static_cast<unsigned long long>(stats.hangs),
+        static_cast<unsigned long long>(stats.respawns),
+        stats.heartbeat_age_peak);
     json.add(strf("engine/stream8_t%d", par_threads), streamed.wall_seconds,
              {{"threads", static_cast<double>(streamed.threads_used)},
               {"jobs", static_cast<double>(streamed.results.size())},
               {"jobs_per_second", streamed.jobs_per_second},
               {"queue_peak", static_cast<double>(stats.queue_peak)},
               {"queue_wait_seconds", stats.queue_wait_seconds},
-              {"run_seconds", stats.run_seconds}});
+              {"run_seconds", stats.run_seconds},
+              {"retries", static_cast<double>(stats.retries)},
+              {"hangs", static_cast<double>(stats.hangs)},
+              {"respawns", static_cast<double>(stats.respawns)},
+              {"heartbeat_age_peak", stats.heartbeat_age_peak}});
+  }
+
+  // Journal micro-bench: the per-request durability cost of the daemon's
+  // write-ahead log is one framed append + fsync. Measured standalone so
+  // BENCH_engine.json records what --journal adds to each accepted submit
+  // and each terminal result on this machine's storage.
+  {
+    const char* path = "BENCH_journal.tmp";
+    std::remove(path);
+    const std::string payload =
+        "{\"type\":\"result\",\"rid\":123,\"status\":\"ok\","
+        "\"sizes_hash\":12345678901234567890}";
+    const int appends = 256;
+    Stopwatch sw;
+    Journal j;
+    j.open(path);
+    for (int i = 0; i < appends; ++i) j.append(payload);
+    const double secs = sw.seconds();
+    std::printf("journal: %d fsync'd appends in %.3fs (%.0f appends/s)\n\n",
+                appends, secs, secs > 0.0 ? appends / secs : 0.0);
+    json.add("engine/journal_append", secs,
+             {{"appends", static_cast<double>(j.appends())},
+              {"fsyncs", static_cast<double>(j.fsyncs())},
+              {"appends_per_second", secs > 0.0 ? appends / secs : 0.0}});
+    j.close();
+    std::remove(path);
   }
 
   const bool deterministic = identical(runs[0], runs[1]);

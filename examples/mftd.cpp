@@ -3,6 +3,7 @@
 // Usage:
 //   mftd [--threads N] [--inner-threads N] [--context-cache N]
 //        [--max-queue N] [--pressure X] [--no-shed] [--socket PATH]
+//        [--journal PATH]
 //
 // Default transport is stdin/stdout: one request object per input line,
 // one event object per output line (see engine/daemon.h for the
@@ -10,9 +11,25 @@
 // socket instead, one client at a time; the daemon exits after a client
 // sends {"op":"shutdown"} (or, in stdio mode, at EOF).
 //
+// --journal PATH makes accepted work crash-durable: every admitted
+// submit is written ahead to an fsync'd journal and every terminal
+// result is journaled after it is emitted, so restarting mftd on the
+// same path replays exactly the unfinished requests (same journaled
+// seeds, bit-identical sizes_hash) before serving new ones.
+//
+// Shutdown discipline: SIGPIPE is ignored (a client that closes its pipe
+// mid-burst must not kill the daemon — pending results just drain to a
+// dead fd). The first SIGTERM/SIGINT stops reading, drains every
+// admitted job, and exits 0 (a clean stop, same as EOF); a second one
+// forces immediate exit with the conventional 128+signo code. The
+// handlers are installed without SA_RESTART so a signal interrupts the
+// blocking read and the loop notices the stop flag promptly.
+//
 // All engine semantics live in SizingDaemon (src/engine/daemon.{h,cc});
 // this file is transport only, so tests and sanitizer runs cover the
 // daemon through the library rather than through a subprocess.
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +51,28 @@ struct Flags {
   std::string socket_path;
 };
 
+volatile std::sig_atomic_t g_stop = 0;
+
+#ifndef _WIN32
+extern "C" void on_stop_signal(int sig) {
+  if (g_stop != 0) ::_exit(128 + sig);  // second signal: forced stop
+  g_stop = 1;
+}
+
+void install_signal_handlers() {
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: interrupt blocking reads
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+#else
+void install_signal_handlers() {}
+#endif
+
 [[noreturn]] void usage(int code) {
   std::fprintf(
       code == 0 ? stdout : stderr,
@@ -46,6 +85,8 @@ struct Flags {
       "                     exceeds deadline*X (0 = off)\n"
       "  --no-shed          disable overload shedding (on by default)\n"
       "  --socket PATH      serve a Unix stream socket instead of stdio\n"
+      "  --journal PATH     write-ahead journal: replay unfinished requests\n"
+      "                     on restart, fsync every accepted submit\n"
       "  --help             this text\n");
   std::exit(code);
 }
@@ -90,6 +131,8 @@ Flags parse(int argc, char** argv) {
       f.daemon.shed = false;
     else if (flag == "--socket")
       f.socket_path = value(i);
+    else if (flag == "--journal")
+      f.daemon.journal_path = value(i);
     else if (flag == "--help" || flag == "-h")
       usage(0);
     else {
@@ -106,11 +149,37 @@ int serve_stdio(const mft::DaemonOptions& opt) {
     std::fputc('\n', stdout);
     std::fflush(stdout);
   });
+#ifndef _WIN32
+  // Raw read loop (not iostreams) so an un-restarted signal surfaces as
+  // EINTR here and the stop flag is honored mid-blocking-read.
+  std::string buf;
+  char chunk[4096];
+  while (!daemon.shutdown_requested() && g_stop == 0) {
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // loop re-checks the stop flag
+      break;
+    }
+    if (n == 0) break;  // EOF
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while (!daemon.shutdown_requested() &&
+           (nl = buf.find('\n')) != std::string::npos) {
+      daemon.handle_line(buf.substr(0, nl));
+      buf.erase(0, nl + 1);
+    }
+  }
+  if (g_stop == 0 && !daemon.shutdown_requested() && !buf.empty())
+    daemon.handle_line(buf);  // unterminated final line at EOF
+#else
   std::string line;
   while (!daemon.shutdown_requested() && std::getline(std::cin, line))
     daemon.handle_line(line);
+#endif
+  if (g_stop != 0)
+    std::fprintf(stderr, "mftd: stop signal received, draining\n");
   daemon.drain();
-  return 0;
+  return 0;  // clean stop — EOF, shutdown op, or drained signal alike
 }
 
 #ifndef _WIN32
@@ -147,16 +216,20 @@ int serve_socket(const mft::DaemonOptions& opt, const std::string& path) {
     }
   });
   // One client at a time: accept, serve its lines, loop on disconnect
-  // until a client asks for shutdown.
+  // until a client asks for shutdown or a stop signal arrives.
   std::string buf;
-  while (!daemon.shutdown_requested()) {
+  while (!daemon.shutdown_requested() && g_stop == 0) {
     client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) break;
+    if (client < 0) {
+      if (errno == EINTR) continue;  // loop re-checks the stop flag
+      break;
+    }
     buf.clear();
     char chunk[4096];
-    ssize_t n;
-    while (!daemon.shutdown_requested() &&
-           (n = ::read(client, chunk, sizeof(chunk))) > 0) {
+    while (!daemon.shutdown_requested() && g_stop == 0) {
+      const ssize_t n = ::read(client, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
       buf.append(chunk, static_cast<std::size_t>(n));
       std::size_t nl;
       while ((nl = buf.find('\n')) != std::string::npos) {
@@ -168,6 +241,9 @@ int serve_socket(const mft::DaemonOptions& opt, const std::string& path) {
     ::close(client);
     client = -1;
   }
+  if (g_stop != 0)
+    std::fprintf(stderr, "mftd: stop signal received, draining\n");
+  daemon.drain();
   ::close(listener);
   ::unlink(path.c_str());
   return 0;
@@ -178,6 +254,7 @@ int serve_socket(const mft::DaemonOptions& opt, const std::string& path) {
 
 int main(int argc, char** argv) {
   const Flags flags = parse(argc, argv);
+  install_signal_handlers();
   if (!flags.socket_path.empty()) {
 #ifndef _WIN32
     return serve_socket(flags.daemon, flags.socket_path);

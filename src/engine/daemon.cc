@@ -1,5 +1,6 @@
 #include "engine/daemon.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -293,6 +294,24 @@ bool parse_tiled(const std::string& name, TiledDatapathParams& p) {
   return true;
 }
 
+/// Shared by live submits and journal replay: both carry the same flat
+/// key set, so a journaled submit record round-trips through this exactly
+/// like the original request line did.
+SizingJob job_from_obj(const JsonObj& obj, const std::string& circuit) {
+  SizingJob job;
+  job.label = get_string(obj, "label", circuit);
+  job.target_ratio = get_number(obj, "ratio", 0.6);
+  job.target_delay = get_number(obj, "target", 0.0);
+  job.priority = static_cast<int>(get_number(obj, "priority", 0.0));
+  job.deadline_seconds = get_number(obj, "deadline", 0.0);
+  job.max_steps =
+      static_cast<std::int64_t>(get_number(obj, "max_steps", 0.0));
+  job.inner_threads =
+      static_cast<int>(get_number(obj, "inner_threads", 0.0));
+  job.seed = static_cast<std::uint64_t>(get_number(obj, "seed", 0.0));
+  return job;
+}
+
 Netlist build_circuit(const std::string& name) {
   if (name == "c17") return make_c17();
   if (name.rfind("adder", 0) == 0) {
@@ -321,12 +340,36 @@ struct SizingDaemon::ParsedSubmit {
   SizingJob job;
 };
 
+namespace {
+
+/// The write-ahead submit record: everything needed to re-run the request
+/// after a crash, seed included (already resolved by the caller, so the
+/// replayed solve is pinned to the same pseudo-random stream).
+std::string submit_record(std::uint64_t rid, const std::string& id,
+                          const std::string& circuit, const SizingJob& job) {
+  JsonLine rec;
+  rec.str("type", "submit").uinteger("rid", rid).str("circuit", circuit);
+  if (!id.empty()) rec.str("id", id);
+  return rec.str("label", job.label)
+      .num("ratio", job.target_ratio)
+      .num("target", job.target_delay)
+      .integer("priority", job.priority)
+      .num("deadline", job.deadline_seconds)
+      .integer("max_steps", job.max_steps)
+      .integer("inner_threads", job.inner_threads)
+      .uinteger("seed", job.seed)
+      .done();
+}
+
+}  // namespace
+
 SizingDaemon::SizingDaemon(DaemonOptions opt, Emit emit)
     : opt_(std::move(opt)), emit_(std::move(emit)) {
   MFT_CHECK_MSG(emit_ != nullptr, "SizingDaemon needs an emit callback");
   JobRunnerOptions engine = opt_.engine;
   engine.shed = opt_.shed;
   runner_ = std::make_unique<StreamingRunner>(std::move(engine));
+  if (!opt_.journal_path.empty()) recover_from_journal();
 }
 
 SizingDaemon::~SizingDaemon() {
@@ -366,16 +409,7 @@ void SizingDaemon::handle_line(const std::string& line) {
       if (req.circuit.empty())
         throw EngineError(EngineStatus::kInvalidInput,
                           "submit needs a \"circuit\"");
-      req.job.label = get_string(obj, "label", req.circuit);
-      req.job.target_ratio = get_number(obj, "ratio", 0.6);
-      req.job.target_delay = get_number(obj, "target", 0.0);
-      req.job.priority = static_cast<int>(get_number(obj, "priority", 0.0));
-      req.job.deadline_seconds = get_number(obj, "deadline", 0.0);
-      req.job.max_steps =
-          static_cast<std::int64_t>(get_number(obj, "max_steps", 0.0));
-      req.job.inner_threads =
-          static_cast<int>(get_number(obj, "inner_threads", 0.0));
-      req.job.seed = static_cast<std::uint64_t>(get_number(obj, "seed", 0.0));
+      req.job = job_from_obj(obj, req.circuit);
       do_submit(req);
     } else if (op == "cancel") {
       bool present = false;
@@ -422,6 +456,13 @@ void SizingDaemon::handle_line(const std::string& line) {
                         static_cast<unsigned long long>(s.engine.queue_peak))
               .num("queue_wait_seconds", s.engine.queue_wait_seconds)
               .num("run_seconds", s.engine.run_seconds)
+              .uinteger("retries", s.engine.retries)
+              .uinteger("hangs", s.engine.hangs)
+              .uinteger("respawns", s.engine.respawns)
+              .uinteger("journal_records", s.journal_records)
+              .uinteger("journal_fsyncs", s.journal_fsyncs)
+              .uinteger("journal_errors", s.journal_errors)
+              .uinteger("recovered", s.recovered)
               .num("p50_seconds", s.p50_seconds)
               .num("p99_seconds", s.p99_seconds)
               .integer("workers", runner_->threads())
@@ -479,22 +520,44 @@ void SizingDaemon::do_submit(const ParsedSubmit& req) {
     respond_error_locked(id, EngineStatus::kRejected, refusal);
     return;
   }
+  // Durability, write-ahead: resolve the seed the engine would pick (so
+  // the journaled record pins the exact solve) and fsync the submit
+  // record before the engine can see the job. A failed append refuses the
+  // submit — accepting work we cannot make durable would silently drop
+  // the crash-recovery contract.
+  std::uint64_t rid = 0;
+  SizingJob job = req.job;
+  const bool durable = journal_.is_open();
+  if (durable) {
+    rid = next_rid_++;
+    if (job.seed == 0) job.seed = derive_job_seed(opt_.engine.base_seed, rid);
+    try {
+      journal_.append(submit_record(rid, id, req.circuit, job));
+    } catch (const std::exception& e) {
+      ++journal_errors_;
+      respond_error_locked(id, EngineStatus::kInternal,
+                           strf("journal append failed: %s", e.what()));
+      return;
+    }
+  }
   // Submit while still holding mu_: the result callback also takes mu_,
   // so the "accepted" ack below always precedes the job's result event
   // even if a worker finishes it instantly. (Lock order is daemon mu_ ->
   // runner internals; callbacks take them in the compatible order
   // callback_mu_ -> daemon mu_.)
   const JobTicket t = runner_->submit_detached(
-      net, req.job,
-      [this, id](const JobResult& r) { on_result(id, r); });
+      net, job,
+      [this, id, rid](const JobResult& r) { on_result(id, rid, r); });
   ++admitted_;
   JsonLine out;
   out.str("event", "accepted");
   if (!id.empty()) out.str("id", id);
+  if (durable) out.uinteger("rid", rid);
   emit_locked(out.uinteger("ticket", t).done());
 }
 
-void SizingDaemon::on_result(const std::string& id, const JobResult& r) {
+void SizingDaemon::on_result(const std::string& id, std::uint64_t rid,
+                             const JobResult& r) {
   std::lock_guard<std::mutex> lock(mu_);
   if (r.wall_seconds > 0.0)
     ewma_run_seconds_ = ewma_run_seconds_ == 0.0
@@ -502,9 +565,11 @@ void SizingDaemon::on_result(const std::string& id, const JobResult& r) {
                             : 0.3 * r.wall_seconds + 0.7 * ewma_run_seconds_;
   latency_.record(r.queue_seconds + r.wall_seconds);
   ++results_;
+  const bool durable = journal_.is_open();
   JsonLine out;
   out.str("event", "result");
   if (!id.empty()) out.str("id", id);
+  if (durable) out.uinteger("rid", rid);
   out.integer("ticket", r.job)
       .str("status", to_string(r.status))
       .boolean("ok", r.ok)
@@ -523,6 +588,136 @@ void SizingDaemon::on_result(const std::string& id, const JobResult& r) {
     out.str("error", r.error);
   }
   emit_locked(out.done());
+  // Journal the terminal record *after* the event went out: a crash in
+  // the gap re-runs and re-emits the request on replay (at-least-once
+  // emission), which is the recoverable side of the race — the reverse
+  // order could mark a request finished whose result no client ever saw.
+  if (durable) {
+    JsonLine rec;
+    rec.str("type", "result")
+        .uinteger("rid", rid)
+        .str("status", to_string(r.status))
+        .boolean("ok", r.ok);
+    if (r.ok) rec.uinteger("sizes_hash", sizes_hash(r.result.sizes));
+    journal_append_locked(rec.done());
+  }
+}
+
+void SizingDaemon::journal_append_locked(const std::string& payload) {
+  if (!journal_.is_open()) return;
+  try {
+    journal_.append(payload);
+  } catch (const std::exception&) {
+    // A result record that fails to persist re-runs the request on the
+    // next replay — redundant work, not lost work. Count it and serve on.
+    ++journal_errors_;
+  }
+}
+
+void SizingDaemon::recover_from_journal() {
+  const std::string& path = opt_.journal_path;
+  bool torn = false;
+  std::vector<std::string> records;
+  try {
+    records = Journal::replay(path, &torn);
+  } catch (const std::exception& e) {
+    // Unreadable journal (or an injected fault at "journal.replay"): the
+    // daemon still serves — durability resumes with the next append, and
+    // the structured replay event tells the operator recovery was lost.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++journal_errors_;
+    journal_.open(path);
+    emit_locked(JsonLine()
+                    .str("event", "replay")
+                    .boolean("ok", false)
+                    .str("error", e.what())
+                    .done());
+    return;
+  }
+  // A request is unfinished iff its submit record has no matching result
+  // record. Records that fail to parse or lack a rid are skipped — the
+  // torn-tail contract already bounds damage to the end of the file, so
+  // anything unreadable in the middle is best-effort ignored, not fatal.
+  std::map<std::uint64_t, JsonObj> pending;  // rid -> parsed submit
+  std::uint64_t max_rid = 0, finished = 0;
+  bool any_rid = false;
+  for (const std::string& rec : records) {
+    JsonObj obj;
+    std::string err;
+    if (!FlatJsonParser(rec).parse(obj, err)) continue;
+    bool has_rid = false;
+    const auto rid =
+        static_cast<std::uint64_t>(get_number(obj, "rid", 0.0, &has_rid));
+    if (!has_rid) continue;
+    any_rid = true;
+    max_rid = std::max(max_rid, rid);
+    const std::string type = get_string(obj, "type");
+    if (type == "submit") {
+      pending[rid] = std::move(obj);
+    } else if (type == "result") {
+      finished += pending.erase(rid);
+    }
+  }
+  // Compact to exactly the unfinished submits (their re-runs will append
+  // fresh result records behind them), then reopen for appending.
+  std::vector<std::string> keep;
+  keep.reserve(pending.size());
+  for (const auto& kv : pending) {
+    const std::string circuit = get_string(kv.second, "circuit");
+    keep.push_back(submit_record(kv.first, get_string(kv.second, "id"),
+                                 circuit, job_from_obj(kv.second, circuit)));
+  }
+  Journal::rewrite(path, keep);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    journal_.open(path);
+    next_rid_ = any_rid ? max_rid + 1 : 0;
+    emit_locked(JsonLine()
+                    .str("event", "replay")
+                    .boolean("ok", true)
+                    .boolean("torn", torn)
+                    .uinteger("records", records.size())
+                    .uinteger("finished", finished)
+                    .uinteger("recovered", pending.size())
+                    .done());
+  }
+  // Re-admit in rid order, bypassing admission control — these requests
+  // were admitted once already; refusing them now would break the
+  // every-journaled-request-terminates contract.
+  for (const auto& kv : pending) {
+    const std::uint64_t rid = kv.first;
+    const std::string id = get_string(kv.second, "id");
+    const std::string circuit_name = get_string(kv.second, "circuit");
+    const SizingJob job = job_from_obj(kv.second, circuit_name);
+    try {
+      const SizingNetwork& net = circuit(circuit_name);
+      std::lock_guard<std::mutex> lock(mu_);
+      const JobTicket t = runner_->submit_detached(
+          net, job,
+          [this, id, rid](const JobResult& r) { on_result(id, rid, r); });
+      ++admitted_;
+      ++recovered_;
+      JsonLine out;
+      out.str("event", "accepted");
+      if (!id.empty()) out.str("id", id);
+      emit_locked(out.uinteger("rid", rid).uinteger("ticket", t).done());
+    } catch (const std::exception& e) {
+      // Journal from a build that knew circuits this one does not: give
+      // the request its terminal response and journal it as finished so
+      // it stops replaying.
+      std::lock_guard<std::mutex> lock(mu_);
+      respond_error_locked(id, EngineStatus::kInternal,
+                           strf("replay of rid %llu failed: %s",
+                                static_cast<unsigned long long>(rid),
+                                e.what()));
+      journal_append_locked(JsonLine()
+                                .str("type", "result")
+                                .uinteger("rid", rid)
+                                .str("status", "internal")
+                                .boolean("ok", false)
+                                .done());
+    }
+  }
 }
 
 void SizingDaemon::respond_error(const std::string& id, EngineStatus status,
@@ -571,6 +766,10 @@ DaemonStats SizingDaemon::stats_locked() const {
   s.rejected = rejected_;
   s.invalid = invalid_;
   s.results = results_;
+  s.journal_records = static_cast<std::uint64_t>(journal_.appends());
+  s.journal_fsyncs = static_cast<std::uint64_t>(journal_.fsyncs());
+  s.journal_errors = journal_errors_;
+  s.recovered = recovered_;
   s.p50_seconds = latency_.quantile(0.50);
   s.p99_seconds = latency_.quantile(0.99);
   s.engine = runner_->stats();

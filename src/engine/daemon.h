@@ -41,6 +41,18 @@
 // accumulates nothing per request; live stats (queue depth/peak,
 // admit/reject/shed counters, p50/p99 ticket latency from a fixed-bucket
 // histogram) come from the "stats" op at any time.
+//
+// Durability (DaemonOptions::journal_path): when set, every accepted
+// submit is written ahead to an fsync'd journal (util/journal.h) before
+// it reaches the engine — with its seed already resolved, so the solve is
+// pinned at journal time — and every terminal result is journaled after
+// it is emitted. A daemon constructed on an existing journal replays it:
+// requests with no journaled result are re-admitted in original order
+// (bypassing admission control — they were already admitted once) and,
+// carrying their journaled seeds, reproduce bit-identical sizes_hash
+// values. The journal is compacted to the unfinished set on recovery. The
+// emission contract is at-least-once across a crash: a request whose
+// result was emitted but not yet journaled is re-run and re-emitted.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +65,7 @@
 #include "engine/stream.h"
 #include "timing/lowering.h"
 #include "util/histogram.h"
+#include "util/journal.h"
 
 namespace mft {
 
@@ -74,6 +87,12 @@ struct DaemonOptions {
   double deadline_pressure = 0.0;
   /// Arm the scheduler's overload shedding (JobRunnerOptions::shed).
   bool shed = true;
+  /// Write-ahead journal path. Empty (the default) disables durability.
+  /// When set, the constructor replays any existing journal at this path
+  /// (re-admitting unfinished requests and emitting a {"event":"replay"}
+  /// line) before serving, and every accepted submit / terminal result is
+  /// journaled from then on.
+  std::string journal_path;
 };
 
 /// Counters the daemon layers on top of StreamStats. Guarded internally;
@@ -84,6 +103,10 @@ struct DaemonStats {
   std::uint64_t rejected = 0;   ///< submits refused by admission control
   std::uint64_t invalid = 0;    ///< malformed / unknown requests
   std::uint64_t results = 0;    ///< terminal result events emitted
+  std::uint64_t journal_records = 0;  ///< records appended this process
+  std::uint64_t journal_fsyncs = 0;   ///< fsyncs issued by those appends
+  std::uint64_t journal_errors = 0;   ///< appends that failed (non-fatal)
+  std::uint64_t recovered = 0;        ///< requests re-admitted by replay
   double p50_seconds = 0.0;     ///< median submit→result latency
   double p99_seconds = 0.0;
   StreamStats engine;           ///< live engine counters (shed lives here)
@@ -121,7 +144,15 @@ class SizingDaemon {
   struct ParsedSubmit;
 
   void do_submit(const ParsedSubmit& req);
-  void on_result(const std::string& id, const JobResult& r);
+  void on_result(const std::string& id, std::uint64_t rid,
+                 const JobResult& r);
+  /// Constructor-time crash recovery: replays opt_.journal_path, compacts
+  /// it down to the unfinished submits, re-admits them in rid order, and
+  /// emits one {"event":"replay",...} line summarizing what happened.
+  void recover_from_journal();
+  /// Appends one record under mu_; failures are counted, never thrown —
+  /// losing durability must not take down a serving daemon.
+  void journal_append_locked(const std::string& payload);
   /// The one-terminal-response path for anything that never reached the
   /// engine: rejected, malformed, unknown op, internal fault.
   void respond_error(const std::string& id, EngineStatus status,
@@ -150,6 +181,14 @@ class SizingDaemon {
   double ewma_run_seconds_ = 0.0;  ///< EWMA of completed-job wall time
   LatencyHistogram latency_;       ///< submit→result, per terminal result
   bool shutdown_ = false;
+
+  /// Write-ahead journal (open iff opt_.journal_path is set). Guarded by
+  /// mu_; declared before runner_ so result callbacks from the draining
+  /// engine can still journal during destruction.
+  Journal journal_;
+  std::uint64_t next_rid_ = 0;       ///< next durable request id
+  std::uint64_t journal_errors_ = 0;
+  std::uint64_t recovered_ = 0;
 
   /// Declared last: destroyed (drained) before the circuits its queued
   /// jobs point into.

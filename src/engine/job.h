@@ -94,6 +94,14 @@ struct JobResult {
   /// fake clock in tests makes it deterministic.
   double queue_seconds = 0.0;
   int priority = 0;            ///< SizingJob::priority, echoed
+  /// Attempts this outcome consumed (1 = ran once, no retry). The retry
+  /// policy (JobRunnerOptions::retry) re-enqueues transient failures under
+  /// the same ticket and seed, so a retried success is bit-identical to
+  /// what a fault-free run would have produced.
+  int attempts = 1;
+  /// Total backoff seconds scheduled across this job's retries
+  /// (deterministic; see util/backoff.h).
+  double backoff_seconds = 0.0;
   int thread = -1;             ///< worker that ran it (informational)
   int inner_threads = 1;       ///< resolved inner-loop thread count
   int shard = -1;              ///< SizingJob::shard, echoed

@@ -180,8 +180,9 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
       json_escape(error, r.error);
       std::fprintf(f,
                    "    {\"label\": \"%s\", \"ok\": false, \"status\": "
-                   "\"%s\", \"error\": \"%s\"}",
-                   label.c_str(), to_string(r.status), error.c_str());
+                   "\"%s\", \"attempts\": %d, \"error\": \"%s\"}",
+                   label.c_str(), to_string(r.status), r.attempts,
+                   error.c_str());
     } else {
       const double savings =
           r.result.initial.met_target && r.result.met_target &&
@@ -200,7 +201,8 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
           "     \"sta_full_runs\": %lld, \"sta_incremental_runs\": %lld, "
           "\"sta_hinted_runs\": %lld, \"sta_delays_recomputed\": %lld,\n"
           "     \"seed\": %llu, \"thread\": %d, \"inner_threads\": %d,\n"
-          "     \"shard\": %d, \"shard_round\": %d, \"fast_math\": %s,\n"
+          "     \"shard\": %d, \"shard_round\": %d, \"fast_math\": %s, "
+          "\"attempts\": %d,\n"
           "     \"passes\": [",
           label.c_str(), to_string(r.status), r.degraded ? "true" : "false",
           r.result.met_target ? "true" : "false", r.dmin,
@@ -212,7 +214,7 @@ bool write_batch_json(const std::string& path, const BatchResult& batch) {
           static_cast<long long>(r.stats.sta_hinted_runs),
           static_cast<long long>(r.stats.sta_delays_recomputed),
           static_cast<unsigned long long>(r.seed), r.thread, r.inner_threads,
-          r.shard, r.shard_round, r.fast_math ? "true" : "false");
+          r.shard, r.shard_round, r.fast_math ? "true" : "false", r.attempts);
       for (std::size_t p = 0; p < r.pass_stats.size(); ++p) {
         const PassStats& ps = r.pass_stats[p];
         std::string pass_name;

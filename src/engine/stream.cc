@@ -1,6 +1,7 @@
 #include "engine/stream.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <stdexcept>
@@ -155,9 +156,23 @@ StreamingRunner::StreamingRunner(JobRunnerOptions opt,
   threads_ = resolve_pool_threads(opt_.threads);
   default_inner_ = opt_.inner_threads > 0 ? opt_.inner_threads
                                           : std::max(1, env_inner_threads());
-  workers_.reserve(static_cast<std::size_t>(threads_));
-  for (int w = 0; w < threads_; ++w)
-    workers_.emplace_back([this, w] { worker_main(w); });
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    slots_.reserve(static_cast<std::size_t>(threads_));
+    for (int w = 0; w < threads_; ++w) spawn_worker_locked();
+  }
+  // The watchdog is opt-in: without a hang_timeout there is no supervisor
+  // thread at all, and the runner is byte-for-byte the pre-watchdog engine.
+  if (opt_.hang_timeout > 0)
+    watchdog_ = std::thread([this] { watchdog_main(); });
+}
+
+void StreamingRunner::spawn_worker_locked() {
+  slots_.push_back(std::make_unique<WorkerSlot>());
+  WorkerSlot* slot = slots_.back().get();
+  const int id = next_worker_id_++;
+  workers_.emplace_back([this, id, slot] { worker_main(id, slot); });
 }
 
 StreamingRunner::~StreamingRunner() { shutdown(ShutdownMode::kDrain); }
@@ -289,7 +304,24 @@ void StreamingRunner::shutdown(ShutdownMode mode) {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
-  if (workers_.empty()) return;
+  // Stop the watchdog before joining workers so no replacement appears
+  // mid-join. Supervision during drain would be moot anyway: a worker
+  // that truly never returns blocks the join below regardless — the
+  // process-level answer to that is the daemon journal (kill + replay).
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+  std::vector<std::thread> pool;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    pool.swap(workers_);
+  }
+  if (pool.empty()) return;
   if (mode == ShutdownMode::kCancel) {
     std::vector<Item> leftover = queue_.close_and_drain();
     for (Item& item : leftover) {
@@ -301,8 +333,7 @@ void StreamingRunner::shutdown(ShutdownMode mode) {
   }
   // In-flight jobs (already popped) always run to completion; with kDrain
   // the workers also finish everything still queued.
-  for (std::thread& th : workers_) th.join();
-  workers_.clear();
+  for (std::thread& th : pool) th.join();
 }
 
 bool StreamingRunner::is_shutdown() const {
@@ -327,6 +358,11 @@ StreamStats StreamingRunner::stats() const {
   s.queue_peak = queue_peak_;
   s.queue_wait_seconds = queue_wait_seconds_;
   s.run_seconds = run_seconds_;
+  s.retries = retries_;
+  s.hang_cancels = hang_cancels_;
+  s.hangs = hangs_;
+  s.respawns = respawns_;
+  s.heartbeat_age_peak = heartbeat_age_peak_;
   return s;
 }
 
@@ -341,6 +377,8 @@ JobResult StreamingRunner::stub_result(const Item& item, EngineStatus status,
   out.shard = item.job.shard;
   out.shard_round = item.job.shard_round;
   out.queue_seconds = now - item.submit_at;
+  out.attempts = item.attempt;
+  out.backoff_seconds = item.backoff_total;
   out.ok = false;
   out.status = status;
   out.error = error;
@@ -348,18 +386,34 @@ JobResult StreamingRunner::stub_result(const Item& item, EngineStatus status,
 }
 
 void StreamingRunner::finish(Item& item, JobResult out) {
-  if (item.on_complete) {
+  deliver(item.ticket, item.retain, item.on_complete, std::move(out));
+}
+
+bool StreamingRunner::deliver(
+    JobTicket ticket, bool retain,
+    const std::function<void(const JobResult&)>& on_complete, JobResult out) {
+  {
+    // Claim the ticket: the watchdog escalating a hung job and the worker
+    // it un-sticks later both funnel through here, and exactly one of
+    // them wins — the loser's result is dropped silently.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outstanding_.count(ticket) == 0) return false;  // already completed
+    if (!claimed_.insert(ticket).second) return false;  // delivery underway
+  }
+  if (on_complete) {
     // Callbacks are serialized with each other (like the batch progress
     // hook) and fire before the result becomes collectible, so a
     // callback observes its job exactly once and no wait() can consume
     // the result mid-callback.
     std::lock_guard<std::mutex> cb(callback_mu_);
-    item.on_complete(out);
+    on_complete(out);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    outstanding_.erase(item.ticket);
-    tokens_.erase(item.ticket);
+    claimed_.erase(ticket);
+    outstanding_.erase(ticket);
+    tokens_.erase(ticket);
+    inflight_.erase(ticket);
     if (out.status == EngineStatus::kCanceled) ++canceled_;
     if (out.status == EngineStatus::kShed) ++shed_;
     if (out.degraded) ++degraded_;
@@ -367,26 +421,64 @@ void StreamingRunner::finish(Item& item, JobResult out) {
     run_seconds_ += out.wall_seconds;
     // Detached jobs never park a result: the callback above was their
     // delivery, so a long-lived callback-driven runner stays flat.
-    if (item.retain) ready_.emplace(item.ticket, std::move(out));
+    if (retain) ready_.emplace(ticket, std::move(out));
     ++completed_;
   }
   done_cv_.notify_all();
+  return true;
 }
 
-void StreamingRunner::worker_main(int worker_id) {
+bool StreamingRunner::maybe_retry(Item& item, const JobResult& out) {
+  if (out.ok || !retryable_status(out.status)) return false;
+  if (item.attempt >= opt_.retry.max_attempts) return false;
+  {
+    // A ticket someone else already completed (watchdog escalation racing
+    // an un-stuck worker) must not re-enter the queue.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outstanding_.count(item.ticket) == 0 || claimed_.count(item.ticket))
+      return false;
+  }
+  Item again = item;  // same ticket, same seed: a retried success is
+                      // bit-identical to a fault-free run
+  again.attempt += 1;
+  const double backoff =
+      retry_backoff_seconds(opt_.retry, again.job.seed, again.attempt);
+  again.backoff_total += backoff;
+  again.not_before = backoff > 0 ? now_() + backoff : 0.0;
+  if (!queue_.push(std::move(again)))
+    return false;  // shutdown closed the queue: the failure stands
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(item.ticket);
+  ++retries_;
+  return true;
+}
+
+void StreamingRunner::worker_main(int worker_id, WorkerSlot* slot) {
   // One inner-loop arena per worker, rebuilt only when the assigned width
   // changes; declared before the pool so it outlives the pooled contexts
   // that point at it (locals destroy in reverse order).
   std::unique_ptr<ThreadArena> arena;
   ContextPool pool(opt_.context_cache_limit);
   Item item;
-  while (queue_.pop(item)) {
+  // A lost worker — its current job escalated to kHung and a replacement
+  // spawned — exits as soon as whatever had it stuck returns.
+  while (!slot->lost.load(std::memory_order_acquire) && queue_.pop(item)) {
     // Everything between pop and finish is fenced: an exception outside
     // the job body (net-info STA, context acquisition, arena creation, an
     // armed fault site) becomes a structured kWorkerDied result instead of
     // killing the thread — poll()/wait() on the ticket always complete.
     try {
       MFT_FAULT_POINT("stream.worker");
+      // Retry backoff gate: a re-enqueued item carries the instant before
+      // which it must not run. Honored here (rather than in the queue) so
+      // the scheduler key — and with it every determinism law — is
+      // untouched; retries are rare and the backoffs short, so parking
+      // the worker is the simple correct trade.
+      if (item.not_before > 0) {
+        while (now_() < item.not_before &&
+               !(item.token != nullptr && item.token->canceled()))
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
       const double dispatched_at = now_();
       // Overload shedding: the deadline already passed while the job sat
       // queued, so running it cannot produce a result the caller still
@@ -414,6 +506,30 @@ void StreamingRunner::worker_main(int worker_id) {
         item = Item{};
         continue;
       }
+      // Publish the heartbeat before the (potentially long) net-info STA:
+      // busy = ticket + 1 marks the worker occupied, and the job's token
+      // ticks the beat counter at every pass/sweep/bump checkpoint from
+      // here on. The watchdog reads (busy, beat) lock-free; a stalled pair
+      // past hang_timeout is what triggers supervision.
+      MFT_FAULT_POINT("stream.heartbeat");
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Inflight& inf = inflight_[item.ticket];
+        inf.label = item.job.label;
+        inf.seed = item.job.seed;
+        inf.priority = item.job.priority;
+        inf.shard = item.job.shard;
+        inf.shard_round = item.job.shard_round;
+        inf.submit_at = item.submit_at;
+        inf.queue_seconds = dispatched_at - item.submit_at;
+        inf.attempt = item.attempt;
+        inf.backoff_total = item.backoff_total;
+        inf.retain = item.retain;
+        inf.on_complete = item.on_complete;
+      }
+      if (item.token != nullptr) item.token->attach_heartbeat(&slot->beat);
+      slot->beat.fetch_add(1, std::memory_order_relaxed);
+      slot->busy.store(item.ticket + 1, std::memory_order_release);
       const NetInfo info =
           item.has_info ? item.info : info_->get_or_compute(*item.net);
       const int inner =
@@ -424,15 +540,21 @@ void StreamingRunner::worker_main(int worker_id) {
       execute_job(item.job, item.ticket, info.dmin, info.min_area,
                   pool.acquire(*item.net), inner > 1 ? arena.get() : nullptr,
                   item.token.get(), opt_.fast_math, out);
+      slot->busy.store(0, std::memory_order_release);
+      if (item.token != nullptr) item.token->attach_heartbeat(nullptr);
       out.thread = worker_id;
       out.queue_seconds = dispatched_at - item.submit_at;
-      finish(item, std::move(out));
+      out.attempts = item.attempt;
+      out.backoff_seconds = item.backoff_total;
+      if (!maybe_retry(item, out)) finish(item, std::move(out));
     } catch (const std::exception& e) {
+      slot->busy.store(0, std::memory_order_release);
+      if (item.token != nullptr) item.token->attach_heartbeat(nullptr);
       JobResult out = stub_result(
           item, EngineStatus::kWorkerDied,
           std::string("worker died outside the job body: ") + e.what(), now_());
       out.thread = worker_id;
-      finish(item, std::move(out));
+      if (!maybe_retry(item, out)) finish(item, std::move(out));
     }
     item = Item{};  // drop the callback/job before parking on the queue
   }
@@ -442,6 +564,120 @@ void StreamingRunner::worker_main(int worker_id) {
   pool_stats_.context_hits += pool.hits();
   pool_stats_.context_misses += pool.misses();
   pool_stats_.context_evictions += pool.evictions();
+}
+
+void StreamingRunner::watchdog_main() {
+  // Poll on a short real-time cadence but *measure* on the runner's clock
+  // (now_), so a fake clock drives every supervision decision
+  // deterministically — the cadence only bounds detection latency.
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    if (watchdog_stop_) break;
+    lock.unlock();
+    watchdog_scan();
+    lock.lock();
+  }
+}
+
+void StreamingRunner::watchdog_scan() {
+  const double now = now_();
+  std::vector<WorkerSlot*> slots;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    slots.reserve(slots_.size());
+    for (const std::unique_ptr<WorkerSlot>& s : slots_)
+      slots.push_back(s.get());
+  }
+  for (WorkerSlot* slot : slots) {
+    if (slot->lost.load(std::memory_order_acquire)) continue;
+    const std::uint64_t busy = slot->busy.load(std::memory_order_acquire);
+    const std::int64_t beat = slot->beat.load(std::memory_order_relaxed);
+    WatchTrack& track = watch_[slot];
+    // Idle, a new ticket, or a fresh beat: healthy — restart the stall
+    // measurement from here.
+    if (busy == 0 || busy != track.busy || beat != track.beat) {
+      track.busy = busy;
+      track.beat = beat;
+      track.since = now;
+      track.canceled_at = -1.0;
+      continue;
+    }
+    const double age = now - track.since;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (age > heartbeat_age_peak_) heartbeat_age_peak_ = age;
+    }
+    if (age < opt_.hang_timeout) continue;
+    const JobTicket ticket = busy - 1;
+    // Stage 1: fire the job's AbortToken. A cooperative job cancels at
+    // its next checkpoint and the slot goes healthy again on its own.
+    if (track.canceled_at < 0) {
+      std::shared_ptr<AbortToken> token;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tokens_.find(ticket);
+        if (it != tokens_.end()) token = it->second;
+        ++hang_cancels_;
+      }
+      if (token != nullptr) token->request_cancel();
+      track.canceled_at = now;
+      continue;
+    }
+    if (now - track.canceled_at < opt_.hang_grace) continue;
+    // Stage 2: the token went unhonored through the grace — a true hang.
+    // Complete the ticket with a structured kHung result from the
+    // dispatch snapshot (the stuck worker's stack is untouchable), mark
+    // the worker lost, and spawn a replacement so capacity holds.
+    Inflight info;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = inflight_.find(ticket);
+      if (it != inflight_.end()) {
+        info = it->second;
+        have = true;
+      }
+    }
+    if (!have) {
+      watch_.erase(slot);
+      continue;
+    }
+    JobResult out;
+    out.job = static_cast<int>(ticket);
+    out.label = info.label;
+    out.seed = info.seed;
+    out.priority = info.priority;
+    out.shard = info.shard;
+    out.shard_round = info.shard_round;
+    out.queue_seconds = info.queue_seconds;
+    out.wall_seconds = now - (info.submit_at + info.queue_seconds);
+    out.attempts = info.attempt;
+    out.backoff_seconds = info.backoff_total;
+    out.ok = false;
+    out.status = EngineStatus::kHung;
+    out.error =
+        "hung: heartbeat silent past hang_timeout and the abort token was "
+        "not honored within the grace period";
+    if (deliver(ticket, info.retain, info.on_complete, std::move(out))) {
+      slot->lost.store(true, std::memory_order_release);
+      bool respawn = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++hangs_;
+        if (!shutdown_) respawn = true;
+      }
+      if (respawn) {
+        {
+          std::lock_guard<std::mutex> lock(workers_mu_);
+          spawn_worker_locked();
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        ++respawns_;
+      }
+    }
+    watch_.erase(slot);
+  }
 }
 
 }  // namespace mft

@@ -30,6 +30,20 @@
 //    result that cannot meet its deadline; jobs already running keep the
 //    PR-6 best-so-far degradation contract. The shed decision reads the
 //    runner's injectable clock, so tests drive it deterministically.
+//  - Supervision. With JobRunnerOptions::hang_timeout armed, a watchdog
+//    thread reads each worker's lock-free heartbeat slot (ticket + step
+//    counter, ticked at the same checkpoints AbortToken uses). A stalled
+//    worker first gets its job's token fired (a cooperative job cancels
+//    within one checkpoint); a job that ignores the token through
+//    hang_grace escalates to a structured kHung completion, the worker is
+//    marked lost, and a replacement spawns — pool capacity never silently
+//    shrinks. Off by default: no supervisor thread exists and nothing
+//    about dispatch or results changes.
+//  - Retry. JobRunnerOptions::retry re-enqueues jobs that failed with a
+//    transient status (kWorkerDied, kInternal) under the same ticket and
+//    seed with deterministic seeded backoff (util/backoff.h), so a
+//    retried success is bit-identical to a fault-free run; the attempt
+//    count is echoed into JobResult::attempts.
 //  - Context eviction. Each worker keeps a ContextPool — per-network
 //    SizingContexts keyed by SizingNetwork::serial() under a shared LRU
 //    policy (util/lru.h) bounded by JobRunnerOptions::context_cache_limit
@@ -65,6 +79,7 @@
 
 #include "engine/job.h"
 #include "util/abort.h"
+#include "util/backoff.h"
 #include "util/fault.h"
 #include "util/lru.h"
 
@@ -119,6 +134,31 @@ struct JobRunnerOptions {
   /// clock makes shed-vs-run decisions fully deterministic. AbortToken
   /// deadlines inside a running job still use the real clock.
   std::function<double()> clock;
+  /// Worker watchdog: > 0 spawns a supervisor thread that watches every
+  /// worker's heartbeat slot (ticket + beat counter, published lock-free;
+  /// the beat advances at the same pass/sweep/bump checkpoints AbortToken
+  /// uses). A worker stuck on one ticket with a silent heartbeat for
+  /// hang_timeout seconds — on the runner's clock, so tests drive it with
+  /// a fake — gets its job's AbortToken fired; if the job still hasn't
+  /// honored the token after hang_grace more seconds, the supervisor
+  /// escalates: the ticket completes with a structured kHung result
+  /// (callback + wait() like any completion), the worker is marked lost,
+  /// and a replacement worker is spawned so pool capacity never silently
+  /// shrinks. 0 (default) = no supervisor thread at all — a pure
+  /// observer-free configuration, bit-identical to the pre-watchdog
+  /// engine. When armed, hang_timeout must exceed the longest interval
+  /// between checkpoints (e.g. the min-sized STA of the largest network),
+  /// or a slow-but-healthy job can be escalated.
+  double hang_timeout = 0.0;
+  /// Grace between firing a hung job's AbortToken and escalating to
+  /// kHung. A cooperative job cancels within one checkpoint; only a job
+  /// that ignores its token (a true hang) runs out the grace.
+  double hang_grace = 0.05;
+  /// Transient-failure retry policy (worker death, internal faults):
+  /// failed jobs are re-enqueued under the same ticket and seed with
+  /// deterministic seeded backoff, up to retry.max_attempts total
+  /// attempts. Default: off. See util/backoff.h.
+  RetryPolicy retry;
   /// Base of the deterministic per-job seed derivation.
   std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
   /// Batch-mode progress hook: called after each job completes with
@@ -382,6 +422,18 @@ struct StreamStats {
   /// Total seconds workers spent executing jobs (sum of per-job
   /// wall_seconds); run/wait together split every ticket's latency.
   double run_seconds = 0.0;
+  /// Transient failures re-enqueued by the retry policy (one per extra
+  /// attempt, across all jobs).
+  std::uint64_t retries = 0;
+  /// Watchdog interventions: tokens fired on stalled workers, jobs
+  /// escalated to kHung, and replacement workers spawned. All zero
+  /// whenever the watchdog is disabled or never needed to act.
+  std::uint64_t hang_cancels = 0;
+  std::uint64_t hangs = 0;
+  std::uint64_t respawns = 0;
+  /// Oldest heartbeat silence the watchdog ever observed on a busy worker
+  /// (seconds on the runner's clock); 0 without a watchdog.
+  double heartbeat_age_peak = 0.0;
   std::size_t context_peak_per_worker = 0;
   std::int64_t context_hits = 0;
   std::int64_t context_misses = 0;
@@ -482,18 +534,79 @@ class StreamingRunner {
     /// from there). Shared with tokens_ so cancel() reaches a job already
     /// handed to a worker.
     std::shared_ptr<AbortToken> token;
+    /// Retry state: which attempt this dispatch is (1-based), the total
+    /// backoff scheduled so far, and the runner-clock instant before which
+    /// a re-enqueued item must not be dispatched.
+    int attempt = 1;
+    double backoff_total = 0.0;
+    double not_before = 0.0;
+  };
+
+  /// One worker's lock-free heartbeat slot, read by the watchdog.
+  /// `busy` holds ticket + 1 while a job occupies the worker (0 = idle);
+  /// `beat` advances at every AbortToken checkpoint of the running job.
+  /// `lost` tells a worker the watchdog already escalated its current job
+  /// and replaced it — it must exit instead of popping more work. Slots
+  /// are heap-allocated and never destroyed before the runner, so a
+  /// worker unstuck long after escalation still writes somewhere valid.
+  struct WorkerSlot {
+    std::atomic<std::uint64_t> busy{0};
+    std::atomic<std::int64_t> beat{0};
+    std::atomic<bool> lost{false};
+  };
+
+  /// Completion-relevant snapshot of an in-flight job, registered at
+  /// dispatch (guarded by mu_) so the watchdog can finish a ticket it
+  /// escalates without touching the stuck worker's stack.
+  struct Inflight {
+    std::string label;
+    std::uint64_t seed = 0;
+    int priority = 0;
+    int shard = -1;
+    int shard_round = 0;
+    double submit_at = 0.0;
+    double queue_seconds = 0.0;
+    int attempt = 1;
+    double backoff_total = 0.0;
+    bool retain = true;
+    std::function<void(const JobResult&)> on_complete;
   };
 
   JobTicket submit_item(const SizingNetwork& net, SizingJob job,
                         std::function<void(const JobResult&)> on_complete,
                         const NetInfo* info, bool retain);
-  void worker_main(int worker_id);
+  void worker_main(int worker_id, WorkerSlot* slot);
   void finish(Item& item, JobResult out);
+  /// Completes `ticket` exactly once: claims it under mu_ (false when the
+  /// ticket was already finished — e.g. the watchdog and a late worker
+  /// racing), fires the callback, publishes counters + the retained
+  /// result. Every completion path funnels through here.
+  bool deliver(JobTicket ticket, bool retain,
+               const std::function<void(const JobResult&)>& on_complete,
+               JobResult out);
+  /// Retry gate for a worker-produced outcome: re-enqueues a transient
+  /// failure with attempts remaining (returns true — the ticket is NOT
+  /// finished) or lets the caller finish it (false).
+  bool maybe_retry(Item& item, const JobResult& out);
   /// JobResult skeleton for a job failed without running (pluck-cancel,
   /// shutdown-cancel, shed): echoes identity fields, stamps the queue wait
   /// as of `now`, and carries the structured status + message.
   JobResult stub_result(const Item& item, EngineStatus status,
                         const std::string& error, double now) const;
+  /// Appends a worker (thread + heartbeat slot); workers_mu_ held.
+  void spawn_worker_locked();
+  void watchdog_main();
+  void watchdog_scan();
+
+  /// Watchdog-thread-private tracking of one worker slot: the (ticket,
+  /// beat) pair last observed, when that pair was first seen, and when the
+  /// token was fired (< 0 = not yet).
+  struct WatchTrack {
+    std::uint64_t busy = 0;
+    std::int64_t beat = 0;
+    double since = 0.0;
+    double canceled_at = -1.0;
+  };
 
   JobRunnerOptions opt_;
   int threads_ = 1;
@@ -503,7 +616,14 @@ class StreamingRunner {
   NetInfoCache* info_ = nullptr;
 
   SchedQueue<Item> queue_;
+  /// Worker threads and their heartbeat slots. Guarded by workers_mu_:
+  /// the watchdog appends replacements while the pool runs, and shutdown
+  /// joins until the vector stays empty. Slots are never erased — a lost
+  /// worker's slot outlives its escalation.
+  std::mutex workers_mu_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  int next_worker_id_ = 0;
 
   mutable std::mutex mu_;  ///< tickets, results, outstanding, shutdown flag
   std::condition_variable done_cv_;
@@ -512,15 +632,34 @@ class StreamingRunner {
   std::uint64_t canceled_ = 0;
   std::uint64_t degraded_ = 0;
   std::uint64_t shed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t hang_cancels_ = 0;
+  std::uint64_t hangs_ = 0;
+  std::uint64_t respawns_ = 0;
+  double heartbeat_age_peak_ = 0.0;
   std::size_t queue_peak_ = 0;
   double queue_wait_seconds_ = 0.0;
   double run_seconds_ = 0.0;
   std::unordered_map<JobTicket, JobResult> ready_;
   std::unordered_set<JobTicket> outstanding_;
   /// Abort token of every not-yet-completed job, for cancel(); erased by
-  /// finish(). Guarded by mu_.
+  /// deliver(). Guarded by mu_.
   std::unordered_map<JobTicket, std::shared_ptr<AbortToken>> tokens_;
+  /// Tickets whose completion is underway (claimed in deliver(), erased
+  /// when the result is published): makes worker-vs-watchdog completion
+  /// races resolve to exactly one delivery. Guarded by mu_.
+  std::unordered_set<JobTicket> claimed_;
+  /// Dispatch snapshots of running jobs, keyed by ticket (see Inflight).
+  /// Guarded by mu_.
+  std::unordered_map<JobTicket, Inflight> inflight_;
   bool shutdown_ = false;
+
+  /// Watchdog thread state (spawned only when opt_.hang_timeout > 0).
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::unordered_map<WorkerSlot*, WatchTrack> watch_;  ///< watchdog-only
 
   std::mutex shutdown_mu_;  ///< serializes shutdown()/destructor
   std::mutex callback_mu_;  ///< serializes completion callbacks

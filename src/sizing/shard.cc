@@ -306,6 +306,12 @@ void ShardReconcilePass::begin(SizingContext& ctx, PipelineState& s) {
   JobRunnerOptions ropt = opt_.runner;
   if (ropt.context_cache_limit == 0 && part_.num_shards() > 1)
     ropt.context_cache_limit = part_.num_shards();
+  // Worker-side transient failures (a faulted flow solve, a dead worker)
+  // ride the engine's generic retry policy — same ticket, same seed, one
+  // extra attempt — instead of the old hand-rolled resubmit; an explicit
+  // caller policy is honored. Extraction faults are coordinator-side and
+  // retried at submit time below.
+  if (ropt.retry.max_attempts <= 1) ropt.retry.max_attempts = 2;
   stream_ = std::make_unique<StreamingRunner>(ropt);
 
   // Initial boundary budgets from the min-sized arrival profile: shard s
@@ -492,15 +498,26 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
 
   std::vector<JobTicket> tickets(dirty.size(), 0);
   std::vector<char> submitted(dirty.size(), 0);
+  std::vector<std::string> extract_error(dirty.size());
+  int retried = 0, failed = 0;
   for (std::size_t i = 0; i < dirty.size(); ++i) {
     const int sh = dirty[i];
     const SizingNetwork* job_net = nullptr;
     try {
       job_net = rebuild(sh);
     } catch (const std::exception&) {
-      // Extraction failed: leave the slot unsubmitted; the consume loop
-      // retries it (fresh build, fresh context) in ticket position.
-      continue;
+      // Extraction failed: retry once on a fresh build, right here — the
+      // coordinator-side twin of the engine's worker-side retry policy.
+      ++retried;
+      ++shard_retries_;
+      try {
+        job_net = rebuild(sh);
+      } catch (const std::exception& e) {
+        // Double extraction failure: the slot stays unsubmitted and the
+        // consume loop folds the shard's band back.
+        extract_error[i] = e.what();
+        continue;
+      }
     }
     std::function<void(const JobResult&)> on_complete;
     if (opt_.runner.progress)
@@ -520,32 +537,28 @@ PassStatus ShardReconcilePass::run(SizingContext& ctx, PipelineState& s) {
   // Consume in ticket order — deterministic at any worker count — and
   // stitch each solution into the global iterate as it is claimed, while
   // the round's stragglers are still running. (Clean shards keep the
-  // stitched values of the round that last solved them.) A failed or
-  // canceled shard job is retried exactly once on a freshly built network
-  // — the fresh serial guarantees a fresh worker context, so corrupt
-  // cached state cannot poison the retry. A shard whose retry also fails
-  // keeps its previous stitched band (min sizes in round 1) and stays
-  // dirty: the band folds back into the stitched STA and the monolithic
-  // re-budget, degrading the round instead of aborting the solve. The
-  // pipeline's round cap then guarantees feasible-or-error termination.
-  int retried = 0, failed = 0;
+  // stitched values of the round that last solved them.) Transient
+  // worker-side failures were already retried by the engine's policy
+  // (JobResult::attempts > 1 says how often); extraction faults got one
+  // fresh rebuild at submit. A shard that exhausted both keeps its
+  // previous stitched band (min sizes in round 1) and stays dirty: the
+  // band folds back into the stitched STA and the monolithic re-budget,
+  // degrading the round instead of aborting the solve. The pipeline's
+  // round cap then guarantees feasible-or-error termination.
   JobResult first;  // K == 1: the single job's full result, kept verbatim
   for (std::size_t i = 0; i < dirty.size(); ++i) {
     const int sh = dirty[i];
     ShardState& st = shards_[static_cast<std::size_t>(sh)];
     JobResult r;
-    if (submitted[i]) r = stream_->wait(tickets[i]);
-    if (!r.ok) {
-      ++retried;
-      ++shard_retries_;
-      try {
-        const SizingNetwork* job_net = rebuild(sh);
-        r = stream_->wait(
-            stream_->submit(*job_net, make_job(sh, inner[i], ".retry")));
-      } catch (const std::exception& e) {
-        r.ok = false;
-        if (r.error.empty()) r.error = e.what();
+    if (submitted[i]) {
+      r = stream_->wait(tickets[i]);
+      if (r.attempts > 1) {
+        ++retried;
+        shard_retries_ += r.attempts - 1;
       }
+    } else {
+      r.label = strf("shard%d@r%d", sh, round_);
+      r.error = extract_error[i];
     }
     if (!r.ok) {
       ++failed;

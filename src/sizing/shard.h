@@ -155,10 +155,11 @@ struct ShardRound {
   double area = 0.0;           ///< stitched area
   bool met_target = false;
   int shards_solved = 0;       ///< dirty shards re-solved this round
-  /// Failure recovery this round: jobs retried once on a freshly built
-  /// shard network, and shards whose retry also failed — their band kept
-  /// the previous stitched sizes and stayed dirty for the next round's
-  /// monolithic re-budget.
+  /// Failure recovery this round: jobs that consumed a retry (an engine
+  /// re-attempt for a worker-side transient, or a fresh rebuild after an
+  /// extraction fault), and shards whose retry also failed — their band
+  /// kept the previous stitched sizes and stayed dirty for the next
+  /// round's monolithic re-budget.
   int shards_retried = 0;
   int shards_failed = 0;
   /// Rebuild + streamed solve + stitch of the round's dirty shards, from
@@ -191,7 +192,7 @@ struct ShardSolveResult {
   /// show up only in the retry/failure counters.
   EngineStatus status = EngineStatus::kOk;
   bool degraded = false;
-  int shard_retries = 0;   ///< failed shard jobs retried (successfully or not)
+  int shard_retries = 0;   ///< retry attempts consumed (successful or not)
   int shard_failures = 0;  ///< shard jobs whose retry also failed
 };
 
@@ -258,9 +259,11 @@ class ShardReconcilePass : public OptimizerPass {
 };
 
 /// Partition → parallel shard jobs → reconciliation, end to end, on a
-/// fresh context. A failed shard job is retried once on a freshly built
-/// network; a shard whose retry also fails keeps its previous stitched
-/// band and stays dirty, so the solve degrades instead of aborting (never
+/// fresh context. Worker-side transient failures are retried by the
+/// engine's generic policy (same ticket and seed, one extra attempt);
+/// a faulted extraction is rebuilt once at submit. A shard that exhausts
+/// both keeps its previous stitched band and stays dirty, so the solve
+/// degrades instead of aborting (never
 /// for an unreachable target — that is reported through
 /// result.met_target, like the monolithic solver). Throws
 /// EngineError(kShardFailed) only when failures persist *and* no feasible

@@ -41,10 +41,18 @@ class AbortToken {
 
   bool canceled() const { return cancel_.load(std::memory_order_relaxed); }
 
+  /// Attach a heartbeat counter: every step() additionally bumps `*beat`
+  /// (relaxed), so a supervisor watching the counter can tell a slow job
+  /// (beats advance) from a stuck one (beats stall). The counter must
+  /// outlive the token or be detached (attach_heartbeat(nullptr)) first.
+  /// Owner-thread only, like arming.
+  void attach_heartbeat(std::atomic<std::int64_t>* beat) { beat_ = beat; }
+
   /// Checkpoint: returns true (and latches the reason) once any armed
   /// budget has tripped. Cancel wins over the step budget, which wins over
   /// the deadline, so concurrent trips resolve deterministically.
   bool step() {
+    if (beat_ != nullptr) beat_->fetch_add(1, std::memory_order_relaxed);
     if (tripped_ != EngineStatus::kOk) return true;
     if (cancel_.load(std::memory_order_relaxed)) {
       tripped_ = EngineStatus::kCanceled;
@@ -70,6 +78,7 @@ class AbortToken {
 
  private:
   std::atomic<bool> cancel_{false};
+  std::atomic<std::int64_t>* beat_ = nullptr;
   EngineStatus tripped_ = EngineStatus::kOk;
   std::int64_t steps_ = 0;
   std::int64_t max_steps_ = 0;

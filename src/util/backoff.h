@@ -1,0 +1,66 @@
+// Deterministic retry-with-backoff policy for the streaming engine.
+//
+// A RetryPolicy lets the runner re-enqueue a job that failed with a
+// *transient* status — a worker died under it, or an internal/injected
+// fault tripped — up to max_attempts total attempts. The backoff before
+// attempt n (n >= 2) is
+//
+//   backoff_base * 2^(n-2) * jitter(seed, n)
+//
+// with jitter a multiplier in [0.5, 1.5) derived deterministically from
+// the job's seed via splitmix64. The job's seed and ticket never change
+// across attempts, so a retried success is bit-identical to the result a
+// fault-free run would have produced, and two runs of the same workload
+// schedule their retries identically.
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace mft {
+
+struct RetryPolicy {
+  /// Total attempts a job may consume, first run included; <= 1 disables
+  /// retry (the default — batch and bit-identity suites see no change).
+  int max_attempts = 1;
+  /// Backoff in seconds before the first retry; doubles per further
+  /// attempt. 0 retries immediately.
+  double backoff_base = 0.0;
+  /// Scale each backoff by the deterministic [0.5, 1.5) jitter factor so
+  /// a burst of same-fault retries decorrelates without losing
+  /// reproducibility. Off: the exponential schedule alone.
+  bool jitter_from_seed = true;
+};
+
+/// True for the statuses worth re-running: the failure says nothing about
+/// the job itself, so a clean attempt can succeed (bit-identically —
+/// seed and ticket are reused). Budget trips, cancellation, shedding,
+/// admission rejections, and input errors are final by design, and kHung
+/// is not retried — a job that ignored its AbortToken once would eat
+/// another worker.
+inline bool retryable_status(EngineStatus s) {
+  return s == EngineStatus::kWorkerDied || s == EngineStatus::kInternal;
+}
+
+/// Backoff in seconds to wait before `attempt` (2 = first retry). A pure
+/// function of (policy, seed, attempt); never negative.
+inline double retry_backoff_seconds(const RetryPolicy& policy,
+                                    std::uint64_t seed, int attempt) {
+  if (attempt < 2 || policy.backoff_base <= 0) return 0.0;
+  double backoff = policy.backoff_base;
+  for (int i = 2; i < attempt; ++i) backoff *= 2.0;
+  if (policy.jitter_from_seed) {
+    // splitmix64 of (seed, attempt) -> uniform in [0.5, 1.5).
+    std::uint64_t z =
+        seed + static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+    backoff *= 0.5 + u;
+  }
+  return backoff;
+}
+
+}  // namespace mft

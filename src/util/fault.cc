@@ -1,8 +1,10 @@
 #include "util/fault.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <thread>
 
 namespace mft {
 
@@ -24,6 +26,9 @@ struct Plan {
   double p = 0;
   std::uint64_t seed = 0;
   std::int64_t hits = 0;
+  // Hang mode: a firing hit blocks inside the fault point until the site
+  // is disarmed, instead of throwing.
+  bool hang = false;
 };
 
 struct State {
@@ -96,6 +101,21 @@ void FaultInjector::arm_random(const std::string& site, double p,
   armed_.store(1, std::memory_order_relaxed);
 }
 
+void FaultInjector::arm_hang(const std::string& site, std::int64_t nth,
+                             std::int64_t times) {
+  arm(site, nth, times);
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.plans[site].hang = true;
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.plans.erase(site);
+  armed_.store(s.plans.empty() ? 0 : 1, std::memory_order_relaxed);
+}
+
 void FaultInjector::disarm_all() {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -126,6 +146,33 @@ bool FaultInjector::should_fire(const std::string& site) {
     return u < plan.p;
   }
   return false;
+}
+
+void FaultInjector::on_hit(const std::string& site) {
+  bool hang = false;
+  {
+    // should_fire records the hit and applies the window/probability plan;
+    // re-check the plan under the same lock discipline for the hang bit.
+    if (!should_fire(site)) return;
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.plans.find(site);
+    hang = it != s.plans.end() && it->second.hang;
+  }
+  if (!hang) throw FaultInjectedError(site);
+  // Hang mode: spin (sleeping) until the site is disarmed, then resume the
+  // caller normally — the stuck thread stays joinable once a test releases
+  // it, and whatever result it eventually produces is dropped by the
+  // supervisor's claim.
+  for (;;) {
+    {
+      State& s = state();
+      std::lock_guard<std::mutex> lock(s.mu);
+      auto it = s.plans.find(site);
+      if (it == s.plans.end() || !it->second.hang) return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
 }
 
 }  // namespace mft

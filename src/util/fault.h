@@ -13,15 +13,26 @@
 // whenever the per-site hit order is (e.g. single worker, or sites reached
 // once per job).
 //
+// Besides throwing, a site can be armed to *hang* (arm_hang): the hit
+// spins inside the fault point until the site is disarmed, modeling a
+// worker silently stuck in a loop — the deterministic driver for the
+// watchdog/kHung escalation tests.
+//
 // Named sites compiled in today:
 //   stream.worker    worker loop, outside the job body (→ kWorkerDied)
 //   stream.context   per-worker context acquisition (→ kWorkerDied)
 //   stream.execute   inside the job body (structured kInternal result)
+//   stream.heartbeat worker heartbeat publication, outside the job body
+//                    (→ kWorkerDied)
 //   flow.solve       inner flow solve (structured kInternal result)
 //   shard.extract    shard extraction (retried once, then folded back)
 //   daemon.parse     daemon request parsing (structured error response)
 //   daemon.accept    daemon admission, pre-submit (structured error
 //                    response; the engine never sees the job)
+//   journal.append   journal record append (submit fails structured; the
+//                    daemon survives and the log keeps its valid prefix)
+//   journal.replay   journal replay on daemon restart (recovery skipped,
+//                    service continues on an empty slate)
 #pragma once
 
 #include <atomic>
@@ -61,7 +72,19 @@ class FaultInjector {
   /// deterministically derived from (seed, hit index).
   void arm_random(const std::string& site, double p, std::uint64_t seed);
 
-  /// Disarm every site and reset hit counters.
+  /// Arm `site` to HANG on hits [nth, nth+times): the hitting thread
+  /// spins inside the fault point (sleeping ~200µs per turn) until the
+  /// site is disarmed via disarm()/disarm_all(), then resumes normally.
+  /// Models a silently-stuck worker for watchdog tests; pair with
+  /// disarm() so the thread stays joinable.
+  void arm_hang(const std::string& site, std::int64_t nth,
+                std::int64_t times = 1);
+
+  /// Disarm one site (releasing any thread hung at it); hit counters for
+  /// other sites are untouched.
+  void disarm(const std::string& site);
+
+  /// Disarm every site (releasing hung threads) and reset hit counters.
   void disarm_all();
 
   /// Hits recorded at `site` since it was armed (0 when never armed).
@@ -74,6 +97,11 @@ class FaultInjector {
   /// Call through MFT_FAULT_POINT, not directly.
   bool should_fire(const std::string& site);
 
+  /// Slow path behind MFT_FAULT_POINT: records the hit and either throws
+  /// FaultInjectedError (throw mode), blocks until the site is disarmed
+  /// (hang mode), or returns normally (site not armed for this hit).
+  void on_hit(const std::string& site);
+
  private:
   FaultInjector();
 
@@ -83,10 +111,9 @@ class FaultInjector {
 }  // namespace mft
 
 /// Named injection site. Free when disarmed; throws FaultInjectedError
-/// when armed for this hit.
+/// (or hangs until released) when armed for this hit.
 #define MFT_FAULT_POINT(site)                                         \
   do {                                                                \
     ::mft::FaultInjector& mft_fi_ = ::mft::FaultInjector::instance(); \
-    if (mft_fi_.armed() && mft_fi_.should_fire(site))                 \
-      throw ::mft::FaultInjectedError(site);                          \
+    if (mft_fi_.armed()) mft_fi_.on_hit(site);                        \
   } while (0)

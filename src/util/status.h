@@ -24,6 +24,8 @@ enum class EngineStatus {
   kShardFailed,       // sharded solve exhausted retry + degrade paths
   kShed,              // load shedding: deadline already unmeetable at dispatch
   kRejected,          // admission control refused the request up front
+  kHung,              // watchdog escalation: worker stuck past hang_timeout
+                      // and did not honor its AbortToken within the grace
   kInternal,          // unclassified exception inside the job body
 };
 
@@ -39,6 +41,7 @@ inline const char* to_string(EngineStatus s) {
     case EngineStatus::kShardFailed: return "shard_failed";
     case EngineStatus::kShed: return "shed";
     case EngineStatus::kRejected: return "rejected";
+    case EngineStatus::kHung: return "hung";
     case EngineStatus::kInternal: return "internal";
   }
   return "internal";
