@@ -37,6 +37,7 @@ bench_tilos_bump
 bench_ablation_bounds
 bench_ablation_scale
 bench_ablation_weights
+bench_eco
 "
 
 for b in $BENCHES; do

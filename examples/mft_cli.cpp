@@ -58,11 +58,22 @@
 //                         queued jobs whose --deadline has already expired
 //                         at dispatch fail fast with status "shed" instead
 //                         of burning a worker
+//   --eco PATH            ECO serving replay: solve the base target once,
+//                         then apply the delta script at PATH against the
+//                         warm session — one line per directive:
+//                           target <R>       retarget to R x Dmin
+//                           load <v> <dB>    add dB to vertex v's fixed load
+//                           pin <v> <size>   pin vertex v (size 0 releases)
+//                           apply            resize with the staged delta
+//                         '#' comments and blank lines are skipped; each
+//                         apply prints mode/delay/area and the re-solve
+//                         wall time (warm-start resize, not a fresh solve)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -76,6 +87,7 @@
 #include "netlist/netlist.h"
 #include "netlist/stats.h"
 #include "sizing/report.h"
+#include "sizing/resize.h"
 #include "sizing/shard.h"
 #include "timing/lowering.h"
 #include "util/stopwatch.h"
@@ -91,6 +103,7 @@ struct Args {
   std::string bench_path;
   std::string csv_path;
   std::string json_path;
+  std::string eco_path;
   std::string granularity = "gate";
   std::vector<double> sweep_ratios = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
   double target_ratio = 0.6;
@@ -146,6 +159,12 @@ const char* option_listing() {
       "                        results, only dispatch order moves)\n"
       "  --shed                streaming only: shed queued jobs whose\n"
       "                        --deadline already expired at dispatch\n"
+      "  --eco PATH            solve the base target, then replay the ECO\n"
+      "                        delta script at PATH against the warm "
+      "session\n"
+      "                        (directives: target R | load V DB | pin V S "
+      "|\n"
+      "                        apply; '#' comments)\n"
       "  --fast-math           FP-reassociated delay folds: faster, "
       "reproducible\n"
       "                        for a fixed binary but NOT bit-identical to "
@@ -269,6 +288,7 @@ Args parse(int argc, char** argv) {
                   circuit_listing().c_str());
       std::exit(0);
     }
+    else if (f == "--eco") a.eco_path = value(i);
     else if (f == "--json") a.json_path = value(i);
     else if (f == "--csv") a.csv_path = value(i);
     else if (f == "--histogram") a.histogram = true;
@@ -293,6 +313,10 @@ Args parse(int argc, char** argv) {
         "--fast-math cannot be combined with --shards: shard "
         "reconciliation depends on bit-identical re-evaluation of boundary "
         "timing, which FP-reassociated folds do not guarantee");
+  if (!a.eco_path.empty() && (a.sweep || a.shards > 0 || a.streaming))
+    usage(
+        "--eco is a single warm-session mode; drop --sweep / --shards / "
+        "--streaming");
   return a;
 }
 
@@ -646,6 +670,97 @@ int run_sweep(const Args& args, const LoweredCircuit& lc, double dmin) {
   return (any_failed || !any_met) ? 1 : 0;
 }
 
+/// ECO serving replay: one base cold solve opens the warm session, then
+/// the delta script drives resize(delta) — the same warm/cold machinery
+/// the daemon's "resize" op serves, minus the protocol.
+int run_eco(const Args& args, const LoweredCircuit& lc, double dmin) {
+  std::ifstream in(args.eco_path);
+  if (!in.good()) {
+    std::fprintf(stderr, "error: cannot open --eco script '%s'\n",
+                 args.eco_path.c_str());
+    return 2;
+  }
+  const double target = args.target_ratio * dmin;
+  std::printf("%d sizeable elements, Dmin = %.3f, base target = %.3f "
+              "(%.2f Dmin)\n",
+              lc.net.num_sizeable(), dmin, target, args.target_ratio);
+
+  ResizeSession session(lc.net);
+  Stopwatch base_sw;
+  const ResizeResult base = session.solve(target);
+  if (!base.ok || !base.met_target) {
+    std::fprintf(stderr, "error: base solve %s\n",
+                 base.ok ? "missed the target" : base.error.c_str());
+    return 1;
+  }
+  std::printf("base solve : %.2fs  area %.1f  delay %.4f\n\n",
+              base_sw.seconds(), base.area, base.delay);
+
+  ResizeDelta staged;
+  int line_no = 0, applies = 0;
+  double final_area = base.area, final_delay = base.delay;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op) || op[0] == '#') continue;
+    auto bad = [&](const char* why) {
+      std::fprintf(stderr, "error: %s:%d: %s: '%s'\n", args.eco_path.c_str(),
+                   line_no, why, line.c_str());
+      return 1;
+    };
+    if (op == "target") {
+      double ratio = 0.0;
+      if (!(ls >> ratio) || !(ratio > 0.0))
+        return bad("target needs a positive Dmin ratio");
+      staged.target_delay = ratio * dmin;
+    } else if (op == "load") {
+      ResizeLoadEdit e;
+      if (!(ls >> e.vertex >> e.b_delta))
+        return bad("load needs '<vertex> <b_delta>'");
+      staged.load_edits.push_back(e);
+    } else if (op == "pin") {
+      ResizePin p;
+      if (!(ls >> p.vertex >> p.size))
+        return bad("pin needs '<vertex> <size>' (size 0 releases)");
+      staged.pins.push_back(p);
+    } else if (op == "apply") {
+      Stopwatch sw;
+      const ResizeResult r = session.resize(staged);
+      if (!r.ok) {
+        std::fprintf(stderr, "error: %s:%d: resize rejected: %s\n",
+                     args.eco_path.c_str(), line_no, r.error.c_str());
+        return 1;
+      }
+      ++applies;
+      final_area = r.area;
+      final_delay = r.delay;
+      std::printf(
+          "apply #%-3d : %8.1fms  %-8s%s delay %.4f / %.4f%s  area %.1f  "
+          "dirty %d  region %d\n",
+          applies, 1e3 * sw.seconds(), to_string(r.mode),
+          r.fell_back ? " (fell back)" : "", r.delay, r.target,
+          r.met_target ? "" : "  TARGET MISSED", r.area, r.dirty_vertices,
+          r.region_vertices);
+      staged = ResizeDelta{};
+    } else {
+      return bad("unknown directive (target | load | pin | apply)");
+    }
+  }
+  if (!staged.load_edits.empty() || !staged.pins.empty() ||
+      staged.target_delay != 0.0)
+    std::fprintf(stderr,
+                 "warning: %s ends with staged edits and no final 'apply'; "
+                 "they were not applied\n",
+                 args.eco_path.c_str());
+  std::printf("\n%d delta%s applied; final area %.1f, delay %.4f (target "
+              "%.4f)\n",
+              applies, applies == 1 ? "" : "s", final_area, final_delay,
+              session.target());
+  return write_solution_outputs(args, lc, session.sizes()) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -666,6 +781,7 @@ int main(int argc, char** argv) {
                           ? lower_transistor_level(nl, Tech{})
                           : lower_gate_level(nl, Tech{}, gopt);
   const double dmin = min_sized_delay(lc.net);
+  if (!args.eco_path.empty()) return run_eco(args, lc, dmin);
   if (args.sweep) return run_sweep(args, lc, dmin);
   if (args.shards > 0) return run_sharded(args, lc, dmin);
   return run_single(args, lc, dmin);

@@ -3,7 +3,7 @@
 // Usage:
 //   mftd [--threads N] [--inner-threads N] [--context-cache N]
 //        [--max-queue N] [--pressure X] [--no-shed] [--socket PATH]
-//        [--journal PATH]
+//        [--journal PATH] [--journal-compact-bytes N]
 //
 // Default transport is stdin/stdout: one request object per input line,
 // one event object per output line (see engine/daemon.h for the
@@ -15,7 +15,12 @@
 // submit is written ahead to an fsync'd journal and every terminal
 // result is journaled after it is emitted, so restarting mftd on the
 // same path replays exactly the unfinished requests (same journaled
-// seeds, bit-identical sizes_hash) before serving new ones.
+// seeds, bit-identical sizes_hash) before serving new ones. ECO
+// sessions ("session":true submits plus "resize"/"release" ops) are
+// journaled too: a restart re-runs the session base and re-applies the
+// resize chain. --journal-compact-bytes N bounds the file: once it
+// grows past N bytes the daemon rewrites it down to its live set (the
+// config snapshot plus unfinished work and open sessions).
 //
 // Shutdown discipline: SIGPIPE is ignored (a client that closes its pipe
 // mid-burst must not kill the daemon — pending results just drain to a
@@ -87,6 +92,8 @@ void install_signal_handlers() {}
       "  --socket PATH      serve a Unix stream socket instead of stdio\n"
       "  --journal PATH     write-ahead journal: replay unfinished requests\n"
       "                     on restart, fsync every accepted submit\n"
+      "  --journal-compact-bytes N  compact the journal down to its live\n"
+      "                     set once it grows past N bytes (0 = never)\n"
       "  --help             this text\n");
   std::exit(code);
 }
@@ -133,6 +140,9 @@ Flags parse(int argc, char** argv) {
       f.socket_path = value(i);
     else if (flag == "--journal")
       f.daemon.journal_path = value(i);
+    else if (flag == "--journal-compact-bytes")
+      f.daemon.journal_compact_bytes =
+          static_cast<std::uint64_t>(int_value(i));
     else if (flag == "--help" || flag == "-h")
       usage(0);
     else {

@@ -7,8 +7,12 @@
 // Protocol (requests):
 //   {"op":"submit","circuit":"c17","ratio":0.8,"priority":2,
 //    "deadline":0.5,"max_steps":0,"inner_threads":0,"seed":0,
-//    "label":"...","id":"client-tag"}      // only op+circuit required
+//    "label":"...","id":"client-tag",      // only op+circuit required
+//    "session":true}                       // keep the sized result live
 //   {"op":"cancel","ticket":3}
+//   {"op":"resize","session":1,"target":2.5,        // ECO against the
+//    "loads":"12:0.05,33:-0.01","pins":"7:4,9:0"}   // session's solution
+//   {"op":"release","session":1}
 //   {"op":"stats"}
 //   {"op":"shutdown"}
 //
@@ -16,7 +20,22 @@
 //   {"event":"accepted","id":...,"ticket":3}           // submit admitted
 //   {"event":"result","id":...,"ticket":3,"status":"ok",...}
 //   {"event":"cancel","ticket":3,"ok":true}
+//   {"event":"release","session":1,"ok":true}
 //   {"event":"stats",...}   {"event":"shutdown",...}
+//
+// ECO sessions (the warm-start resize path, sizing/resize.h): a submit
+// carrying "session":true is admitted like any job, and its accepted
+// event carries the session number. Once its result lands, "resize" ops
+// against that session apply a delta — a new delay target, per-vertex
+// load edits, per-vertex size pins — with the millisecond warm-start
+// machinery (fixpoint / carved-band warm solve / cold fallback), each
+// answering with exactly one result event that reports the mode that
+// produced it. The flat protocol has no arrays, so deltas ride in
+// strings: "loads" / "pins" are comma-separated "vertex:value" lists
+// (a pin value of 0 releases the pin). The zero delta is a fixpoint:
+// its sizes_hash equals the previous answer's bit-for-bit. A resize
+// against a session whose base job is still running is refused with
+// kRejected (retry after the base result); "release" frees the session.
 //
 // The response contract the daemon_test pins: every request line gets
 // exactly one terminal response — an admitted submit exactly one
@@ -30,8 +49,16 @@
 //
 // Admission control (DaemonOptions): a submit is refused with kRejected
 // when the scheduler queue is already max_queue_depth deep, or when the
-// request carries a deadline that deadline-pressure estimation (EWMA job
-// runtime × queue depth / workers) says cannot be met. Once admitted,
+// request carries a deadline that deadline-pressure estimation says
+// cannot be met: predicted completion = EWMA completed-job runtime ×
+// (queue depth + workers) / workers — the job's own expected run counts,
+// not just its queue wait. The EWMA folds in successful results only
+// (shed/canceled/failed jobs return in unrepresentative time and would
+// drag the estimate toward zero under a failure storm); before the first
+// success lands there is no estimate, so the daemon falls back to a
+// conservative queue-depth-only check (refuse deadline-carrying work
+// once the backlog reaches the worker count) instead of silently
+// admitting everything through the cold-start window. Once admitted,
 // overload is handled by the scheduler itself: deadline-ordered dispatch
 // plus kShed for queued jobs whose deadline lapsed (JobRunnerOptions::
 // shed, on by default here), and the PR-6 best-so-far degradation for
@@ -53,14 +80,31 @@
 // values. The journal is compacted to the unfinished set on recovery. The
 // emission contract is at-least-once across a crash: a request whose
 // result was emitted but not yet journaled is re-run and re-emitted.
+//
+// Every journal begins with a config snapshot record pinning the fields
+// replay determinism depends on (base_seed, fast_math); a daemon started
+// on a journal whose snapshot does not match its own configuration
+// refuses recovery — it emits {"event":"replay","ok":false,...},
+// preserves the file untouched for the operator, and serves on without
+// replaying anything. ECO sessions are durable too: the base submit and
+// every resize delta are journaled write-ahead, and recovery re-runs the
+// base (bit-identical by the seed contract) and re-applies the resize
+// chain in order, re-emitting only resizes whose results never made it
+// to the journal. When DaemonOptions::journal_compact_bytes is set, the
+// journal is also rotated while serving: once it grows past the bound it
+// is rewritten down to its live set (config snapshot + unfinished
+// submits + live session records), so a long-lived daemon's journal
+// stays proportional to its outstanding work, not its history.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "engine/stream.h"
 #include "timing/lowering.h"
@@ -68,6 +112,9 @@
 #include "util/journal.h"
 
 namespace mft {
+
+struct ResizeDelta;
+struct ResizeResult;
 
 struct DaemonOptions {
   /// Engine configuration for the wrapped StreamingRunner. `shed` is the
@@ -93,6 +140,11 @@ struct DaemonOptions {
   /// line) before serving, and every accepted submit / terminal result is
   /// journaled from then on.
   std::string journal_path;
+  /// Size-triggered journal rotation: after a terminal record lands, a
+  /// journal grown past this many bytes is compacted in place down to its
+  /// live set — the config snapshot, unfinished submits, and the records
+  /// of live ECO sessions. 0 (the default) disables rotation.
+  std::uint64_t journal_compact_bytes = 0;
 };
 
 /// Counters the daemon layers on top of StreamStats. Guarded internally;
@@ -106,7 +158,11 @@ struct DaemonStats {
   std::uint64_t journal_records = 0;  ///< records appended this process
   std::uint64_t journal_fsyncs = 0;   ///< fsyncs issued by those appends
   std::uint64_t journal_errors = 0;   ///< appends that failed (non-fatal)
+  std::uint64_t journal_bytes = 0;    ///< current journal file size
+  std::uint64_t journal_compactions = 0;  ///< size-triggered rotations
   std::uint64_t recovered = 0;        ///< requests re-admitted by replay
+  std::uint64_t sessions = 0;         ///< live ECO sessions
+  double ewma_run_seconds = 0.0;  ///< admission EWMA over ok-job runtimes
   double p50_seconds = 0.0;     ///< median submit→result latency
   double p99_seconds = 0.0;
   StreamStats engine;           ///< live engine counters (shed lives here)
@@ -142,9 +198,23 @@ class SizingDaemon {
 
  private:
   struct ParsedSubmit;
+  struct ParsedResize;
+  struct EcoSession;
 
   void do_submit(const ParsedSubmit& req);
-  void on_result(const std::string& id, std::uint64_t rid,
+  /// One warm-start ECO resize against a live session: journals the delta
+  /// write-ahead, runs the solve on the request thread (outside mu_), and
+  /// answers with exactly one result event.
+  void do_resize(const ParsedResize& req);
+  void do_release(const std::string& id, std::uint64_t sid);
+  /// Builds the session's ResizeSession on first use (adopting the base
+  /// job's sizes) and applies one delta. Request thread only.
+  ResizeResult apply_resize(EcoSession& es, const ResizeDelta& delta);
+  /// Terminal bookkeeping for a resize: result event, result record,
+  /// rotation check.
+  void finish_resize(const std::string& id, std::uint64_t sid,
+                     std::uint64_t rid, bool durable, const ResizeResult& rr);
+  void on_result(const std::string& id, std::uint64_t rid, std::uint64_t sid,
                  const JobResult& r);
   /// Constructor-time crash recovery: replays opt_.journal_path, compacts
   /// it down to the unfinished submits, re-admits them in rid order, and
@@ -153,6 +223,12 @@ class SizingDaemon {
   /// Appends one record under mu_; failures are counted, never thrown —
   /// losing durability must not take down a serving daemon.
   void journal_append_locked(const std::string& payload);
+  /// The flat config-snapshot record pinning everything journal replay
+  /// determinism depends on; heads every fresh or rotated journal.
+  std::string config_record() const;
+  /// Size-triggered rotation: once the journal grows past
+  /// opt_.journal_compact_bytes, rewrites it down to the live record set.
+  void maybe_compact_locked();
   /// The one-terminal-response path for anything that never reached the
   /// engine: rejected, malformed, unknown op, internal fault.
   void respond_error(const std::string& id, EngineStatus status,
@@ -188,7 +264,21 @@ class SizingDaemon {
   Journal journal_;
   std::uint64_t next_rid_ = 0;       ///< next durable request id
   std::uint64_t journal_errors_ = 0;
+  std::uint64_t journal_compactions_ = 0;
   std::uint64_t recovered_ = 0;
+  /// Set when recovery refused an incompatible journal: rotation must not
+  /// silently drop the preserved records.
+  bool compaction_disabled_ = false;
+  /// Exactly what a rotation keeps, keyed (rid, seq: 0 request /
+  /// 1 result) so compacted journals stay in append order. Guarded by
+  /// mu_; maintained only while the journal is open.
+  std::map<std::pair<std::uint64_t, int>, std::string> live_records_;
+
+  /// Live ECO sessions by session number. The map is guarded by mu_; a
+  /// session's ResizeSession itself is touched only from handle_line's
+  /// thread (resizes are synchronous on the request thread).
+  std::map<std::uint64_t, std::unique_ptr<EcoSession>> sessions_;
+  std::uint64_t next_session_id_ = 1;
 
   /// Declared last: destroyed (drained) before the circuits its queued
   /// jobs point into.

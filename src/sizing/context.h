@@ -81,6 +81,15 @@ class SizingContext {
   void set_abort(AbortToken* abort) { abort_ = abort; }
   AbortToken* abort() const { return abort_; }
 
+  /// Optional ECO size pins for the passes run through this context
+  /// (id-indexed, entry > 0 = hold that vertex at that size). Not owned;
+  /// nullptr (the default) means no pins and leaves every existing path
+  /// bit-identical. TILOS never bumps a pinned vertex and the W-phase never
+  /// relaxes one; the D-phase budgets freely but the pinned sizes win when
+  /// the budgets are re-solved.
+  void set_pins(const std::vector<double>* pins) { pins_ = pins; }
+  const std::vector<double>* pins() const { return pins_; }
+
   /// Opt-in FP-reassociated delay folds for every kernel run through this
   /// context (TILOS STA, the pass-level scratch, the D-phase's embedded
   /// scratch, W-phase load folds). Off by default; flipping it forces the
@@ -106,6 +115,7 @@ class SizingContext {
   const SizingNetwork* net_;
   ThreadArena* arena_ = nullptr;
   AbortToken* abort_ = nullptr;
+  const std::vector<double>* pins_ = nullptr;
   bool fast_math_ = false;
   TimingScratch timing_;
   DPhaseWorkspace dphase_;

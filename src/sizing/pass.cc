@@ -19,6 +19,7 @@ PassStatus TilosPass::run(SizingContext& ctx, PipelineState& s) {
   Stopwatch sw;
   TilosOptions opt = opt_;
   opt.fast_math = opt.fast_math || ctx.fast_math();
+  if (opt.pins == nullptr) opt.pins = ctx.pins();
   s.initial =
       run_tilos(ctx.net(), s.target_delay, opt, ctx.arena(), ctx.abort());
   s.tilos_seconds = sw.seconds();
@@ -44,7 +45,8 @@ PassStatus WPhasePass::run(SizingContext& ctx, PipelineState& s) {
   // only have to settle the min-clamped vertices.
   const TimingReport& t0 = ctx.sta(s.sizes);
   const WPhaseResult w0 = solve_wphase(net, t0.delay, s.sizes, ctx.arena(),
-                                       ctx.abort(), ctx.fast_math());
+                                       ctx.abort(), ctx.fast_math(),
+                                       ctx.pins());
   s.wphase_sweeps += w0.sweeps;
   if (w0.feasible) {
     const double area0 = net.area(w0.sizes);
@@ -92,7 +94,8 @@ PassStatus DPhasePass::run(SizingContext& ctx, PipelineState& s) {
   s.dphase_changed_valid = true;
   if (!d.solved) return PassStatus::kDone;
   const WPhaseResult w = solve_wphase(net, d.budget, s.sizes, ctx.arena(),
-                                      ctx.abort(), ctx.fast_math());
+                                      ctx.abort(), ctx.fast_math(),
+                                      ctx.pins());
   s.wphase_sweeps += w.sweeps;
   const TimingReport& timing = ctx.sta(w.sizes);
   const double area = net.area(w.sizes);

@@ -19,6 +19,14 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
   const SweepPlan& pl = net.plan();
   TilosResult res;
   res.sizes = net.min_sizes();
+  if (opt.pins != nullptr) {
+    MFT_CHECK(static_cast<int>(opt.pins->size()) == net.num_vertices());
+    for (NodeId v = 0; v < net.num_vertices(); ++v) {
+      const double x = (*opt.pins)[static_cast<std::size_t>(v)];
+      if (x > 0.0 && !net.is_source(v))
+        res.sizes[static_cast<std::size_t>(v)] = x;
+    }
+  }
   const std::int64_t max_bumps =
       opt.max_bumps > 0 ? opt.max_bumps
                         : 4000 * static_cast<std::int64_t>(
@@ -65,6 +73,9 @@ TilosResult run_tilos(const SizingNetwork& net, double target_delay,
       const std::size_t p =
           static_cast<std::size_t>(pl.pos_of[static_cast<std::size_t>(v)]);
       if (pl.source[p]) continue;
+      if (opt.pins != nullptr &&
+          (*opt.pins)[static_cast<std::size_t>(v)] > 0.0)
+        continue;  // pinned: never a bump candidate
       const double x = sizes_pos[p];
       const double nx = x * opt.bumpsize;
       if (nx > tech.max_size) continue;

@@ -23,6 +23,10 @@ struct TilosOptions {
   /// TimingScratch::fast_math). Off by default; never set on
   /// determinism-gated paths.
   bool fast_math = false;
+  /// Optional ECO size pins (id-indexed, entry > 0 = hold that vertex at
+  /// that size): pinned vertices start at the pinned size and are never
+  /// bump candidates. Not owned; may be nullptr.
+  const std::vector<double>* pins = nullptr;
 };
 
 struct TilosResult {

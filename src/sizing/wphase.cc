@@ -27,7 +27,8 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
                                const std::vector<double>& delay_budget,
                                const std::vector<double>& start,
                                ThreadArena* arena, AbortToken* abort,
-                               bool fast_math) {
+                               bool fast_math,
+                               const std::vector<double>* pins) {
   MFT_CHECK(net.frozen());
   MFT_CHECK(static_cast<int>(delay_budget.size()) == net.num_vertices());
   MFT_CHECK(static_cast<int>(start.size()) == net.num_vertices());
@@ -43,6 +44,25 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
   pl.gather(start, sizes_pos);
   pl.gather(delay_budget, budget_pos);
 
+  // Pinned vertices enter at the pinned size and are excluded from the
+  // update, so the relaxation solves the conditional SMP. Monotonicity is
+  // preserved — a pin is just a constant in every other vertex's load fold.
+  std::vector<unsigned char> pinned_pos;
+  if (pins != nullptr) {
+    MFT_CHECK(static_cast<int>(pins->size()) == net.num_vertices());
+    pinned_pos.assign(static_cast<std::size_t>(pl.n), 0);
+    for (int p = 0; p < pl.n; ++p) {
+      const std::size_t pi = static_cast<std::size_t>(p);
+      if (pl.source[pi]) continue;
+      const double x =
+          (*pins)[static_cast<std::size_t>(pl.vid[pi])];
+      if (x > 0.0) {
+        pinned_pos[pi] = 1;
+        sizes_pos[pi] = x;
+      }
+    }
+  }
+
   // One Gauss–Seidel update of the vertex at position p from the current
   // sizes_pos. Both the sequential and the level-parallel sweep run exactly
   // this body; the load fold streams the flat CSR in original term order,
@@ -51,6 +71,7 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
   auto update = [&](int p, double& max_rel_change, char& infeasible) {
     const std::size_t pi = static_cast<std::size_t>(p);
     if (pl.source[pi]) return;
+    if (!pinned_pos.empty() && pinned_pos[pi]) return;
     const double d = budget_pos[pi];
     if (d <= pl.a_self[pi]) {
       // No finite size meets this budget (self-loading already exceeds
@@ -158,17 +179,18 @@ WPhaseResult solve_wphase_impl(const SizingNetwork& net,
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
                           ThreadArena* arena, AbortToken* abort,
-                          bool fast_math) {
+                          bool fast_math, const std::vector<double>* pins) {
   return solve_wphase_impl(net, delay_budget, net.min_sizes(), arena, abort,
-                           fast_math);
+                           fast_math, pins);
 }
 
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
                           const std::vector<double>& start,
                           ThreadArena* arena, AbortToken* abort,
-                          bool fast_math) {
-  return solve_wphase_impl(net, delay_budget, start, arena, abort, fast_math);
+                          bool fast_math, const std::vector<double>* pins) {
+  return solve_wphase_impl(net, delay_budget, start, arena, abort, fast_math,
+                           pins);
 }
 
 }  // namespace mft

@@ -60,11 +60,17 @@ struct WPhaseResult {
 /// Cold start from net.min_sizes(). `abort` (optional) is checked once per
 /// sweep; a trip stops the relaxation and reports feasible=false so the
 /// caller rejects the half-converged iterate.
+///
+/// `pins` (optional, id-indexed, entry > 0 means "hold this vertex at that
+/// size") freezes the pinned vertices for the whole relaxation: they enter
+/// at the pinned size and are never updated, so the fixpoint is the minimum
+///-area solution *conditioned on* the pins. ECO size pins ride on this.
 WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& delay_budget,
                           ThreadArena* arena = nullptr,
                           AbortToken* abort = nullptr,
-                          bool fast_math = false);
+                          bool fast_math = false,
+                          const std::vector<double>* pins = nullptr);
 
 /// Warm start from `start` (one full per-vertex size vector, sources 0).
 WPhaseResult solve_wphase(const SizingNetwork& net,
@@ -72,6 +78,7 @@ WPhaseResult solve_wphase(const SizingNetwork& net,
                           const std::vector<double>& start,
                           ThreadArena* arena = nullptr,
                           AbortToken* abort = nullptr,
-                          bool fast_math = false);
+                          bool fast_math = false,
+                          const std::vector<double>* pins = nullptr);
 
 }  // namespace mft

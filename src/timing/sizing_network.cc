@@ -5,6 +5,16 @@
 
 namespace mft {
 
+namespace {
+// Process-wide serial mint shared by freeze(), clone() and eco_add_b():
+// anything that changes what a serial-keyed workspace may assume gets a
+// number never handed out before.
+std::uint64_t mint_serial() {
+  static std::atomic<std::uint64_t> next_serial{1};
+  return next_serial.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 NodeId SizingNetwork::add_vertex(SizingVertex v, std::string name) {
   MFT_CHECK_MSG(topo_.empty(), "network is frozen");
   MFT_CHECK(v.a_self >= 0.0 && v.b >= 0.0);
@@ -40,9 +50,30 @@ void SizingNetwork::set_po(NodeId v, bool po) {
   verts_[static_cast<std::size_t>(v)].is_po = po;
 }
 
+SizingNetwork SizingNetwork::clone() const {
+  SizingNetwork c(*this);
+  if (c.serial_ != 0) c.serial_ = mint_serial();
+  return c;
+}
+
+void SizingNetwork::eco_add_b(NodeId v, double delta) {
+  MFT_CHECK_MSG(frozen(), "eco_add_b is a post-freeze edit");
+  MFT_CHECK_MSG(!is_source(v), "sources carry no load");
+  SizingVertex& sv = verts_[static_cast<std::size_t>(v)];
+  sv.b += delta;
+  MFT_CHECK_MSG(sv.b > 0.0 || !sv.loads.empty(),
+                "ECO edit would leave vertex '" << name(v)
+                                               << "' with degenerate delay");
+  MFT_CHECK(sv.b >= 0.0);
+  // Keep the two frozen representations coherent: hot kernels read the
+  // SweepPlan row, cold paths read the AoS record.
+  plan_.b[static_cast<std::size_t>(plan_.pos_of[static_cast<std::size_t>(v)])] =
+      sv.b;
+  serial_ = mint_serial();
+}
+
 void SizingNetwork::freeze() {
-  static std::atomic<std::uint64_t> next_serial{1};
-  serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
+  serial_ = mint_serial();
   MFT_CHECK(num_vertices() == dag_.num_nodes());
   auto order = dag_.topological_order();
   MFT_CHECK_MSG(order.has_value(), "sizing network has a timing cycle");

@@ -181,6 +181,20 @@ class SizingNetwork {
   void add_a_self(NodeId v, double delta);
   void set_po(NodeId v, bool po);
 
+  /// Deep copy with a *fresh* serial. The copy is its own network for
+  /// workspace-keying purposes: scratches cached against the original will
+  /// rebuild rather than silently reuse stale per-topology state. Used by
+  /// the ECO path, which mutates the copy's constant loads in place.
+  SizingNetwork clone() const;
+
+  /// Post-freeze ECO edit: shift the constant load term b of a sizeable
+  /// vertex (a load added or removed by an engineering change) without
+  /// re-lowering. Updates both the AoS record and the frozen SweepPlan row
+  /// and mints a fresh serial, so every serial-keyed workspace treats the
+  /// edited network as new and recomputes from scratch. Topology (arcs,
+  /// load sparsity, levels) is unchanged — only the coefficient moves.
+  void eco_add_b(NodeId v, double delta);
+
   /// Validates invariants (DAG, coefficient signs, sources have no loads),
   /// caches the topological order, and builds the SweepPlan. Must be called
   /// before analysis.

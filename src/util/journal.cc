@@ -77,12 +77,16 @@ void Journal::open(const std::string& path) {
                       "cannot open journal '" + path +
                           "': " + std::strerror(errno));
   path_ = path;
+  // O_APPEND: the end-of-file offset IS the current size.
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  bytes_ = size >= 0 ? static_cast<std::int64_t>(size) : 0;
 }
 
 void Journal::close() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
+    bytes_ = 0;
   }
 }
 
@@ -97,6 +101,7 @@ void Journal::append(const std::string& payload) {
   // discards.
   if (::fsync(fd_) == 0) ++fsyncs_;
   ++appends_;
+  bytes_ += static_cast<std::int64_t>(record.size());
 }
 
 std::vector<std::string> Journal::replay(const std::string& path, bool* torn) {

@@ -51,6 +51,10 @@ class Journal {
   const std::string& path() const { return path_; }
   std::int64_t appends() const { return appends_; }
   std::int64_t fsyncs() const { return fsyncs_; }
+  /// Current on-disk size in bytes: the file size found at open() plus
+  /// every frame appended since. Drives size-triggered compaction
+  /// (rotation) in the daemon; 0 when closed.
+  std::int64_t bytes() const { return bytes_; }
 
   /// Reads every intact record from `path` in order. A missing file is an
   /// empty journal. A torn or CRC-corrupt tail ends the walk — `*torn`
@@ -73,6 +77,7 @@ class Journal {
   std::string path_;
   std::int64_t appends_ = 0;
   std::int64_t fsyncs_ = 0;
+  std::int64_t bytes_ = 0;
 };
 
 }  // namespace mft

@@ -313,6 +313,103 @@ TEST(SizingDaemon, OverloadBurstYieldsExactlyOneStructuredResponseEach) {
   EXPECT_GE(s.p99_seconds, s.p50_seconds);
 }
 
+// ---------------------------------------------------------------------------
+// Deadline-pressure admission (the ECO-serving bugfix trio)
+// ---------------------------------------------------------------------------
+
+// Before the first result lands there is no EWMA runtime estimate; the
+// old gate silently admitted every deadline job through that window. The
+// fixed gate falls back to queue-depth-only pressure: refuse
+// deadline-carrying submits once the backlog reaches the worker count.
+TEST(SizingDaemon, ColdStartDeadlinePressureFallsBackToQueueDepth) {
+  Capture cap;
+  DaemonOptions opt;
+  opt.engine.threads = 1;
+  opt.deadline_pressure = 1.0;  // no max_queue_depth: pressure-only gate
+  SizingDaemon daemon(opt, cap.emit());
+
+  EXPECT_EQ(daemon.stats().ewma_run_seconds, 0.0);  // cold: no estimate yet
+  daemon.handle_line(submit_line("blocker", "tiled4x6x2", 0.55));
+  wait_for_drain_to_workers(daemon, 0);
+  // Worker busy but backlog empty: a deadline submit is still admitted
+  // (the conservative fallback refuses backlog, not all deadline work).
+  daemon.handle_line(submit_line("early", "c17", 0.8, 0, 30.0));
+  // Backlog now 1 >= 1 worker with no estimate: cold-start refusal.
+  daemon.handle_line(submit_line("cold", "c17", 0.8, 0, 30.0));
+  daemon.drain();
+
+  const std::vector<std::string> lines = cap.snapshot();
+  EXPECT_EQ(raw_field(results_for(lines, "early").at(0), "status"), "ok");
+  const std::vector<std::string> cold = results_for(lines, "cold");
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_EQ(raw_field(cold[0], "status"), "rejected");
+  EXPECT_NE(cold[0].find("cold start"), std::string::npos) << cold[0];
+  const DaemonStats s = daemon.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_GT(s.ewma_run_seconds, 0.0);  // first successes seeded the EWMA
+}
+
+// The admission EWMA folds in successful completions only. Shed jobs
+// return in near-zero wall time; the old code averaged them in, so a
+// storm of failures dragged the estimate toward zero and re-opened
+// admission exactly when the daemon was drowning.
+TEST(SizingDaemon, FailureStormDoesNotContaminateTheRuntimeEwma) {
+  Capture cap;
+  DaemonOptions opt;
+  opt.engine.threads = 1;
+  opt.shed = true;  // deadline_pressure stays 0: admission never refuses
+  SizingDaemon daemon(opt, cap.emit());
+
+  daemon.handle_line(submit_line("seed", "c17", 0.8));
+  daemon.drain();
+  const double ewma0 = daemon.stats().ewma_run_seconds;
+  ASSERT_GT(ewma0, 0.0);
+
+  // Five unmeetable deadlines (1ns): each is shed at dispatch, failing
+  // with ok=false in near-zero wall time.
+  for (int i = 0; i < 5; ++i)
+    daemon.handle_line(submit_line("doomed" + std::to_string(i), "c17", 0.8,
+                                   0, 1e-9));
+  daemon.drain();
+  const DaemonStats s = daemon.stats();
+  EXPECT_EQ(s.engine.shed, 5u);
+  // Bit-identical: no failed result touched the estimate.
+  EXPECT_EQ(s.ewma_run_seconds, ewma0);
+}
+
+// Predicted *completion* must include the job's own expected run, not
+// just its queue wait: on an idle daemon the old estimate was exactly
+// zero, admitting jobs whose deadline their own runtime would blow —
+// only to shed or degrade them after the fact.
+TEST(SizingDaemon, DeadlinePressureCountsTheJobsOwnRunTime) {
+  Capture cap;
+  DaemonOptions opt;
+  opt.engine.threads = 1;
+  opt.deadline_pressure = 1.0;
+  SizingDaemon daemon(opt, cap.emit());
+
+  daemon.handle_line(submit_line("seed", "c17", 0.8));
+  daemon.drain();
+  const double ewma = daemon.stats().ewma_run_seconds;
+  ASSERT_GT(ewma, 0.0);
+  ASSERT_EQ(daemon.stats().engine.queue_depth, 0u);  // idle: wait is zero
+
+  // Deadline far under one expected run: refused up front even though
+  // the queue is empty (the old gate predicted 0 here and admitted).
+  daemon.handle_line(submit_line("tight", "c17", 0.8, 0, ewma * 0.25));
+  // Deadline comfortably above one expected run: admitted.
+  daemon.handle_line(submit_line("roomy", "c17", 0.8, 0, ewma * 100.0));
+  daemon.drain();
+
+  const std::vector<std::string> lines = cap.snapshot();
+  const std::vector<std::string> tight = results_for(lines, "tight");
+  ASSERT_EQ(tight.size(), 1u);
+  EXPECT_EQ(raw_field(tight[0], "status"), "rejected");
+  EXPECT_NE(tight[0].find("predicted completion"), std::string::npos)
+      << tight[0];
+  EXPECT_EQ(raw_field(results_for(lines, "roomy").at(0), "status"), "ok");
+}
+
 TEST(SizingDaemon, ShutdownRefusesLateSubmitsAndStatsKeepServing) {
   Capture cap;
   DaemonOptions opt;

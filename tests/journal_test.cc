@@ -229,9 +229,12 @@ TEST_F(JournalTest, CleanRunJournalsEverythingAndRecoversNothing) {
     EXPECT_EQ(s.recovered, 0u);
     EXPECT_NE(log.hash_for("a"), "");
   }
-  // Every submit has its result on disk...
-  EXPECT_EQ(Journal::replay(path).size(), 4u);
-  // ...so a restart finds nothing unfinished and compacts to empty.
+  // Every submit has its result on disk, behind the config snapshot that
+  // heads every journal...
+  EXPECT_EQ(Journal::replay(path).size(), 5u);
+  EXPECT_EQ(json_field(Journal::replay(path).front(), "type"), "config");
+  // ...so a restart finds nothing unfinished and compacts down to just
+  // the config snapshot.
   EventLog log2;
   SizingDaemon d2(durable_opts(path), log2.emit());
   const std::vector<std::string> events = log2.snapshot();
@@ -240,7 +243,9 @@ TEST_F(JournalTest, CleanRunJournalsEverythingAndRecoversNothing) {
   EXPECT_EQ(json_field(events[0], "ok"), "true");
   EXPECT_EQ(json_field(events[0], "recovered"), "0");
   EXPECT_EQ(json_field(events[0], "finished"), "2");
-  EXPECT_TRUE(Journal::replay(path).empty());
+  const std::vector<std::string> after = Journal::replay(path);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(json_field(after[0], "type"), "config");
 }
 
 TEST_F(JournalTest, CrashReplayReproducesBitIdenticalHashes) {
@@ -304,7 +309,8 @@ TEST_F(JournalTest, AppendFaultRefusesTheSubmitButTheDaemonServes) {
   d.handle_line(kSubmitB);
   d.drain();
   EXPECT_NE(log.hash_for("b"), "");
-  EXPECT_EQ(Journal::replay(path).size(), 2u);  // b's submit + result
+  // config snapshot + b's submit + b's result
+  EXPECT_EQ(Journal::replay(path).size(), 3u);
 }
 
 TEST_F(JournalTest, ReplayFaultDegradesToAStructuredEventAndServes) {
@@ -331,6 +337,90 @@ TEST_F(JournalTest, ReplayFaultDegradesToAStructuredEventAndServes) {
   d.handle_line(kSubmitB);
   d.drain();
   EXPECT_NE(log.hash_for("b"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Rotation (size-triggered compaction) and the config snapshot gate
+// ---------------------------------------------------------------------------
+
+TEST_F(JournalTest, RotationCompactsTheJournalDownToItsLiveSet) {
+  const std::string path = temp_path("journal_rotate.mftj");
+  DaemonOptions opt = durable_opts(path);
+  // Any terminal record tips the journal over this bound, so every
+  // completed request compacts: the steady-state file is exactly the
+  // config snapshot plus whatever is still unfinished.
+  opt.journal_compact_bytes = 1;
+  EventLog log;
+  SizingDaemon d(opt, log.emit());
+  for (int i = 0; i < 4; ++i) {
+    d.handle_line(kSubmitA);
+    d.drain();
+  }
+  const DaemonStats s = d.stats();
+  EXPECT_GE(s.journal_compactions, 4u);
+  EXPECT_EQ(s.journal_errors, 0u);
+  // Nothing outstanding: the rotated journal holds only the config head,
+  // and its size stays bounded by the live set instead of growing with
+  // history.
+  const std::vector<std::string> recs = Journal::replay(path);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(json_field(recs[0], "type"), "config");
+  EXPECT_LT(s.journal_bytes, 256u);
+  // A restart of the rotated journal recovers nothing and serves on.
+  EventLog log2;
+  SizingDaemon d2(opt, log2.emit());
+  EXPECT_EQ(json_field(log2.snapshot().at(0), "ok"), "true");
+  EXPECT_EQ(json_field(log2.snapshot().at(0), "recovered"), "0");
+  d2.handle_line(kSubmitB);
+  d2.drain();
+  EXPECT_NE(log2.hash_for("b"), "");
+}
+
+TEST_F(JournalTest, IncompatibleConfigSnapshotRefusesReplayAndPreservesIt) {
+  const std::string path = temp_path("journal_config.mftj");
+  {  // clean run under the default engine config
+    EventLog log;
+    SizingDaemon d(durable_opts(path), log.emit());
+    d.handle_line(kSubmitA);
+    d.drain();
+  }
+  // Simulate the crash: strip the result record so rid 0 looks
+  // unfinished, keeping the config snapshot and the submit.
+  std::vector<std::string> recs;
+  for (const std::string& r : Journal::replay(path))
+    if (r.find("\"type\":\"result\"") == std::string::npos) recs.push_back(r);
+  ASSERT_EQ(recs.size(), 2u);  // config + submit
+  Journal::rewrite(path, recs);
+
+  // A daemon with a different base_seed could *run* the replay — and
+  // silently produce different sizes than the journal's clients were
+  // promised. It must refuse instead, and leave the file untouched.
+  DaemonOptions other = durable_opts(path);
+  other.engine.base_seed = 12345;
+  EventLog log;
+  SizingDaemon d(other, log.emit());
+  {
+    const std::vector<std::string> events = log.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(json_field(events[0], "event"), "replay");
+    EXPECT_EQ(json_field(events[0], "ok"), "false");
+    EXPECT_NE(events[0].find("config incompatible"), std::string::npos);
+  }
+  EXPECT_EQ(d.stats().recovered, 0u);
+  EXPECT_EQ(Journal::replay(path).size(), 2u);  // preserved, not compacted
+  // The refusing daemon still serves (its new records append behind the
+  // preserved ones).
+  d.handle_line(kSubmitB);
+  d.drain();
+  EXPECT_NE(log.hash_for("b"), "");
+
+  // The *matching* engine can still recover the preserved request later.
+  EventLog log2;
+  SizingDaemon d2(durable_opts(path), log2.emit());
+  d2.drain();
+  EXPECT_EQ(json_field(log2.snapshot().at(0), "ok"), "true");
+  EXPECT_EQ(d2.stats().recovered, 1u);
+  EXPECT_NE(log2.hash_for("a"), "");
 }
 
 }  // namespace
